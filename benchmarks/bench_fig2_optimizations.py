@@ -1,0 +1,38 @@
+"""Fig. 2: cumulative speedups of the four algorithmic optimizations over the Bell
+baseline, per matrix, with geometric means."""
+
+from conftest import emit
+
+from repro.bench import PAPER_FIG2_MEANS, fig2_geometric_means, fig2_table, run_fig2
+from repro.bench.config import cached_suite_graph
+from repro.mis import run_optimization_level
+
+
+def test_fig2_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_fig2(bench_config), rounds=1, iterations=1)
+    model_table = fig2_table(rows, use_model=True).render()
+    python_table = fig2_table(rows, use_model=False).render()
+    emit(results_dir, "fig2_optimizations_model", model_table)
+    emit(results_dir, "fig2_optimizations_python", python_table)
+    means = fig2_geometric_means(rows, use_model=True)
+    # Shape: the full optimization stack is several times faster than the baseline in
+    # the V100 model (the paper reports 8.97x), and each cumulative level at least
+    # does not regress relative to the broad trend.
+    assert means["simd"] > 2.0
+    assert means["simd"] >= means["random_priority"]
+    assert set(PAPER_FIG2_MEANS) <= set(means)
+    python_means = fig2_geometric_means(rows, use_model=False)
+    # The optimizations also pay off in plain Python wall-clock.
+    assert python_means["simd"] > 1.5
+
+
+def test_benchmark_baseline_level(benchmark, bench_config):
+    graph = cached_suite_graph("thermal2", bench_config.scale, bench_config.seed, None)
+    result = benchmark(lambda: run_optimization_level(graph, "baseline"))
+    assert result.size > 0
+
+
+def test_benchmark_full_optimization_level(benchmark, bench_config):
+    graph = cached_suite_graph("thermal2", bench_config.scale, bench_config.seed, None)
+    result = benchmark(lambda: run_optimization_level(graph, "simd"))
+    assert result.size > 0

@@ -1,0 +1,27 @@
+"""Fig. 3: bandwidth-efficiency profiles of the four architectures."""
+
+from conftest import emit
+
+from repro.bench import fig3_table, run_fig3
+from repro.bench.config import cached_suite_graph
+from repro.mis import kk_mis2
+from repro.parallel import bandwidth_efficiency
+
+
+def test_fig3_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_fig3(bench_config), rounds=1, iterations=1)
+    emit(results_dir, "fig3_portability", fig3_table(rows).render())
+    assert len(rows) == 17
+    for row in rows:
+        norm = row.normalized()
+        assert max(norm.values()) == 1.0
+        # Portability claim: no device falls below a small fraction of the best —
+        # the algorithm is usable everywhere (the paper's profiles stay above ~0.2).
+        assert min(norm.values()) > 0.15
+
+
+def test_benchmark_efficiency_computation(benchmark, bench_config):
+    graph = cached_suite_graph("apache2", bench_config.scale, bench_config.seed, None)
+    result = kk_mis2(graph)
+    value = benchmark(lambda: bandwidth_efficiency(result.traffic, "v100"))
+    assert value > 0

@@ -1,0 +1,28 @@
+"""Fig. 4: strong-scaling efficiency of MIS-2 on the dual-socket Intel Skylake CPU."""
+
+from conftest import emit
+
+from repro.bench import run_scaling, scaling_table
+from repro.bench.config import cached_suite_graph
+from repro.mis import kk_mis2
+from repro.parallel import strong_scaling_times
+from repro.util import geometric_mean
+
+
+def test_fig4_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_scaling("skylake", bench_config), rounds=1, iterations=1)
+    emit(results_dir, "fig4_scaling_intel", scaling_table(rows).render())
+    speedups = [row.speedup_at(48) for row in rows]
+    mean_speedup = geometric_mean(speedups)
+    # Paper: 26.9x geometric-mean speedup on the 48 physical cores; and using all 96
+    # hyperthreads is slower than 48 cores.
+    assert 18 <= mean_speedup <= 36
+    for row in rows:
+        assert row.times[row.thread_counts.index(96)] > row.times[row.thread_counts.index(48)]
+
+
+def test_benchmark_scaling_model(benchmark, bench_config):
+    graph = cached_suite_graph("thermal2", bench_config.scale, bench_config.seed, None)
+    traffic = kk_mis2(graph).traffic
+    times = benchmark(lambda: strong_scaling_times(traffic, "skylake", list(range(1, 97))))
+    assert len(times) == 96

@@ -1,0 +1,27 @@
+"""Fig. 5: strong-scaling efficiency of MIS-2 on the dual-socket ThunderX2 ARM CPU."""
+
+from conftest import emit
+
+from repro.bench import run_scaling, scaling_table
+from repro.bench.config import cached_suite_graph
+from repro.mis import kk_mis2
+from repro.parallel import strong_scaling_times
+from repro.util import geometric_mean
+
+
+def test_fig5_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_scaling("tx2", bench_config), rounds=1, iterations=1)
+    emit(results_dir, "fig5_scaling_arm", scaling_table(rows).render())
+    speedups = [row.speedup_at(56) for row in rows]
+    mean_speedup = geometric_mean(speedups)
+    # Paper: 43.9x geometric-mean speedup on the 56 physical cores; hyperthreads hurt.
+    assert 32 <= mean_speedup <= 52
+    for row in rows:
+        assert row.times[row.thread_counts.index(112)] > row.times[row.thread_counts.index(56)]
+
+
+def test_benchmark_scaling_model(benchmark, bench_config):
+    graph = cached_suite_graph("tmt_sym", bench_config.scale, bench_config.seed, None)
+    traffic = kk_mis2(graph).traffic
+    times = benchmark(lambda: strong_scaling_times(traffic, "tx2", list(range(1, 113))))
+    assert len(times) == 112

@@ -1,0 +1,25 @@
+"""Fig. 6: MIS-2 speedup of Algorithm 1 over the CUSP (Bell) baseline."""
+
+from conftest import emit
+
+from repro.bench import run_fig6, speedup_table
+from repro.util import geometric_mean
+
+
+def test_fig6_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_fig6(bench_config), rounds=1, iterations=1)
+    emit(results_dir, "fig6_vs_cusp", speedup_table(rows, "Fig. 6: Algorithm 1 vs CUSP (MIS-2)").render())
+    assert len(rows) == 17
+    # The paper reports 5-7x on every matrix on a V100; the model and the Python
+    # wall-clock both show Algorithm 1 winning on every matrix here.
+    assert all(r.model_speedup > 1.0 for r in rows)
+    assert all(r.python_speedup > 1.0 for r in rows)
+    assert geometric_mean([r.model_speedup for r in rows]) > 2.0
+
+
+def test_benchmark_fig6_single_matrix(benchmark, bench_config):
+    from repro.bench import BenchConfig, run_fig6 as run
+
+    tiny = BenchConfig(scale=bench_config.scale, trials=1, warmup=0, matrices=("parabolic_fem",))
+    rows = benchmark(lambda: run(tiny))
+    assert rows[0].model_speedup > 0

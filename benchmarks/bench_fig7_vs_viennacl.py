@@ -1,0 +1,27 @@
+"""Fig. 7: MIS-2 + coarsening speedup of Algorithm 1 over the ViennaCL (Bell) pipeline."""
+
+from conftest import emit
+
+from repro.bench import run_fig7, speedup_table
+from repro.util import geometric_mean
+
+
+def test_fig7_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_fig7(bench_config), rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig7_vs_viennacl",
+        speedup_table(rows, "Fig. 7: Algorithm 1 + coarsening vs ViennaCL").render(),
+    )
+    assert len(rows) == 17
+    # Paper: 3-8x speedup on all seventeen matrices.
+    assert all(r.model_speedup > 1.0 for r in rows)
+    assert geometric_mean([r.model_speedup for r in rows]) > 1.5
+
+
+def test_benchmark_fig7_single_matrix(benchmark, bench_config):
+    from repro.bench import BenchConfig, run_fig7 as run
+
+    tiny = BenchConfig(scale=bench_config.scale, trials=1, warmup=0, matrices=("tmt_sym",))
+    rows = benchmark(lambda: run(tiny))
+    assert rows[0].model_speedup > 0

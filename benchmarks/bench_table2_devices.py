@@ -1,0 +1,29 @@
+"""Table II: suite statistics and modelled MIS-2 times on the four architectures."""
+
+from conftest import emit
+
+from repro.bench import run_table2, table2_table
+from repro.bench.config import cached_suite_graph
+from repro.mis import kk_mis2
+from repro.parallel import predict_device_time
+
+
+def test_table2_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_table2(bench_config), rounds=1, iterations=1)
+    emit(results_dir, "table2_devices", table2_table(rows).render())
+    assert len(rows) == 17
+    for row in rows:
+        # At the paper's problem sizes the GPUs beat both CPUs on every matrix.
+        assert row.predicted_ms["v100"] < row.predicted_ms["skylake"]
+        assert row.predicted_ms["v100"] < row.predicted_ms["tx2"]
+
+
+def test_benchmark_mis2_with_device_prediction(benchmark, bench_config):
+    graph = cached_suite_graph("Laplace3D_100", bench_config.scale, bench_config.seed, None)
+
+    def run():
+        result = kk_mis2(graph)
+        return predict_device_time(result.traffic, "v100")
+
+    predicted = benchmark(run)
+    assert predicted > 0

@@ -1,0 +1,26 @@
+"""Table III: MIS-2 size and iteration count on structured problems of growing size."""
+
+from conftest import emit
+
+from repro.bench import run_table3, table3_table
+from repro.graph import laplace3d
+from repro.mis import kk_mis2
+
+
+def test_table3_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(lambda: run_table3(bench_config), rounds=1, iterations=1)
+    emit(results_dir, "table3_structured_scaling", table3_table(rows).render())
+    elasticity = [r for r in rows if r.problem.startswith("Elasticity")]
+    laplace = [r for r in rows if r.problem.startswith("Laplace")]
+    # MIS-2 size stays proportional to |V| within each family (paper: ~0.7% and ~9%).
+    for family in (elasticity, laplace):
+        fractions = [r.mis2_fraction for r in family]
+        assert max(fractions) / min(fractions) < 2.0
+    # Iteration counts grow by only a couple as the problem grows 4-8x.
+    assert max(r.iterations for r in laplace) - min(r.iterations for r in laplace) <= 3
+
+
+def test_benchmark_mis2_on_largest_structured_grid(benchmark):
+    graph = laplace3d(34, 34, 34)
+    result = benchmark(lambda: kk_mis2(graph))
+    assert result.iterations > 0

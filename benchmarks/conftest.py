@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper's
+evaluation section: it runs the corresponding driver from :mod:`repro.bench`, prints
+the paper-style table, writes it to ``benchmarks/results/``, and registers a
+pytest-benchmark timing for the performance-critical kernel it exercises.
+
+The default configuration is intentionally small (a few percent of the paper's
+problem sizes) so the whole harness completes in minutes on two CPU cores; raise
+``REPRO_BENCH_SCALE`` to approach the paper's sizes on bigger machines.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale of the synthetic suite stand-ins used by the benchmarks (fraction of the
+#: paper's vertex counts). Override with the REPRO_BENCH_SCALE environment variable.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.005"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    """The benchmark-wide configuration (small scale, single timed trial)."""
+    return BenchConfig(scale=BENCH_SCALE, trials=1, warmup=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Use case 1 (paper Section VI-F): smoothed-aggregation AMG with MIS-2 aggregation.
+
+Solves a 3-D Poisson problem with CG preconditioned by an SA-AMG V-cycle, swapping
+the aggregation scheme between Algorithm 2 ("MIS2 Basic"), Algorithm 3 ("MIS2 Agg")
+and the serial baseline — a miniature version of the paper's Table V experiment.
+
+Run with:  python examples/amg_poisson.py [grid_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.coarsen import mis2_aggregation, mis2_basic_aggregation, serial_aggregation
+from repro.graph import laplace3d_matrix
+from repro.solvers import build_hierarchy, pcg
+from repro.util import Table
+
+
+def main(grid: int = 24) -> None:
+    A = laplace3d_matrix(grid, grid, grid)
+    rng = np.random.default_rng(0)
+    x_exact = rng.random(A.shape[0])
+    b = A @ x_exact
+    print(f"Poisson problem: {A.shape[0]} unknowns, {A.nnz} nonzeros")
+
+    schemes = [
+        ("MIS2 Agg (Algorithm 3)", mis2_aggregation),
+        ("MIS2 Basic (Algorithm 2)", mis2_basic_aggregation),
+        ("Serial Agg (MueLu baseline)", serial_aggregation),
+    ]
+    table = Table(
+        ["aggregation", "levels", "CG iters", "agg time (s)", "setup (s)", "solve (s)", "error"],
+        title="SA-AMG preconditioned CG (tolerance 1e-10)",
+    )
+    for name, fn in schemes:
+        hierarchy = build_hierarchy(A, aggregation_fn=fn, aggregation_name=name)
+        result = hierarchy.solve(b, tol=1e-10)
+        error = float(np.linalg.norm(result.x - x_exact) / np.linalg.norm(x_exact))
+        table.add_row(
+            [
+                name,
+                "->".join(str(s) for s in hierarchy.level_sizes()),
+                result.iterations,
+                round(hierarchy.aggregation_seconds, 4),
+                round(hierarchy.setup_seconds, 4),
+                round(result.solve_seconds, 4),
+                f"{error:.2e}",
+            ]
+        )
+    print(table.render())
+
+    plain = pcg(A, b, tol=1e-10, maxiter=5000)
+    print(f"\nUnpreconditioned CG needs {plain.iterations} iterations for the same tolerance.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Use case 2 (paper Section VI-G): cluster multicolor Gauss-Seidel preconditioning.
+
+Preconditions GMRES with three flavours of symmetric Gauss-Seidel on an elasticity-like
+system — classical (sequential), point multicolor, and Algorithm 4's cluster multicolor
+built on MIS-2 aggregation — and reports setup time, iterations and solve time, a
+miniature version of the paper's Table VI.
+
+Run with:  python examples/cluster_gauss_seidel.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graph import elasticity3d_matrix
+from repro.gs import ClusterMulticolorGaussSeidel, MulticolorGaussSeidel, PointGaussSeidel
+from repro.solvers import gmres
+from repro.util import Table
+
+
+def main() -> None:
+    A = elasticity3d_matrix(8, 8, 8, dofs_per_node=3)
+    b = np.ones(A.shape[0])
+    print(f"elasticity-like system: {A.shape[0]} unknowns, {A.nnz} nonzeros")
+
+    # Build the three preconditioners (setup is timed inside the multicolor classes).
+    classical = PointGaussSeidel(A, symmetric=True)
+    point = MulticolorGaussSeidel(A, symmetric=True)
+    cluster = ClusterMulticolorGaussSeidel(A, symmetric=True)
+    print(f"point multicolor: {point.num_colors} colors on the fine graph "
+          f"({A.shape[0]} rows)")
+    print(f"cluster multicolor: {cluster.aggregation.num_aggregates} clusters, "
+          f"{cluster.num_colors} colors on the coarse graph "
+          f"({cluster.coarse.num_vertices} vertices)")
+
+    table = Table(
+        ["preconditioner", "setup (s)", "GMRES iters", "solve (s)", "converged"],
+        title="GMRES with symmetric Gauss-Seidel preconditioning (tolerance 1e-8)",
+    )
+    cases = [
+        ("classical SGS (sequential)", None, classical),
+        ("point multicolor SGS", point.setup_seconds, point),
+        ("cluster multicolor SGS (Alg. 4)", cluster.setup_seconds, cluster),
+    ]
+    for name, setup_seconds, precond in cases:
+        start = time.perf_counter()
+        result = gmres(A, b, M=precond.as_preconditioner(), tol=1e-8, maxiter=800)
+        solve_seconds = time.perf_counter() - start
+        table.add_row(
+            [
+                name,
+                round(setup_seconds, 4) if setup_seconds is not None else "-",
+                result.iterations,
+                round(solve_seconds, 3),
+                result.converged,
+            ]
+        )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 517 wheel support.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` / ``python setup.py develop`` in offline
+environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,149 @@
+"""Command-line entry point for the experiment drivers.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.bench table1 --scale 0.01
+    python -m repro.bench fig2 --matrices ecology2 thermal2
+    python -m repro.bench all --scale 0.005
+
+Each experiment prints the same paper-style table the benchmark harness writes to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import (
+    BenchConfig,
+    fig2_table,
+    fig3_table,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_scaling,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    scaling_table,
+    speedup_table,
+    table1_table,
+    table2_table,
+    table3_table,
+    table4_table,
+    table5_table,
+    table6_table,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_table1(config: BenchConfig) -> str:
+    return table1_table(run_table1(config)).render()
+
+
+def _run_table2(config: BenchConfig) -> str:
+    return table2_table(run_table2(config)).render()
+
+
+def _run_table3(config: BenchConfig) -> str:
+    return table3_table(run_table3(config)).render()
+
+
+def _run_table4(config: BenchConfig) -> str:
+    return table4_table(run_table4(config)).render()
+
+
+def _run_table5(config: BenchConfig) -> str:
+    return table5_table(run_table5(config)).render()
+
+
+def _run_table6(config: BenchConfig) -> str:
+    return table6_table(run_table6(config)).render()
+
+
+def _run_fig2(config: BenchConfig) -> str:
+    rows = run_fig2(config)
+    return fig2_table(rows, use_model=True).render() + "\n\n" + fig2_table(rows, use_model=False).render()
+
+
+def _run_fig3(config: BenchConfig) -> str:
+    return fig3_table(run_fig3(config)).render()
+
+
+def _run_fig4(config: BenchConfig) -> str:
+    return scaling_table(run_scaling("skylake", config)).render()
+
+
+def _run_fig5(config: BenchConfig) -> str:
+    return scaling_table(run_scaling("tx2", config)).render()
+
+
+def _run_fig6(config: BenchConfig) -> str:
+    return speedup_table(run_fig6(config), "Fig. 6: Algorithm 1 vs CUSP (MIS-2)").render()
+
+
+def _run_fig7(config: BenchConfig) -> str:
+    return speedup_table(run_fig7(config), "Fig. 7: Algorithm 1 + coarsening vs ViennaCL").render()
+
+
+#: Experiment name -> driver returning the rendered table.
+EXPERIMENTS: Dict[str, Callable[[BenchConfig], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the selected experiment(s), print the tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs every experiment)",
+    )
+    parser.add_argument("--scale", type=float, default=BenchConfig().scale,
+                        help="fraction of the paper's problem sizes for the stand-ins")
+    parser.add_argument("--trials", type=int, default=1, help="timed trials per measurement")
+    parser.add_argument("--seed", type=int, default=0, help="deterministic seed")
+    parser.add_argument("--mtx-dir", default=None,
+                        help="directory with real SuiteSparse .mtx files (optional)")
+    parser.add_argument("--matrices", nargs="*", default=None,
+                        help="subset of suite matrices to run")
+    args = parser.parse_args(argv)
+
+    config = BenchConfig(
+        scale=args.scale,
+        trials=args.trials,
+        seed=args.seed,
+        mtx_dir=args.mtx_dir,
+        matrices=tuple(args.matrices) if args.matrices else None,
+    )
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI test
+    sys.exit(main())

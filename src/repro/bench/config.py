@@ -1,0 +1,56 @@
+"""Benchmark configuration shared by all experiment drivers.
+
+Every driver accepts a :class:`BenchConfig`; the defaults keep the whole suite small
+enough to regenerate every table and figure in a few minutes on two CPU cores, while
+``scale`` can be raised towards 1.0 to approach the paper's problem sizes when more
+hardware is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import scipy.sparse as sp
+
+from ..graph.csr import CSRGraph
+from ..graph.suite import DEFAULT_SCALE, load_suite_graph, load_suite_matrix, suite_names
+
+__all__ = ["BenchConfig", "cached_suite_graph", "cached_suite_matrix"]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by the experiment drivers."""
+
+    #: Fraction of the paper's vertex counts used for the synthetic suite stand-ins.
+    scale: float = DEFAULT_SCALE
+    #: Timed trials per measurement (the paper uses 100; scaled down by default).
+    trials: int = 3
+    #: Untimed warmup runs before timing.
+    warmup: int = 1
+    #: Seed for all deterministic pseudo-random choices.
+    seed: int = 0
+    #: Optional directory with real SuiteSparse ``.mtx`` files (used when present).
+    mtx_dir: Optional[str] = None
+    #: Subset of suite matrices to run (None = all 17).
+    matrices: Optional[Tuple[str, ...]] = None
+
+    def matrix_names(self) -> List[str]:
+        """Names of the matrices this configuration covers, in Table II order."""
+        if self.matrices is not None:
+            return list(self.matrices)
+        return suite_names(main_only=True)
+
+
+@lru_cache(maxsize=64)
+def cached_suite_graph(name: str, scale: float, seed: int, mtx_dir: Optional[str]) -> CSRGraph:
+    """Process-wide cache of suite stand-in graphs (generation dominates small benches)."""
+    return load_suite_graph(name, scale=scale, seed=seed, mtx_dir=mtx_dir)
+
+
+@lru_cache(maxsize=64)
+def cached_suite_matrix(name: str, scale: float, seed: int, mtx_dir: Optional[str]) -> sp.csr_matrix:
+    """Process-wide cache of suite stand-in matrices."""
+    return load_suite_matrix(name, scale=scale, seed=seed, mtx_dir=mtx_dir)

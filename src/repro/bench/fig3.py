@@ -1,0 +1,77 @@
+"""Fig. 3: bandwidth-efficiency profiles across the four architectures.
+
+The paper defines bandwidth efficiency as "MIS-2 instances computed per second divided
+by the device's memory bandwidth"; with perfect performance portability the value is
+identical on every device. Fig. 3 plots, per matrix, each device's efficiency as a
+fraction of the best efficiency among the four devices. The same quantity is computed
+here from the roofline cost model (kernel-launch overheads are what breaks perfect
+portability in the model, just as launch/latency overheads do on real hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..mis.kk import kk_mis2
+from ..graph.suite import paper_statistics
+from ..parallel.costmodel import bandwidth_efficiency, scale_traffic
+from ..parallel.machine import device_names
+from ..util.tables import Table
+from .config import BenchConfig, cached_suite_graph
+
+__all__ = ["Fig3Row", "run_fig3", "fig3_table"]
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """Bandwidth-efficiency profile of one matrix."""
+
+    matrix: str
+    #: Device key -> raw bandwidth efficiency (instances/s per GB/s).
+    efficiency: Dict[str, float]
+
+    def normalized(self) -> Dict[str, float]:
+        """Each device's efficiency divided by the best device's efficiency."""
+        best = max(self.efficiency.values())
+        return {k: (v / best if best > 0 else 0.0) for k, v in self.efficiency.items()}
+
+    def best_device(self) -> str:
+        return max(self.efficiency, key=self.efficiency.get)
+
+
+def run_fig3(
+    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+) -> List[Fig3Row]:
+    """Compute the bandwidth-efficiency profile for every suite matrix.
+
+    With ``extrapolate_to_paper_size`` (default) the traffic is scaled to the paper's
+    problem sizes first, so the GPU profiles are bandwidth-dominated as in the paper
+    rather than launch-latency-dominated (which is what happens at the small default
+    reproduction scale).
+    """
+    rows: List[Fig3Row] = []
+    for name in config.matrix_names():
+        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+        result = kk_mis2(graph, seed=config.seed)
+        traffic = result.traffic
+        if extrapolate_to_paper_size:
+            record = paper_statistics(name)
+            traffic = scale_traffic(traffic, record.paper_num_vertices / max(1, graph.num_vertices))
+        eff = {key: bandwidth_efficiency(traffic, key) for key in device_names()}
+        rows.append(Fig3Row(matrix=name, efficiency=eff))
+    return rows
+
+
+def fig3_table(rows: List[Fig3Row]) -> Table:
+    """Format the Fig. 3 profiles (fraction of best efficiency per device)."""
+    table = Table(
+        ["matrix"] + [f"{key} (frac of best)" for key in device_names()] + ["best device"],
+        title="Fig. 3: bandwidth-efficiency profiles of the four architectures",
+    )
+    for row in rows:
+        norm = row.normalized()
+        table.add_row(
+            [row.matrix] + [round(norm[key], 3) for key in device_names()] + [row.best_device()]
+        )
+    return table

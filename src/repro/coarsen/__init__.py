@@ -1,0 +1,53 @@
+"""Graph coarsening / aggregation.
+
+This package contains the paper's two MIS-2-based aggregation algorithms and the
+baselines they are compared against in the MueLu experiment (Table V), plus the
+machinery that turns an aggregation into multigrid transfer operators and coarse
+graphs:
+
+* :func:`mis2_basic_aggregation` — Algorithm 2 (Bell's simple coarsening, the
+  ViennaCL scheme; "MIS2 Basic" in Table V).
+* :func:`mis2_aggregation` — Algorithm 3, the paper's contribution ("MIS2 Agg").
+* :func:`d2c_aggregation` — distance-2-coloring seeded aggregation ("Serial D2C" /
+  "NB D2C" baselines).
+* :func:`serial_aggregation` — MueLu's sequential host aggregation ("Serial Agg").
+* :func:`tentative_prolongation` / :func:`smoothed_prolongation` /
+  :func:`galerkin_operator` — smoothed-aggregation transfer operators.
+* :func:`coarse_graph` / :func:`coarsen_recursive` — structural coarsening used by the
+  cluster Gauss-Seidel preconditioner and multilevel partitioning workflows.
+"""
+
+from __future__ import annotations
+
+from .aggregation import Aggregation, join_by_max_coupling
+from .basic import mis2_basic_aggregation
+from .mis2_agg import mis2_aggregation
+from .d2c_agg import d2c_aggregation
+from .serial_agg import serial_aggregation
+from .quality import AggregateQuality, aggregate_quality
+from .prolongation import (
+    tentative_prolongation,
+    smoothed_prolongation,
+    estimate_spectral_radius,
+)
+from .coarse import galerkin_operator, coarse_graph
+from .multilevel import CoarseningLevel, MultilevelHierarchy, coarsen_recursive
+
+__all__ = [
+    "Aggregation",
+    "join_by_max_coupling",
+    "mis2_basic_aggregation",
+    "mis2_aggregation",
+    "d2c_aggregation",
+    "serial_aggregation",
+    "AggregateQuality",
+    "aggregate_quality",
+    "tentative_prolongation",
+    "smoothed_prolongation",
+    "estimate_spectral_radius",
+    "galerkin_operator",
+    "coarse_graph",
+    "CoarseningLevel",
+    "MultilevelHierarchy",
+    "coarsen_recursive",
+]

@@ -1,0 +1,113 @@
+"""Recursive multilevel coarsening.
+
+Multilevel methods (multigrid, graph partitioning, graph drawing — the applications
+the paper's introduction motivates) apply coarsening recursively until the graph is
+smaller than a threshold. This module provides that driver for the structural use
+case (the matrix/AMG use case lives in :mod:`repro.solvers.multigrid`): given any
+aggregation function it produces the chain of coarse graphs plus the per-level
+aggregations, which is exactly the substrate Gilbert et al.'s multilevel partitioning
+experiments (cited by the paper as future work) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .aggregation import Aggregation
+from .coarse import coarse_graph
+from .mis2_agg import mis2_aggregation
+
+__all__ = ["CoarseningLevel", "MultilevelHierarchy", "coarsen_recursive"]
+
+AggregationFn = Callable[[CSRGraph], Aggregation]
+
+
+@dataclass
+class CoarseningLevel:
+    """One level of a multilevel hierarchy."""
+
+    #: Level index (0 = finest).
+    level: int
+    #: The graph at this level.
+    graph: CSRGraph
+    #: Aggregation used to produce the next (coarser) level; None on the coarsest level.
+    aggregation: Optional[Aggregation] = None
+
+
+@dataclass
+class MultilevelHierarchy:
+    """The chain of graphs/aggregations produced by recursive coarsening."""
+
+    levels: List[CoarseningLevel] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def coarsest(self) -> CSRGraph:
+        return self.levels[-1].graph
+
+    def vertex_counts(self) -> List[int]:
+        """Number of vertices per level, finest first."""
+        return [lvl.graph.num_vertices for lvl in self.levels]
+
+    def project_to_finest(self, coarse_labels: np.ndarray) -> np.ndarray:
+        """Project per-vertex labels on the coarsest graph back to the finest graph.
+
+        This is the standard uncoarsening step of multilevel partitioning: a label
+        (e.g. a partition id) assigned to a coarse vertex applies to every fine vertex
+        that was aggregated into it.
+        """
+        labels = np.asarray(coarse_labels)
+        if labels.size != self.coarsest.num_vertices:
+            raise ValueError("labels must match the coarsest graph's vertex count")
+        for lvl in reversed(self.levels[:-1]):
+            assert lvl.aggregation is not None
+            labels = labels[lvl.aggregation.labels]
+        return labels
+
+
+def coarsen_recursive(
+    graph: CSRGraph,
+    aggregation_fn: AggregationFn = mis2_aggregation,
+    target_size: int = 128,
+    max_levels: int = 20,
+    min_reduction: float = 0.9,
+) -> MultilevelHierarchy:
+    """Recursively coarsen ``graph`` until it has at most ``target_size`` vertices.
+
+    Parameters
+    ----------
+    graph:
+        The finest-level graph.
+    aggregation_fn:
+        Aggregation used at every level (Algorithm 3 by default).
+    target_size:
+        Stop once the coarse graph has at most this many vertices.
+    max_levels:
+        Hard cap on the number of levels.
+    min_reduction:
+        Stop early when a level shrinks the vertex count by less than this factor
+        (guards against stagnation on pathological graphs).
+    """
+    if target_size < 1:
+        raise ValueError("target_size must be >= 1")
+    hierarchy = MultilevelHierarchy()
+    current = graph
+    for level in range(max_levels):
+        if current.num_vertices <= target_size:
+            break
+        agg = aggregation_fn(current)
+        next_graph = coarse_graph(current, agg)
+        hierarchy.levels.append(CoarseningLevel(level, current, agg))
+        if next_graph.num_vertices >= min_reduction * current.num_vertices:
+            current = next_graph
+            break
+        current = next_graph
+    hierarchy.levels.append(CoarseningLevel(len(hierarchy.levels), current, None))
+    return hierarchy

@@ -1,0 +1,92 @@
+"""Serial (host-side) aggregation baseline — the MueLu "Serial Agg" scheme.
+
+MueLu's original aggregation runs sequentially on the host CPU: a greedy sweep over
+the vertices creates an aggregate from every vertex whose entire neighbourhood is
+still unaggregated, a second sweep attaches leftover vertices to the adjacent
+aggregate they are most strongly coupled to, and a final sweep turns any remaining
+vertices into small aggregates with their unaggregated neighbours. The quality is
+good, but Table V of the paper shows the sequential execution makes its setup more
+than an order of magnitude slower than the device-resident schemes — which this pure
+Python loop implementation naturally reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .aggregation import Aggregation
+
+__all__ = ["serial_aggregation"]
+
+
+def serial_aggregation(graph: CSRGraph, min_aggregate_size: int = 2) -> Aggregation:
+    """Coarsen ``graph`` with the sequential greedy aggregation of MueLu/ML.
+
+    Parameters
+    ----------
+    graph:
+        Undirected input graph.
+    min_aggregate_size:
+        Phase-1 aggregates smaller than this are not created (their vertices are left
+        to the later phases).
+    """
+    n = graph.num_vertices
+    labels = -np.ones(n, dtype=np.int64)
+    if n == 0:
+        return Aggregation(labels, 0, algorithm="serial_agg")
+    rowmap, entries = graph.rowmap, graph.entries
+    next_aggregate = 0
+    roots = []
+
+    # Phase 1: greedy root selection in vertex order — a vertex roots an aggregate if
+    # it and all of its neighbours are unaggregated.
+    for v in range(n):
+        if labels[v] >= 0:
+            continue
+        nbrs = entries[rowmap[v]: rowmap[v + 1]]
+        if np.any(labels[nbrs] >= 0):
+            continue
+        if 1 + nbrs.size < min_aggregate_size:
+            continue
+        labels[v] = next_aggregate
+        labels[nbrs] = next_aggregate
+        roots.append(v)
+        next_aggregate += 1
+    phase1 = int(np.count_nonzero(labels >= 0))
+
+    # Phase 2: attach leftover vertices to the adjacent aggregate with the most
+    # connections (sequentially, so later decisions see earlier ones).
+    for v in range(n):
+        if labels[v] >= 0:
+            continue
+        nbrs = entries[rowmap[v]: rowmap[v + 1]]
+        nbr_labels = labels[nbrs]
+        nbr_labels = nbr_labels[nbr_labels >= 0]
+        if nbr_labels.size == 0:
+            continue
+        counts = np.bincount(nbr_labels)
+        labels[v] = int(np.argmax(counts))
+    phase2 = int(np.count_nonzero(labels >= 0)) - phase1
+
+    # Phase 3: any vertices still unaggregated (isolated clusters of leftovers) form
+    # new aggregates with their unaggregated neighbours.
+    for v in range(n):
+        if labels[v] >= 0:
+            continue
+        nbrs = entries[rowmap[v]: rowmap[v + 1]]
+        free = nbrs[labels[nbrs] < 0]
+        labels[v] = next_aggregate
+        labels[free] = next_aggregate
+        roots.append(v)
+        next_aggregate += 1
+    cleanup = n - phase1 - phase2
+
+    return Aggregation(
+        labels=labels,
+        num_aggregates=next_aggregate,
+        roots=np.asarray(roots, dtype=np.int64),
+        algorithm="serial_agg",
+        deterministic=True,
+        phase_vertex_counts={"phase1": phase1, "phase2": phase2, "cleanup": cleanup},
+    )

@@ -1,0 +1,35 @@
+"""Parallel greedy graph coloring.
+
+Graph coloring plays two roles in the paper:
+
+* **Baseline aggregation** — MueLu's "Serial D2C" and "NB D2C" aggregation schemes
+  (Table V) seed aggregates from the color classes of a *distance-2* coloring, each of
+  which is a distance-2 independent set.
+* **Point multicolor Gauss-Seidel** — the preconditioner the cluster method of
+  Algorithm 4 is compared against (Table VI) uses a distance-1 coloring of the matrix
+  graph to find rows that can be updated in parallel, and the cluster method colors
+  the *coarsened* graph instead.
+
+Both colorings here are deterministic speculative greedy algorithms in the style of
+Deveci et al. (IPDPS 2016): every uncolored vertex speculatively picks the smallest
+color not used by its (distance-1 or distance-2) neighbourhood, conflicts are detected,
+and the lower-id endpoint keeps its color.
+"""
+
+from __future__ import annotations
+
+from .greedy import greedy_color, ColoringResult
+from .distance2 import distance2_color
+from .sequential import sequential_greedy_color, sequential_distance2_color
+from .verify import is_valid_coloring, num_colors, color_class_sizes
+
+__all__ = [
+    "greedy_color",
+    "distance2_color",
+    "sequential_greedy_color",
+    "sequential_distance2_color",
+    "ColoringResult",
+    "is_valid_coloring",
+    "num_colors",
+    "color_class_sizes",
+]

@@ -1,0 +1,46 @@
+"""Coloring verification helpers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.ops import square
+
+__all__ = ["is_valid_coloring", "num_colors", "color_class_sizes"]
+
+
+def is_valid_coloring(graph: CSRGraph, colors: np.ndarray, distance: int = 1) -> bool:
+    """True when no two vertices within ``distance`` of each other share a color.
+
+    All vertices must be colored (color >= 0).
+    """
+    colors = np.asarray(colors)
+    if colors.shape != (graph.num_vertices,):
+        raise ValueError("colors must have one entry per vertex")
+    if graph.num_vertices == 0:
+        return True
+    if np.any(colors < 0):
+        return False
+    target = graph if distance == 1 else square(graph)
+    src = np.repeat(np.arange(target.num_vertices, dtype=np.int64), target.degrees())
+    dst = target.entries.astype(np.int64)
+    off_diag = src != dst
+    return not bool(np.any(colors[src[off_diag]] == colors[dst[off_diag]]))
+
+
+def num_colors(colors: np.ndarray) -> int:
+    """Number of distinct colors in a full coloring."""
+    colors = np.asarray(colors)
+    if colors.size == 0:
+        return 0
+    return int(np.unique(colors[colors >= 0]).size)
+
+
+def color_class_sizes(colors: np.ndarray) -> Dict[int, int]:
+    """Mapping ``color -> class size``."""
+    colors = np.asarray(colors)
+    uniq, counts = np.unique(colors[colors >= 0], return_counts=True)
+    return {int(c): int(k) for c, k in zip(uniq, counts)}

@@ -1,0 +1,106 @@
+"""Graph substrate: compressed-row-storage graphs, builders, generators, I/O and the
+17-matrix evaluation suite.
+
+Everything downstream (MIS, coloring, coarsening, the solvers) operates on
+:class:`~repro.graph.csr.CSRGraph`, the Python analogue of the Kokkos Kernels CRS
+graph the paper's implementation uses.
+"""
+
+from __future__ import annotations
+
+from .csr import CSRGraph
+from .build import (
+    from_edges,
+    from_scipy,
+    from_dense,
+    from_networkx,
+    symmetrize,
+    remove_self_loops,
+    to_scipy,
+)
+from .generators import (
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    empty_graph,
+    grid2d,
+    laplace2d,
+    laplace3d,
+    laplace3d_matrix,
+    elasticity3d,
+    elasticity3d_matrix,
+    anisotropic3d,
+    random_regular,
+    random_gnp,
+    rmat,
+    paper_example_graph,
+)
+from .ops import (
+    square,
+    distance_k_graph,
+    induced_subgraph,
+    degree_statistics,
+    DegreeStatistics,
+    union,
+    complement_mask,
+)
+from .distance import bfs_distances, k_hop_neighborhood, all_pairs_within
+from .io import read_matrix_market, write_matrix_market
+from .suite import (
+    MatrixRecord,
+    SUITE,
+    suite_names,
+    load_suite_graph,
+    load_suite_matrix,
+    paper_statistics,
+)
+from .properties import connected_components, is_connected, degree_histogram
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_scipy",
+    "from_dense",
+    "from_networkx",
+    "symmetrize",
+    "remove_self_loops",
+    "to_scipy",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "empty_graph",
+    "grid2d",
+    "laplace2d",
+    "laplace3d",
+    "laplace3d_matrix",
+    "elasticity3d",
+    "elasticity3d_matrix",
+    "anisotropic3d",
+    "random_regular",
+    "random_gnp",
+    "rmat",
+    "paper_example_graph",
+    "square",
+    "distance_k_graph",
+    "induced_subgraph",
+    "degree_statistics",
+    "DegreeStatistics",
+    "union",
+    "complement_mask",
+    "bfs_distances",
+    "k_hop_neighborhood",
+    "all_pairs_within",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixRecord",
+    "SUITE",
+    "suite_names",
+    "load_suite_graph",
+    "load_suite_matrix",
+    "paper_statistics",
+    "connected_components",
+    "is_connected",
+    "degree_histogram",
+]

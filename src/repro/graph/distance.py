@@ -1,0 +1,66 @@
+"""Distance queries used for verification: BFS distances, k-hop neighbourhoods, and
+enumeration of all vertex pairs within a given distance.
+
+These are reference implementations (clarity over speed); the MIS verification in
+:mod:`repro.mis.verify` uses the vectorised sparse-matrix forms for large graphs and
+these routines to cross-check on small graphs and in property-based tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Set, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["bfs_distances", "k_hop_neighborhood", "all_pairs_within"]
+
+
+def bfs_distances(graph: CSRGraph, source: int, max_distance: int | None = None) -> np.ndarray:
+    """Breadth-first-search distances from ``source``.
+
+    Unreachable vertices (or vertices further than ``max_distance``) get ``-1``.
+    """
+    if not (0 <= source < graph.num_vertices):
+        raise IndexError(f"source {source} out of range")
+    dist = -np.ones(graph.num_vertices, dtype=np.int64)
+    dist[source] = 0
+    frontier = deque([source])
+    while frontier:
+        v = frontier.popleft()
+        d = dist[v]
+        if max_distance is not None and d >= max_distance:
+            continue
+        for w in graph.neighbors(v):
+            w = int(w)
+            if dist[w] < 0:
+                dist[w] = d + 1
+                frontier.append(w)
+    return dist
+
+
+def k_hop_neighborhood(graph: CSRGraph, v: int, k: int, include_self: bool = True) -> np.ndarray:
+    """All vertices within distance ``k`` of ``v`` (sorted)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    dist = bfs_distances(graph, v, max_distance=k)
+    mask = (dist >= 0) & (dist <= k)
+    if not include_self:
+        mask[v] = False
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def all_pairs_within(graph: CSRGraph, k: int) -> Iterator[Tuple[int, int]]:
+    """Yield every unordered pair ``(u, v)``, ``u < v``, with ``dist(u, v) <= k``.
+
+    Intended for small graphs in tests (quadratic in the neighbourhood sizes).
+    """
+    if k < 1:
+        return
+    for u in range(graph.num_vertices):
+        nbrs = k_hop_neighborhood(graph, u, k, include_self=False)
+        for v in nbrs:
+            if u < int(v):
+                yield (u, int(v))

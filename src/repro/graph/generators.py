@@ -1,0 +1,305 @@
+"""Graph and matrix generators.
+
+These provide the structured problems the paper evaluates on (Galeri-style Laplace3D
+with a 7-point stencil and Elasticity3D with a 27-point stencil, 3 degrees of freedom
+per grid point), small canonical graphs used throughout the test-suite, and the random
+generators used to synthesise stand-ins for the SuiteSparse matrices (see
+:mod:`repro.graph.suite`).
+
+Matrix generators return SciPy CSR matrices (for the solver experiments); the graph
+variants return :class:`~repro.graph.csr.CSRGraph` structure only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .build import from_edges, from_scipy
+from .csr import CSRGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "empty_graph",
+    "grid2d",
+    "laplace2d",
+    "laplace3d",
+    "laplace3d_matrix",
+    "elasticity3d",
+    "elasticity3d_matrix",
+    "anisotropic3d",
+    "random_regular",
+    "random_gnp",
+    "rmat",
+    "paper_example_graph",
+]
+
+
+# --------------------------------------------------------------------------- canonical
+def empty_graph(n: int) -> CSRGraph:
+    """Graph with ``n`` vertices and no edges."""
+    return CSRGraph.empty(n)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path ``0 - 1 - ... - (n-1)``."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n`` vertices (``n >= 3``)."""
+    if n < 3:
+        raise ValueError("cycle_graph requires n >= 3")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return from_edges(n, edges)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Star with a hub (vertex 0) and ``n_leaves`` leaves."""
+    if n_leaves < 0:
+        raise ValueError("n_leaves must be >= 0")
+    return from_edges(n_leaves + 1, [(0, i) for i in range(1, n_leaves + 1)])
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph on ``n`` vertices."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return from_edges(n, edges)
+
+
+def paper_example_graph() -> CSRGraph:
+    """The 6-vertex graph of the paper's Fig. 1 worked example.
+
+    Vertices are numbered 1..6 in the figure; here they are 0..5. The structure is a
+    path 0-1-2-3 with two extra leaves 4 and 5 attached to vertex 3, which reproduces
+    the figure's minimum-tuple propagation pattern (vertices {0, 3} = paper {1, 4}
+    form the MIS-2).
+    """
+    return from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)])
+
+
+# --------------------------------------------------------------------------- stencils
+def _grid_index_2d(nx: int, ny: int) -> np.ndarray:
+    return np.arange(nx * ny).reshape(nx, ny)
+
+
+def grid2d(nx: int, ny: int, diagonal: bool = False) -> CSRGraph:
+    """2-D structured grid graph (5-point stencil, or 9-point when ``diagonal``)."""
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    idx = _grid_index_2d(nx, ny)
+    edges = []
+    edges.append(np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1))
+    edges.append(np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1))
+    if diagonal:
+        edges.append(np.stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()], axis=1))
+        edges.append(np.stack([idx[1:, :-1].ravel(), idx[:-1, 1:].ravel()], axis=1))
+    all_edges = np.concatenate(edges, axis=0)
+    return from_edges(nx * ny, all_edges)
+
+
+def laplace2d(nx: int, ny: int) -> sp.csr_matrix:
+    """2-D 5-point Laplacian matrix on an ``nx x ny`` grid (Dirichlet boundaries)."""
+    ex = np.ones(nx)
+    ey = np.ones(ny)
+    tx = sp.diags([-ex[:-1], 2 * ex, -ex[:-1]], [-1, 0, 1])
+    ty = sp.diags([-ey[:-1], 2 * ey, -ey[:-1]], [-1, 0, 1])
+    A = sp.kron(sp.identity(ny), tx) + sp.kron(ty, sp.identity(nx))
+    return sp.csr_matrix(A)
+
+
+def laplace3d_matrix(nx: int, ny: int, nz: int) -> sp.csr_matrix:
+    """3-D 7-point Laplacian on an ``nx x ny x nz`` grid (Galeri "Laplace3D")."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+
+    def lap1d(n: int) -> sp.csr_matrix:
+        e = np.ones(n)
+        return sp.diags([-e[:-1], 2 * e, -e[:-1]], [-1, 0, 1], format="csr")
+
+    Ix, Iy, Iz = sp.identity(nx), sp.identity(ny), sp.identity(nz)
+    A = (
+        sp.kron(Iz, sp.kron(Iy, lap1d(nx)))
+        + sp.kron(Iz, sp.kron(lap1d(ny), Ix))
+        + sp.kron(lap1d(nz), sp.kron(Iy, Ix))
+    )
+    return sp.csr_matrix(A)
+
+
+def laplace3d(nx: int, ny: int, nz: int) -> CSRGraph:
+    """Graph of the 3-D 7-point Laplacian (each interior vertex has 6 neighbors)."""
+    return from_scipy(laplace3d_matrix(nx, ny, nz))
+
+
+def anisotropic3d(
+    nx: int, ny: int, nz: int, epsilon_y: float = 1.0, epsilon_z: float = 1.0
+) -> sp.csr_matrix:
+    """3-D 7-point Laplacian with anisotropic coefficients in y and z.
+
+    Used to synthesise stand-ins for thin-shell / layered SuiteSparse problems where
+    coupling strength varies by direction.
+    """
+
+    def lap1d(n: int) -> sp.csr_matrix:
+        e = np.ones(n)
+        return sp.diags([-e[:-1], 2 * e, -e[:-1]], [-1, 0, 1], format="csr")
+
+    Ix, Iy, Iz = sp.identity(nx), sp.identity(ny), sp.identity(nz)
+    A = (
+        sp.kron(Iz, sp.kron(Iy, lap1d(nx)))
+        + epsilon_y * sp.kron(Iz, sp.kron(lap1d(ny), Ix))
+        + epsilon_z * sp.kron(lap1d(nz), sp.kron(Iy, Ix))
+    )
+    return sp.csr_matrix(A)
+
+
+def _structured_grid_graph_27pt(nx: int, ny: int, nz: int) -> sp.csr_matrix:
+    """0/1 adjacency of a 27-point-stencil grid (all neighbours within a unit cube)."""
+    idx = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+    rows = []
+    cols = []
+    # Enumerate the 13 forward offsets of the 27-point stencil (the other 13 come from
+    # symmetrization; the center is the vertex itself).
+    offsets = [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if (dx, dy, dz) > (0, 0, 0)
+    ]
+    for dx, dy, dz in offsets:
+        sx = slice(max(0, -dx), nx - max(0, dx))
+        sy = slice(max(0, -dy), ny - max(0, dy))
+        sz = slice(max(0, -dz), nz - max(0, dz))
+        tx = slice(max(0, dx), nx - max(0, -dx))
+        ty = slice(max(0, dy), ny - max(0, -dy))
+        tz = slice(max(0, dz), nz - max(0, -dz))
+        rows.append(idx[sx, sy, sz].ravel())
+        cols.append(idx[tx, ty, tz].ravel())
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    n = nx * ny * nz
+    A = sp.coo_matrix((np.ones(r.size), (r, c)), shape=(n, n)).tocsr()
+    return sp.csr_matrix(A + A.T)
+
+
+def elasticity3d_matrix(
+    nx: int, ny: int, nz: int, dofs_per_node: int = 3, seed: int = 0
+) -> sp.csr_matrix:
+    """Synthetic 3-D elasticity-like operator (Galeri "Elasticity3D").
+
+    A 27-point stencil grid is expanded to ``dofs_per_node`` degrees of freedom per
+    grid point with a small dense coupling block per stencil entry, and made
+    symmetric positive definite by diagonal dominance. This matches the structure the
+    paper generates (60^3 grid, 27-point stencil, 3 dof/node -> average degree ~81)
+    without requiring Trilinos.
+    """
+    adj = _structured_grid_graph_27pt(nx, ny, nz)
+    n_nodes = adj.shape[0]
+    rng = np.random.default_rng(seed)
+    coo = adj.tocoo()
+    b = dofs_per_node
+    # Off-diagonal blocks: small negative couplings, symmetric by construction below.
+    block = -np.abs(rng.normal(0.5, 0.1, size=(b, b)))
+    block = 0.5 * (block + block.T)
+    rows = []
+    cols = []
+    vals = []
+    for bi in range(b):
+        for bj in range(b):
+            rows.append(coo.row * b + bi)
+            cols.append(coo.col * b + bj)
+            vals.append(np.full(coo.nnz, block[bi, bj]))
+    rows_a = np.concatenate(rows)
+    cols_a = np.concatenate(cols)
+    vals_a = np.concatenate(vals)
+    n = n_nodes * b
+    A = sp.coo_matrix((vals_a, (rows_a, cols_a)), shape=(n, n)).tocsr()
+    A = sp.csr_matrix(0.5 * (A + A.T))
+    # Make strictly diagonally dominant => SPD.
+    rowsum = np.abs(A).sum(axis=1).A1
+    A = A + sp.diags(rowsum + 1.0)
+    return sp.csr_matrix(A)
+
+
+def elasticity3d(nx: int, ny: int, nz: int, dofs_per_node: int = 3) -> CSRGraph:
+    """Graph of the Elasticity3D operator (27-point stencil, ``dofs_per_node`` dofs)."""
+    return from_scipy(elasticity3d_matrix(nx, ny, nz, dofs_per_node=dofs_per_node))
+
+
+# --------------------------------------------------------------------------- random
+def random_regular(n: int, degree: int, seed: int = 0) -> CSRGraph:
+    """Random (approximately) ``degree``-regular graph on ``n`` vertices.
+
+    Uses a deterministic configuration-model style pairing with rejection of
+    self-loops and duplicates; the realised degree can be slightly below the target
+    for a few vertices, which is fine for degree-profile matching in the suite.
+    """
+    if degree < 0 or degree >= n:
+        raise ValueError("degree must satisfy 0 <= degree < n")
+    rng = np.random.default_rng(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+    rng.shuffle(stubs)
+    if stubs.size % 2 == 1:
+        stubs = stubs[:-1]
+    src = stubs[0::2]
+    dst = stubs[1::2]
+    keep = src != dst
+    edges = np.stack([src[keep], dst[keep]], axis=1)
+    return from_edges(n, edges)
+
+
+def random_gnp(n: int, p: float, seed: int = 0) -> CSRGraph:
+    """Erdős–Rényi ``G(n, p)`` graph (dense sampling; intended for small ``n``)."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    mask = np.triu(rng.random((n, n)) < p, k=1)
+    src, dst = np.nonzero(mask)
+    return from_edges(n, np.stack([src, dst], axis=1))
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """Recursive-matrix (R-MAT / Graph500-style) power-law graph generator.
+
+    Produces ``2**scale`` vertices and approximately ``edge_factor * 2**scale``
+    undirected edges with a skewed degree distribution. Used for stand-ins of the
+    irregular SuiteSparse matrices with large maximum degree.
+    """
+    n = 1 << scale
+    m = edge_factor * n
+    d = 1.0 - (a + b + c)
+    if d < 0:
+        raise ValueError("a + b + c must be <= 1")
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random((m, 2))
+        go_right_src = r[:, 0] < (b + d) / 1.0
+        # Standard RMAT quadrant selection: choose quadrant with probs a, b, c, d.
+        u = rng.random(m)
+        quad_b = (u >= a) & (u < a + b)
+        quad_c = (u >= a + b) & (u < a + b + c)
+        quad_d = u >= a + b + c
+        bit = 1 << level
+        src += bit * (quad_c | quad_d)
+        dst += bit * (quad_b | quad_d)
+    keep = src != dst
+    return from_edges(n, np.stack([src[keep], dst[keep]], axis=1))

@@ -1,0 +1,37 @@
+"""Basic structural properties: connected components and degree histograms."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from .build import to_scipy
+from .csr import CSRGraph
+
+__all__ = ["connected_components", "is_connected", "degree_histogram"]
+
+
+def connected_components(graph: CSRGraph) -> Tuple[int, np.ndarray]:
+    """Number of connected components and the per-vertex component label array."""
+    if graph.num_vertices == 0:
+        return 0, np.zeros(0, dtype=np.int64)
+    n_comp, labels = csgraph.connected_components(
+        to_scipy(graph), directed=False, return_labels=True
+    )
+    return int(n_comp), labels.astype(np.int64)
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True when the graph has exactly one connected component (empty graph: False)."""
+    n_comp, _ = connected_components(graph)
+    return n_comp == 1
+
+
+def degree_histogram(graph: CSRGraph) -> Dict[int, int]:
+    """Mapping ``degree -> number of vertices with that degree``."""
+    degs = graph.degrees()
+    unique, counts = np.unique(degs, return_counts=True)
+    return {int(d): int(c) for d, c in zip(unique, counts)}

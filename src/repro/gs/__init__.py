@@ -1,0 +1,29 @@
+"""Gauss-Seidel preconditioners.
+
+Three flavours, matching the comparison of the paper's Table VI:
+
+* :class:`PointGaussSeidel` — classical sequential (S)GS, the convergence reference.
+* :class:`MulticolorGaussSeidel` — point multicolor (S)GS built on a distance-1
+  coloring of the fine matrix graph (Deveci et al. 2016); the parallel baseline.
+* :class:`ClusterMulticolorGaussSeidel` — Algorithm 4: MIS-2 aggregation coarsens the
+  graph, the coarse graph is colored, and same-color clusters are swept in parallel
+  while rows inside each cluster are swept sequentially.
+"""
+
+from __future__ import annotations
+
+from .point import (
+    PointGaussSeidel,
+    gauss_seidel_sweep,
+    symmetric_gauss_seidel_sweep,
+)
+from .multicolor import MulticolorGaussSeidel
+from .cluster import ClusterMulticolorGaussSeidel
+
+__all__ = [
+    "PointGaussSeidel",
+    "gauss_seidel_sweep",
+    "symmetric_gauss_seidel_sweep",
+    "MulticolorGaussSeidel",
+    "ClusterMulticolorGaussSeidel",
+]

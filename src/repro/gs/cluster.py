@@ -1,0 +1,141 @@
+"""Cluster multicolor Gauss-Seidel (Algorithm 4) — the paper's second use case.
+
+The preconditioner coarsens the matrix graph (Algorithm 3 aggregation by default),
+colors the *coarse* graph, and treats each aggregate as a cluster: clusters of the
+same color share no couplings, so they are processed in parallel, while the rows
+*inside* each cluster are swept sequentially (classical Gauss-Seidel order). Locally
+the method is therefore exact GS, which is why it converges in fewer iterations than
+point multicolor GS, and its setup colors a graph that is an order of magnitude
+smaller — both effects Table VI reports and this implementation reproduces.
+
+The symmetric variant loops over the colors forward then backward and reverses the
+within-cluster row order on the backward pass, exactly as the paper describes.
+
+Vectorisation note: because same-color clusters are mutually independent, the k-th row
+of every cluster of a color can be updated simultaneously; the implementation
+therefore pre-groups rows by (color, position-within-cluster) and performs one batched
+update per group, preserving the sequential dependency *within* each cluster while
+executing across clusters in data-parallel fashion — the same schedule a GPU
+implementation would use with one team per cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..coarsen.aggregation import Aggregation
+from ..coarsen.coarse import coarse_graph
+from ..coarsen.mis2_agg import mis2_aggregation
+from ..coloring.greedy import greedy_color
+from ..graph.build import from_scipy
+from ..graph.csr import CSRGraph
+
+__all__ = ["ClusterMulticolorGaussSeidel"]
+
+AggregationFn = Callable[[CSRGraph], Aggregation]
+
+
+class ClusterMulticolorGaussSeidel:
+    """Cluster multicolor (symmetric) Gauss-Seidel preconditioner (Algorithm 4).
+
+    Parameters
+    ----------
+    A:
+        System matrix (CSR).
+    aggregation_fn:
+        Coarsening used to form the clusters (Algorithm 3 by default; Algorithm 2 is
+        the paper's other option).
+    sweeps:
+        Number of sweeps per :meth:`apply`.
+    symmetric:
+        Apply symmetric sweeps (forward colors then backward colors, with the row
+        order inside each cluster reversed on the backward pass).
+    """
+
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        aggregation_fn: AggregationFn = mis2_aggregation,
+        sweeps: int = 1,
+        symmetric: bool = True,
+    ) -> None:
+        setup_start = time.perf_counter()
+        self.A = sp.csr_matrix(A).astype(np.float64)
+        if self.A.shape[0] != self.A.shape[1]:
+            raise ValueError("A must be square")
+        diag = self.A.diagonal()
+        if np.any(diag == 0):
+            raise ValueError("cluster Gauss-Seidel requires a nonzero diagonal")
+        self._diag = diag
+        self.sweeps = int(sweeps)
+        self.symmetric = bool(symmetric)
+
+        # --- Setup (Algorithm 4 lines 3-5): coarsen, then color the coarse graph.
+        fine_graph = from_scipy(self.A)
+        self.aggregation = aggregation_fn(fine_graph)
+        self.coarse = coarse_graph(fine_graph, self.aggregation)
+        self.coloring = greedy_color(self.coarse)
+        self.num_colors = self.coloring.num_colors
+
+        # Group rows by (color of their cluster, position within their cluster) and
+        # pre-slice the corresponding row blocks of A.
+        labels = self.aggregation.labels
+        cluster_color = self.coloring.colors  # per aggregate
+        order = np.lexsort((np.arange(labels.size), labels))  # rows sorted by cluster
+        sorted_rows = order
+        sorted_clusters = labels[order]
+        # Position of each row within its cluster (0-based).
+        cluster_sizes = self.aggregation.sizes()
+        starts = np.zeros(self.aggregation.num_aggregates + 1, dtype=np.int64)
+        np.cumsum(cluster_sizes, out=starts[1:])
+        position = np.arange(labels.size) - starts[sorted_clusters]
+        row_color = cluster_color[sorted_clusters]
+        self.max_cluster_size = int(cluster_sizes.max()) if cluster_sizes.size else 0
+
+        self._forward_groups: List[Tuple[np.ndarray, sp.csr_matrix, np.ndarray]] = []
+        self._backward_groups: List[Tuple[np.ndarray, sp.csr_matrix, np.ndarray]] = []
+        for color in range(self.num_colors):
+            in_color = row_color == color
+            for pos in range(self.max_cluster_size):
+                rows = sorted_rows[in_color & (position == pos)]
+                if rows.size == 0:
+                    continue
+                self._forward_groups.append(
+                    (rows, sp.csr_matrix(self.A[rows]), diag[rows])
+                )
+        for color in reversed(range(self.num_colors)):
+            in_color = row_color == color
+            for pos in reversed(range(self.max_cluster_size)):
+                rows = sorted_rows[in_color & (position == pos)]
+                if rows.size == 0:
+                    continue
+                self._backward_groups.append(
+                    (rows, sp.csr_matrix(self.A[rows]), diag[rows])
+                )
+        self.setup_seconds = time.perf_counter() - setup_start
+
+    # ------------------------------------------------------------------ application
+    @staticmethod
+    def _run_groups(groups, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        for rows, block, dcluster in groups:
+            residual = b[rows] - block @ x + dcluster * x[rows]
+            x[rows] = residual / dcluster
+        return x
+
+    def apply(self, b: np.ndarray, x: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply the configured number of cluster multicolor (S)GS sweeps."""
+        b = np.asarray(b, dtype=np.float64)
+        out = np.zeros_like(b) if x is None else np.array(x, dtype=np.float64, copy=True)
+        for _ in range(self.sweeps):
+            out = self._run_groups(self._forward_groups, b, out)
+            if self.symmetric:
+                out = self._run_groups(self._backward_groups, b, out)
+        return out
+
+    def as_preconditioner(self):
+        """Return ``M(r) -> z`` applying the sweeps with a zero initial guess."""
+        return lambda r: self.apply(r)

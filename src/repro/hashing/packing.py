@@ -1,0 +1,160 @@
+"""Compressed status tuples (Section V-C).
+
+Bell's algorithm stores a 3-element tuple ``(status, priority, id)`` per vertex. The
+paper's Algorithm 1 compresses the whole tuple into a single unsigned integer of the
+same width as the vertex ids:
+
+* ``IN``  is the special value 0,
+* ``OUT`` is the special value ``UINT_MAX`` (all ones),
+* an UNDECIDED vertex packs ``(priority << b) | (id + 1)`` where
+  ``b = ceil(log2(|V| + 2))`` bits hold the id component and the remaining bits hold
+  the (truncated) pseudo-random priority.
+
+The packing preserves the required ordering ``IN < UNDECIDED < OUT`` (Equation 1 of
+the paper shows no packed undecided value can collide with 0 or UINT_MAX), lets the
+lexicographic 3-way tuple comparison become a single integer comparison, and reduces
+memory traffic by 3x — one of the four key optimizations isolated in Fig. 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["TuplePacking", "priority_bits", "packed_in", "packed_out"]
+
+
+def priority_bits(num_vertices: int, word_bits: int = 64) -> Tuple[int, int]:
+    """Return ``(id_bits, priority_bits)`` for a graph of ``num_vertices`` vertices.
+
+    ``id_bits`` is the paper's ``b = ceil(log2(|V| + 2))``; the remaining
+    ``word_bits - b`` bits hold the priority.
+    """
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be >= 0")
+    if word_bits not in (32, 64):
+        raise ValueError("word_bits must be 32 or 64")
+    b = max(1, math.ceil(math.log2(num_vertices + 2)))
+    if b >= word_bits:
+        raise ValueError(
+            f"graph too large for {word_bits}-bit packed tuples "
+            f"({num_vertices} vertices needs {b} id bits)"
+        )
+    return b, word_bits - b
+
+
+def packed_in(word_bits: int = 64) -> int:
+    """The packed representation of the IN status (always 0)."""
+    if word_bits not in (32, 64):
+        raise ValueError("word_bits must be 32 or 64")
+    return 0
+
+
+def packed_out(word_bits: int = 64) -> int:
+    """The packed representation of the OUT status (all ones / UINT_MAX)."""
+    if word_bits not in (32, 64):
+        raise ValueError("word_bits must be 32 or 64")
+    return (1 << word_bits) - 1
+
+
+@dataclass(frozen=True)
+class TuplePacking:
+    """Packs and unpacks ``(priority, id)`` tuples for a fixed vertex count.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices in the graph (determines the id-field width ``b``).
+    word_bits:
+        Width of the packed word; 32 matches the paper's typical configuration, 64 is
+        the default here so that arbitrarily large Python test graphs never saturate
+        the priority field.
+    """
+
+    num_vertices: int
+    word_bits: int = 64
+
+    def __post_init__(self) -> None:
+        id_bits, prio_bits = priority_bits(self.num_vertices, self.word_bits)
+        object.__setattr__(self, "_id_bits", id_bits)
+        object.__setattr__(self, "_prio_bits", prio_bits)
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype of packed words."""
+        return np.dtype(np.uint32 if self.word_bits == 32 else np.uint64)
+
+    @property
+    def id_bits(self) -> int:
+        """Number of bits holding the ``id + 1`` component (paper's ``b``)."""
+        return self._id_bits  # type: ignore[attr-defined]
+
+    @property
+    def prio_bits(self) -> int:
+        """Number of bits holding the truncated priority."""
+        return self._prio_bits  # type: ignore[attr-defined]
+
+    @property
+    def in_value(self) -> np.integer:
+        """Packed IN marker (0)."""
+        return self.dtype.type(0)
+
+    @property
+    def out_value(self) -> np.integer:
+        """Packed OUT marker (UINT_MAX for the word width)."""
+        return self.dtype.type(packed_out(self.word_bits))
+
+    # ------------------------------------------------------------------ packing
+    def pack(self, priority: Union[int, np.ndarray], vertex: Union[int, np.ndarray]) -> np.ndarray:
+        """Pack priorities and vertex ids into undecided-status words.
+
+        The priority is truncated to :attr:`prio_bits` bits (the id acts as the
+        tiebreak exactly as in the paper); the vertex id is stored as ``id + 1``.
+        """
+        dt = self.dtype.type
+        prio = np.asarray(priority, dtype=self.dtype)
+        vid = np.asarray(vertex, dtype=self.dtype)
+        if np.any(np.asarray(vertex) < 0) or np.any(np.asarray(vertex) >= max(1, self.num_vertices)):
+            raise ValueError("vertex id outside [0, num_vertices)")
+        prio_mask = dt((1 << self.prio_bits) - 1)
+        packed = ((prio & prio_mask) << dt(self.id_bits)) | (vid + dt(1))
+        return packed
+
+    def unpack(self, packed: Union[int, np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`pack` for undecided words: returns ``(priority, vertex)``.
+
+        Calling this on IN/OUT markers is an error (they carry no id/priority).
+        """
+        arr = np.asarray(packed, dtype=self.dtype)
+        if np.any(arr == self.in_value) or np.any(arr == self.out_value):
+            raise ValueError("cannot unpack IN/OUT status markers")
+        dt = self.dtype.type
+        id_mask = dt((1 << self.id_bits) - 1)
+        vertex = (arr & id_mask) - dt(1)
+        priority = arr >> dt(self.id_bits)
+        return priority.astype(self.dtype), vertex.astype(np.int64)
+
+    # ------------------------------------------------------------------ predicates
+    def is_in(self, packed: np.ndarray) -> np.ndarray:
+        """Element-wise test for the IN marker."""
+        return np.asarray(packed) == self.in_value
+
+    def is_out(self, packed: np.ndarray) -> np.ndarray:
+        """Element-wise test for the OUT marker."""
+        return np.asarray(packed) == self.out_value
+
+    def is_undecided(self, packed: np.ndarray) -> np.ndarray:
+        """Element-wise test for packed undecided tuples."""
+        arr = np.asarray(packed)
+        return (arr != self.in_value) & (arr != self.out_value)
+
+    def vertex_of(self, packed: np.ndarray) -> np.ndarray:
+        """Vertex id stored in undecided words (undefined for IN/OUT markers)."""
+        dt = self.dtype.type
+        id_mask = dt((1 << self.id_bits) - 1)
+        arr = np.asarray(packed, dtype=self.dtype)
+        return ((arr & id_mask).astype(np.int64)) - 1

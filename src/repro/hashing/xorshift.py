@@ -1,0 +1,96 @@
+"""Marsaglia xorshift hash functions (Section V-A).
+
+The paper derives per-iteration pseudo-random priorities from a deterministic hash of
+the iteration number and the vertex id::
+
+    h(iter, v) = f(f(iter) XOR f(v))
+
+where ``f`` is either 64-bit xorshift (the "Xor Hash" column of Table I) or 64-bit
+xorshift* — xorshift followed by a multiplicative (linear congruential) step — which is
+the scheme actually used by the implementation because plain xorshift turns out to be
+correlated between iterations and *increases* the iteration count.
+
+All functions operate element-wise on ``uint64`` NumPy arrays so that a whole vertex
+worklist can be hashed in one vectorised call, and are pure functions of their inputs
+(no global RNG state), which is what makes the MIS-2 algorithm deterministic across
+backends and runs.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "xorshift64",
+    "xorshift64star",
+    "hash_iter_vertex",
+    "XORSHIFT64_STAR_MULTIPLIER",
+]
+
+#: Multiplier of Marsaglia's xorshift64* generator.
+XORSHIFT64_STAR_MULTIPLIER = np.uint64(0x2545F4914F6CDD1D)
+
+_U64 = np.uint64
+ArrayLike = Union[int, np.ndarray]
+
+
+def _as_u64(x: ArrayLike) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.uint64)
+    return arr
+
+
+def xorshift64(x: ArrayLike) -> np.ndarray:
+    """64-bit xorshift hash (shifts 13, 7, 17), applied element-wise.
+
+    Note that 0 is a fixed point of xorshift; callers that hash ids should offset
+    them by one (as :func:`hash_iter_vertex` does) to avoid the degenerate value.
+    """
+    v = _as_u64(x).copy()
+    v ^= v << _U64(13)
+    v ^= v >> _U64(7)
+    v ^= v << _U64(17)
+    return v
+
+
+def xorshift64star(x: ArrayLike) -> np.ndarray:
+    """64-bit xorshift* hash: xorshift (shifts 12, 25, 27) followed by a
+    multiplicative step with Marsaglia's constant."""
+    v = _as_u64(x).copy()
+    v ^= v >> _U64(12)
+    v ^= v << _U64(25)
+    v ^= v >> _U64(27)
+    return v * XORSHIFT64_STAR_MULTIPLIER
+
+
+def hash_iter_vertex(
+    iteration: int,
+    vertices: ArrayLike,
+    star: bool = True,
+) -> np.ndarray:
+    """The paper's ``h(iter, v) = f(f(iter) ^ f(v))`` combined hash.
+
+    Parameters
+    ----------
+    iteration:
+        Iteration counter of the MIS-2 main loop (>= 0).
+    vertices:
+        Vertex ids (scalar or array).
+    star:
+        Use xorshift* (default, the paper's choice) or plain xorshift
+        (the "Xor Hash" column of Table I).
+
+    Returns
+    -------
+    ``uint64`` array of pseudo-random values, one per vertex.
+    """
+    if iteration < 0:
+        raise ValueError("iteration must be >= 0")
+    f = xorshift64star if star else xorshift64
+    # Offset the two inputs differently (golden-ratio constant for the iteration,
+    # +1 for the vertex) so that neither hits the generators' zero fixed point and so
+    # that ``iteration == vertex`` does not collapse the XOR to zero.
+    iter_hash = f(np.uint64(iteration) + _U64(0x9E3779B97F4A7C15))
+    vert_hash = f(_as_u64(vertices) + _U64(1))
+    return f(iter_hash ^ vert_hash)

@@ -1,0 +1,63 @@
+"""Maximal independent set algorithms.
+
+This package contains the paper's primary contribution — the deterministic, parallel
+distance-2 maximal independent set algorithm (Algorithm 1, :func:`kk_mis2`) — together
+with the baselines it is evaluated against and the verification machinery:
+
+* :func:`kk_mis2` — Algorithm 1 with the four optimizations of Section V
+  (per-iteration xorshift* priorities, worklists, compressed status tuples,
+  SIMD/team-parallel inner loops) individually toggleable.
+* :func:`bell_mis` — the Bell/Dalton/Olson MIS-k algorithm used by CUSP and ViennaCL
+  (fixed priorities, no worklists, uncompressed tuples); the paper's baseline.
+* :func:`luby_mis1` — Luby's Monte Carlo Algorithm A for MIS-1, the distance-1
+  analogue of Algorithm 1 used in the theoretical analysis (Section IV).
+* :func:`mis2_reference` — a pure-Python loop implementation of Algorithm 1 with
+  identical semantics to :func:`kk_mis2`, used to validate the vectorised kernels.
+* :func:`verify_mis` / :func:`is_independent_set` / :func:`is_maximal` — distance-k
+  verification used throughout the tests.
+* :func:`mis2_via_square` — the Lemma IV.2 reduction (MIS-1 of ``G^2`` is an MIS-2
+  of ``G``).
+* :data:`OPTIMIZATION_LEVELS` / :func:`run_optimization_level` — the cumulative
+  optimization ladder used to regenerate Fig. 2.
+"""
+
+from __future__ import annotations
+
+from .result import MISResult, MISConfig
+from .kk import kk_mis2
+from .bell import bell_mis
+from .luby import luby_mis1
+from .reference import mis2_reference
+from .verify import (
+    is_independent_set,
+    is_maximal,
+    verify_mis,
+    independence_violations,
+)
+from .reduction import mis2_via_square, mis1_on_square_equals_mis2
+from .variants import (
+    OptimizationLevel,
+    OPTIMIZATION_LEVELS,
+    run_optimization_level,
+)
+from .trace import trace_mis2, IterationSnapshot
+
+__all__ = [
+    "MISResult",
+    "MISConfig",
+    "kk_mis2",
+    "bell_mis",
+    "luby_mis1",
+    "mis2_reference",
+    "is_independent_set",
+    "is_maximal",
+    "verify_mis",
+    "independence_violations",
+    "mis2_via_square",
+    "mis1_on_square_equals_mis2",
+    "OptimizationLevel",
+    "OPTIMIZATION_LEVELS",
+    "run_optimization_level",
+    "trace_mis2",
+    "IterationSnapshot",
+]

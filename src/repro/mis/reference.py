@@ -1,0 +1,143 @@
+"""Pure-Python reference implementation of Algorithm 1.
+
+This mirrors :func:`repro.mis.kk.kk_mis2` line by line — same packed tuples, same
+hash, same phase ordering — but executes each "parallel-for" as an explicit Python
+loop over the worklists. It exists for two reasons:
+
+* **Validation** — the determinism tests assert that the vectorised kernel and this
+  loop implementation produce bit-identical results on every graph, which pins down
+  the bulk-synchronous semantics of the NumPy formulation.
+* **Tracing** — the loop form makes it easy to record the per-phase snapshots used to
+  regenerate the paper's Fig. 1 worked example (see :mod:`repro.mis.trace`).
+
+It is intentionally slow; do not use it on large graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..hashing.packing import TuplePacking
+from ..hashing.priorities import PriorityScheme, fixed_priorities
+from ..hashing.xorshift import hash_iter_vertex
+from .result import MISConfig, MISResult
+
+__all__ = ["mis2_reference"]
+
+
+def mis2_reference(
+    graph: CSRGraph,
+    priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
+    word_bits: int = 64,
+    seed: int = 0,
+    phase_callback: Optional[Callable[[str, int, np.ndarray, np.ndarray], None]] = None,
+) -> MISResult:
+    """Loop-based reference MIS-2 with semantics identical to :func:`kk_mis2`.
+
+    Parameters
+    ----------
+    graph, priority_scheme, word_bits, seed:
+        As in :func:`repro.mis.kk.kk_mis2`.
+    phase_callback:
+        Optional ``callback(phase_name, iteration, T_copy, M_copy)`` invoked after
+        each of the three phases; used by the Fig. 1 tracer.
+    """
+    scheme = PriorityScheme.coerce(priority_scheme)
+    n = graph.num_vertices
+    config = MISConfig(
+        algorithm="reference",
+        k=2,
+        priority_scheme=scheme.value,
+        use_worklists=True,
+        packed_tuples=True,
+        simd=False,
+        word_bits=word_bits,
+        seed=seed,
+    )
+    if n == 0:
+        return MISResult(
+            in_set=np.zeros(0, dtype=np.int64),
+            in_mask=np.zeros(0, dtype=bool),
+            iterations=0,
+            config=config,
+        )
+
+    packer = TuplePacking(n, word_bits=word_bits)
+    IN = packer.in_value
+    OUT = packer.out_value
+    rowmap, entries = graph.rowmap, graph.entries
+
+    T = packer.pack(np.zeros(n, dtype=packer.dtype), np.arange(n, dtype=np.int64))
+    M = np.full(n, OUT, dtype=packer.dtype)
+    worklist1 = list(range(n))
+    worklist2 = list(range(n))
+    fixed = fixed_priorities(n, seed=seed) if scheme is PriorityScheme.FIXED else None
+
+    iteration = 0
+    max_iter = 20 * max(4, int(math.log2(n + 2))) + 64
+    worklist_sizes: List[tuple] = []
+
+    while worklist1:
+        if iteration >= max_iter:
+            raise RuntimeError("reference MIS-2 did not converge")
+        worklist_sizes.append((len(worklist1), len(worklist2)))
+
+        # Refresh Row -------------------------------------------------------------
+        for v in worklist1:
+            if scheme is PriorityScheme.FIXED:
+                prio = fixed[v]
+            else:
+                prio = hash_iter_vertex(
+                    iteration, np.asarray([v], dtype=np.int64),
+                    star=(scheme is PriorityScheme.XORSTAR),
+                )[0]
+            T[v] = packer.pack(np.asarray([prio], dtype=packer.dtype),
+                               np.asarray([v], dtype=np.int64))[0]
+        if phase_callback is not None:
+            phase_callback("refresh_row", iteration, T.copy(), M.copy())
+
+        # Refresh Column ----------------------------------------------------------
+        new_M = {}
+        for v in worklist2:
+            best = T[v]
+            for w in entries[rowmap[v]: rowmap[v + 1]]:
+                if T[w] < best:
+                    best = T[w]
+            if best == IN:
+                best = OUT
+            new_M[v] = best
+        for v, val in new_M.items():
+            M[v] = val
+        if phase_callback is not None:
+            phase_callback("refresh_column", iteration, T.copy(), M.copy())
+
+        # Decide ------------------------------------------------------------------
+        new_T = {}
+        for v in worklist1:
+            nbrs = list(entries[rowmap[v]: rowmap[v + 1]]) + [v]
+            if any(M[w] == OUT for w in nbrs):
+                new_T[v] = OUT
+            elif all(M[w] == T[v] for w in nbrs):
+                new_T[v] = IN
+        for v, val in new_T.items():
+            T[v] = val
+        if phase_callback is not None:
+            phase_callback("decide", iteration, T.copy(), M.copy())
+
+        # Compaction --------------------------------------------------------------
+        worklist1 = [v for v in worklist1 if packer.is_undecided(T[v])]
+        worklist2 = [v for v in worklist2 if M[v] != OUT]
+        iteration += 1
+
+    in_mask = np.asarray(packer.is_in(T), dtype=bool)
+    return MISResult(
+        in_set=np.nonzero(in_mask)[0].astype(np.int64),
+        in_mask=in_mask,
+        iterations=iteration,
+        worklist_sizes=worklist_sizes,
+        config=config,
+    )

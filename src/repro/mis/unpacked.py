@@ -1,0 +1,214 @@
+"""Algorithm 1 with *uncompressed* status tuples.
+
+This variant exists for the Fig. 2 optimization ladder: it follows the exact phase
+structure of Algorithm 1 (per-iteration refreshed priorities, optional worklists,
+single Refresh-Column propagation + neighbour-``M`` Decide) but stores the status
+tuple as three separate arrays ``(status, priority, id)`` like Bell's algorithm, i.e.
+*without* the Section V-C compressed packing. Comparing this variant against
+:func:`repro.mis.kk.kk_mis2` isolates the benefit of packed tuples, and comparing it
+against :func:`repro.mis.bell.bell_mis` isolates the benefit of refreshed priorities
+and worklists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..hashing.priorities import PriorityScheme, fixed_priorities
+from ..hashing.xorshift import hash_iter_vertex
+from ..parallel.costmodel import TrafficCounter
+from ..parallel.primitives import expand_rows, segmented_lexmin, segmented_sum
+from .bell import STATUS_IN, STATUS_OUT, STATUS_UNDECIDED
+from .result import MISConfig, MISResult
+
+__all__ = ["mis2_unpacked"]
+
+_INDEX_BYTES = 4
+_ROWMAP_BYTES = 8
+_TUPLE_WORDS = 3
+
+
+def mis2_unpacked(
+    graph: CSRGraph,
+    priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
+    use_worklists: bool = False,
+    word_bits: int = 64,
+    seed: int = 0,
+) -> MISResult:
+    """Distance-2 MIS with Algorithm 1's structure but 3-element (unpacked) tuples.
+
+    See :func:`repro.mis.kk.kk_mis2` for the parameter semantics; the only difference
+    is the tuple representation (and therefore the memory traffic and the Python
+    gather cost).
+    """
+    scheme = PriorityScheme.coerce(priority_scheme)
+    n = graph.num_vertices
+    config = MISConfig(
+        algorithm="kk-unpacked",
+        k=2,
+        priority_scheme=scheme.value,
+        use_worklists=bool(use_worklists),
+        packed_tuples=False,
+        simd=False,
+        word_bits=word_bits,
+        seed=seed,
+    )
+    traffic = TrafficCounter()
+    if n == 0:
+        return MISResult(
+            in_set=np.zeros(0, dtype=np.int64),
+            in_mask=np.zeros(0, dtype=bool),
+            iterations=0,
+            traffic=traffic,
+            config=config,
+        )
+
+    rowmap = graph.rowmap
+    entries = graph.entries
+    word_bytes = 4 if word_bits == 32 else 8
+    tuple_bytes = _TUPLE_WORDS * word_bytes
+    all_vertices = np.arange(n, dtype=np.int64)
+
+    t_status = np.full(n, STATUS_UNDECIDED, dtype=np.uint8)
+    t_prio = np.zeros(n, dtype=np.uint64)
+    t_id = all_vertices.copy()
+    m_status = np.full(n, STATUS_OUT, dtype=np.uint8)
+    m_prio = np.zeros(n, dtype=np.uint64)
+    m_id = all_vertices.copy()
+
+    worklist1 = all_vertices.copy()
+    worklist2 = all_vertices.copy()
+    worklist_sizes = []
+    iteration = 0
+    max_iter = 20 * max(4, int(math.log2(n + 2))) + 64
+    prio_identity = np.uint64(np.iinfo(np.uint64).max)
+    id_identity = np.int64(np.iinfo(np.int64).max)
+
+    while worklist1.size > 0:
+        if iteration >= max_iter:
+            raise RuntimeError(f"unpacked MIS-2 did not converge within {max_iter} iterations")
+        worklist_sizes.append((int(worklist1.size), int(worklist2.size)))
+        w1 = worklist1 if use_worklists else all_vertices
+        w2 = worklist2 if use_worklists else all_vertices
+
+        # Refresh Row ------------------------------------------------------------
+        if scheme is PriorityScheme.FIXED:
+            fresh = fixed_priorities(n, seed=seed)[w1]
+        else:
+            fresh = hash_iter_vertex(iteration, w1, star=(scheme is PriorityScheme.XORSTAR))
+        undecided_w1 = t_status[w1] == STATUS_UNDECIDED
+        t_prio[w1] = np.where(undecided_w1, fresh, t_prio[w1])
+        traffic.add(
+            "refresh_row",
+            bytes_read=_INDEX_BYTES * w1.size,
+            bytes_written=tuple_bytes * w1.size,
+        )
+
+        # Refresh Column ---------------------------------------------------------
+        slots2, seg2 = expand_rows(rowmap, w2)
+        nbr = entries[slots2].astype(np.int64)
+        red_s, red_p, red_i = segmented_lexmin(
+            [t_status[nbr], t_prio[nbr], t_id[nbr]],
+            seg2,
+            [STATUS_OUT, prio_identity, id_identity],
+        )
+        own_s, own_p, own_i = t_status[w2], t_prio[w2], t_id[w2]
+        better_own = (own_s < red_s) | (
+            (own_s == red_s) & ((own_p < red_p) | ((own_p == red_p) & (own_i < red_i)))
+        )
+        new_s = np.where(better_own, own_s, red_s)
+        new_p = np.where(better_own, own_p, red_p)
+        new_i = np.where(better_own, own_i, red_i)
+        # Minimum of IN means "adjacent to an IN vertex": convert to OUT.
+        saw_in = new_s == STATUS_IN
+        new_s = np.where(saw_in, STATUS_OUT, new_s)
+        # Once a vertex has an IN neighbour its minimum recomputes to IN (converted to
+        # OUT) in every later iteration, so plain assignment keeps OUT values stable
+        # with or without worklists.
+        m_status[w2], m_prio[w2], m_id[w2] = new_s, new_p, new_i
+        traffic.add(
+            "refresh_column",
+            bytes_read=(
+                _INDEX_BYTES * w2.size
+                + _ROWMAP_BYTES * w2.size
+                + _INDEX_BYTES * slots2.size
+                + tuple_bytes * (slots2.size + w2.size)
+            ),
+            bytes_written=tuple_bytes * w2.size,
+            gather_bytes=tuple_bytes * slots2.size,
+            coalesced=False,
+        )
+
+        # Decide -----------------------------------------------------------------
+        slots1, seg1 = expand_rows(rowmap, w1)
+        nbr1 = entries[slots1].astype(np.int64)
+        nbr_m_status = m_status[nbr1]
+        nbr_m_prio = m_prio[nbr1]
+        nbr_m_id = m_id[nbr1]
+        lens1 = np.diff(seg1)
+        own_status = t_status[w1]
+        own_prio = t_prio[w1]
+        own_id = t_id[w1]
+        # exists neighbour with M == OUT (closed neighbourhood includes the vertex).
+        any_out = (segmented_sum((nbr_m_status == STATUS_OUT).astype(np.int64), seg1) > 0) | (
+            m_status[w1] == STATUS_OUT
+        )
+        # forall neighbours: M == own tuple.
+        matches = (
+            (nbr_m_status == np.repeat(own_status, lens1))
+            & (nbr_m_prio == np.repeat(own_prio, lens1))
+            & (nbr_m_id == np.repeat(own_id, lens1))
+        ).astype(np.int64)
+        all_match = (segmented_sum(matches, seg1) == lens1) & (
+            (m_status[w1] == own_status) & (m_prio[w1] == own_prio) & (m_id[w1] == own_id)
+        )
+        undecided = own_status == STATUS_UNDECIDED
+        to_out = any_out & undecided
+        to_in = all_match & undecided & ~to_out
+        upd_status = own_status.copy()
+        upd_status[to_out] = STATUS_OUT
+        upd_status[to_in] = STATUS_IN
+        t_status[w1] = upd_status
+        traffic.add(
+            "decide",
+            bytes_read=(
+                _INDEX_BYTES * w1.size
+                + _ROWMAP_BYTES * w1.size
+                + _INDEX_BYTES * slots1.size
+                + tuple_bytes * (slots1.size + 2 * w1.size)
+            ),
+            bytes_written=tuple_bytes * w1.size,
+            gather_bytes=tuple_bytes * slots1.size,
+            coalesced=False,
+        )
+
+        # Compaction -------------------------------------------------------------
+        if use_worklists:
+            keep1 = t_status[worklist1] == STATUS_UNDECIDED
+            keep2 = m_status[worklist2] != STATUS_OUT
+            new_w1 = worklist1[keep1]
+            new_w2 = worklist2[keep2]
+            traffic.add(
+                "compact_worklists",
+                bytes_read=(tuple_bytes + _INDEX_BYTES) * (worklist1.size + worklist2.size),
+                bytes_written=_INDEX_BYTES * (new_w1.size + new_w2.size),
+            )
+            worklist1, worklist2 = new_w1, new_w2
+        else:
+            worklist1 = all_vertices[t_status == STATUS_UNDECIDED]
+            worklist2 = all_vertices
+        iteration += 1
+
+    in_mask = t_status == STATUS_IN
+    return MISResult(
+        in_set=np.nonzero(in_mask)[0].astype(np.int64),
+        in_mask=in_mask,
+        iterations=iteration,
+        worklist_sizes=worklist_sizes,
+        traffic=traffic,
+        config=config,
+    )

@@ -1,0 +1,90 @@
+"""The cumulative optimization ladder of Fig. 2.
+
+The paper isolates its 8.97x (geometric-mean) speedup over the Kokkos implementation
+of Bell's algorithm into four optimizations, applied cumulatively:
+
+====================  ==========================================================
+Level                  Configuration
+====================  ==========================================================
+``baseline``           Bell's MIS-k (k=2): fixed priorities, no worklists,
+                       uncompressed tuples, flat (non-SIMD) neighbour loops.
+``random_priority``    Algorithm 1's structure with per-iteration xorshift*
+                       priorities; still no worklists, uncompressed tuples.
+``worklist``           adds worklist compaction (Section V-B).
+``packed_status``      adds compressed single-word status tuples (Section V-C).
+``simd``               adds SIMD/team-parallel neighbour loops (Section V-D;
+                       modelled through the GPU cost model, enabled only when the
+                       average degree is at least 16).
+====================  ==========================================================
+
+:func:`run_optimization_level` executes one level and returns its
+:class:`~repro.mis.result.MISResult`; the Fig. 2 bench driver times each level and
+predicts device times from the recorded traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..graph.csr import CSRGraph
+from ..hashing.priorities import PriorityScheme
+from .bell import bell_mis
+from .kk import kk_mis2
+from .result import MISResult
+from .unpacked import mis2_unpacked
+
+__all__ = ["OptimizationLevel", "OPTIMIZATION_LEVELS", "run_optimization_level"]
+
+
+@dataclass(frozen=True)
+class OptimizationLevel:
+    """One rung of the Fig. 2 cumulative-optimization ladder."""
+
+    #: Machine-friendly identifier.
+    key: str
+    #: Label as used in the paper's Fig. 2 legend.
+    label: str
+    #: Which of the four optimizations are active at this level.
+    random_priority: bool
+    worklists: bool
+    packed: bool
+    simd: bool
+
+
+#: The five implementations compared in Fig. 2, in cumulative order.
+OPTIMIZATION_LEVELS: List[OptimizationLevel] = [
+    OptimizationLevel("baseline", "Baseline (Bell)", False, False, False, False),
+    OptimizationLevel("random_priority", "+ Random Priority", True, False, False, False),
+    OptimizationLevel("worklist", "+ Worklist", True, True, False, False),
+    OptimizationLevel("packed_status", "+ Packed Status", True, True, True, False),
+    OptimizationLevel("simd", "+ SIMD", True, True, True, True),
+]
+
+
+def run_optimization_level(graph: CSRGraph, level: OptimizationLevel | str, seed: int = 0) -> MISResult:
+    """Run the MIS-2 configuration corresponding to ``level`` on ``graph``."""
+    if isinstance(level, str):
+        matches = [lv for lv in OPTIMIZATION_LEVELS if lv.key == level]
+        if not matches:
+            raise ValueError(
+                f"unknown optimization level {level!r}; known: "
+                f"{[lv.key for lv in OPTIMIZATION_LEVELS]}"
+            )
+        level = matches[0]
+    if not level.random_priority:
+        return bell_mis(graph, k=2, priority_scheme=PriorityScheme.FIXED, seed=seed)
+    if not level.packed:
+        return mis2_unpacked(
+            graph,
+            priority_scheme=PriorityScheme.XORSTAR,
+            use_worklists=level.worklists,
+            seed=seed,
+        )
+    return kk_mis2(
+        graph,
+        priority_scheme=PriorityScheme.XORSTAR,
+        use_worklists=level.worklists,
+        simd=(None if level.simd else False),
+        seed=seed,
+    )

@@ -1,0 +1,80 @@
+"""Portable parallel execution substrate.
+
+The paper's implementation is written against the Kokkos programming model so that a
+single source runs on CUDA, HIP and OpenMP backends. This package provides the Python
+analogue used by the reproduction:
+
+* :mod:`~repro.parallel.execution` — execution spaces (:class:`SerialSpace`,
+  :class:`VectorSpace`, :class:`ThreadSpace`) exposing ``parallel_for``,
+  ``parallel_reduce`` and ``parallel_scan`` with bulk-synchronous, deterministic
+  semantics.
+* :mod:`~repro.parallel.primitives` — the vectorised segmented/row-wise primitives the
+  graph kernels are built from (segmented min/any/all over CSR rows, exclusive scans,
+  stream compaction).
+* :mod:`~repro.parallel.machine` — device catalogue (V100, MI100, Skylake, ThunderX2)
+  with the published memory bandwidths the paper's Fig. 3 uses.
+* :mod:`~repro.parallel.costmodel` — roofline-style traffic/latency model converting
+  kernel memory-traffic counters into predicted device times, plus the CPU
+  strong-scaling model used to reproduce Figs. 4 and 5.
+"""
+
+from __future__ import annotations
+
+from .execution import (
+    ExecutionSpace,
+    SerialSpace,
+    VectorSpace,
+    ThreadSpace,
+    default_space,
+    available_spaces,
+)
+from .primitives import (
+    exclusive_scan,
+    inclusive_scan,
+    stream_compact,
+    segmented_min,
+    segmented_max,
+    segmented_all_equal,
+    segmented_any_equal,
+    segmented_lexmin,
+    segmented_sum,
+)
+from .machine import DeviceSpec, DEVICES, device, device_names
+from .costmodel import (
+    TrafficCounter,
+    KernelTraffic,
+    scale_traffic,
+    predict_device_time,
+    bandwidth_efficiency,
+    strong_scaling_times,
+    scaling_efficiency,
+)
+
+__all__ = [
+    "ExecutionSpace",
+    "SerialSpace",
+    "VectorSpace",
+    "ThreadSpace",
+    "default_space",
+    "available_spaces",
+    "exclusive_scan",
+    "inclusive_scan",
+    "stream_compact",
+    "segmented_min",
+    "segmented_max",
+    "segmented_all_equal",
+    "segmented_any_equal",
+    "segmented_lexmin",
+    "segmented_sum",
+    "DeviceSpec",
+    "DEVICES",
+    "device",
+    "device_names",
+    "TrafficCounter",
+    "KernelTraffic",
+    "scale_traffic",
+    "predict_device_time",
+    "bandwidth_efficiency",
+    "strong_scaling_times",
+    "scaling_efficiency",
+]

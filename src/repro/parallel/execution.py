@@ -1,0 +1,236 @@
+"""Execution spaces: the Kokkos-like dispatch layer.
+
+Kokkos lets one source target Serial, OpenMP and CUDA/HIP back-ends; here the
+analogous choice is between
+
+* :class:`SerialSpace` — an explicit Python loop per index. Slow but maximally
+  transparent; used as the semantic reference in the determinism tests.
+* :class:`VectorSpace` — NumPy array-level execution. The functor is called once with
+  the full index array and must be written vectorised. This is the production
+  backend for every kernel in the package (array-data-parallelism is the Python
+  analogue of launching one GPU thread per index).
+* :class:`ThreadSpace` — chunked execution on a :class:`concurrent.futures.ThreadPoolExecutor`.
+  Useful to exercise the same kernels with real concurrency (NumPy releases the GIL
+  for large array operations); results are still deterministic because each chunk writes
+  disjoint output ranges and reductions are combined in chunk order.
+
+All three spaces implement the same bulk-synchronous contract: a ``parallel_for`` is a
+barrier — no iteration of the next parallel region starts before all iterations of the
+previous one finish — which is exactly the structure Algorithm 1 relies on for
+determinism.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .primitives import exclusive_scan
+
+__all__ = [
+    "ExecutionSpace",
+    "SerialSpace",
+    "VectorSpace",
+    "ThreadSpace",
+    "default_space",
+    "available_spaces",
+]
+
+
+class ExecutionSpace(ABC):
+    """Abstract execution space with Kokkos-style data-parallel primitives."""
+
+    #: Human-readable backend name.
+    name: str = "abstract"
+
+    @abstractmethod
+    def parallel_for(self, n: int, functor: Callable) -> None:
+        """Apply ``functor`` to every index in ``[0, n)``.
+
+        For :class:`VectorSpace` the functor receives a single ``ndarray`` of indices;
+        for the other spaces it receives scalar indices. Functors must not assume any
+        particular execution order within the region.
+        """
+
+    @abstractmethod
+    def parallel_reduce(
+        self, values: np.ndarray, op: str = "sum"
+    ) -> np.floating | np.integer:
+        """Reduce ``values`` with ``op`` in {'sum', 'min', 'max'}."""
+
+    def parallel_scan(self, values: np.ndarray) -> np.ndarray:
+        """Exclusive prefix sum of ``values`` (length ``len(values) + 1``)."""
+        return exclusive_scan(values)
+
+    # Convenience shared by all spaces -------------------------------------------------
+    def map_indices(self, n: int, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        """Evaluate a vectorised function of the index array ``arange(n)``.
+
+        ``fn`` must be a pure, vectorised function. The serial and threaded spaces
+        evaluate it in chunks/elements and reassemble, so results are identical across
+        spaces.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialSpace(ExecutionSpace):
+    """Reference backend: plain Python loops, one index at a time."""
+
+    name = "serial"
+
+    def parallel_for(self, n: int, functor: Callable) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        for i in range(n):
+            functor(i)
+
+    def parallel_reduce(self, values: np.ndarray, op: str = "sum"):
+        arr = np.asarray(values)
+        if op == "sum":
+            total = arr.dtype.type(0) if arr.size else 0
+            for v in arr:
+                total = total + v
+            return total
+        if op == "min":
+            if arr.size == 0:
+                raise ValueError("min reduction of empty array")
+            best = arr[0]
+            for v in arr[1:]:
+                if v < best:
+                    best = v
+            return best
+        if op == "max":
+            if arr.size == 0:
+                raise ValueError("max reduction of empty array")
+            best = arr[0]
+            for v in arr[1:]:
+                if v > best:
+                    best = v
+            return best
+        raise ValueError(f"unknown reduction op {op!r}")
+
+    def map_indices(self, n: int, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        pieces = [np.asarray(fn(np.asarray([i]))) for i in range(n)]
+        if not pieces:
+            return np.zeros(0)
+        return np.concatenate(pieces)
+
+
+class VectorSpace(ExecutionSpace):
+    """Production backend: one NumPy call over the whole index range."""
+
+    name = "vector"
+
+    def parallel_for(self, n: int, functor: Callable) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if n == 0:
+            return
+        functor(np.arange(n, dtype=np.int64))
+
+    def parallel_reduce(self, values: np.ndarray, op: str = "sum"):
+        arr = np.asarray(values)
+        if op == "sum":
+            return arr.sum()
+        if op == "min":
+            if arr.size == 0:
+                raise ValueError("min reduction of empty array")
+            return arr.min()
+        if op == "max":
+            if arr.size == 0:
+                raise ValueError("max reduction of empty array")
+            return arr.max()
+        raise ValueError(f"unknown reduction op {op!r}")
+
+    def map_indices(self, n: int, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        return np.asarray(fn(np.arange(n, dtype=np.int64)))
+
+
+class ThreadSpace(ExecutionSpace):
+    """Chunked thread-pool backend.
+
+    The index range is split into ``num_threads`` contiguous chunks; each chunk is
+    processed with the vectorised functor on a worker thread. Reductions combine the
+    per-chunk partial results in chunk order, so results match the other spaces
+    bit-for-bit for the integer reductions used in this package.
+    """
+
+    name = "threads"
+
+    def __init__(self, num_threads: Optional[int] = None) -> None:
+        if num_threads is None:
+            num_threads = max(1, os.cpu_count() or 1)
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = int(num_threads)
+
+    def _chunks(self, n: int) -> List[tuple[int, int]]:
+        if n == 0:
+            return []
+        per = (n + self.num_threads - 1) // self.num_threads
+        return [(start, min(n, start + per)) for start in range(0, n, per)]
+
+    def parallel_for(self, n: int, functor: Callable) -> None:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        chunks = self._chunks(n)
+        if not chunks:
+            return
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            futures = [
+                pool.submit(functor, np.arange(lo, hi, dtype=np.int64)) for lo, hi in chunks
+            ]
+            for f in futures:
+                f.result()
+
+    def parallel_reduce(self, values: np.ndarray, op: str = "sum"):
+        arr = np.asarray(values)
+        if arr.size == 0:
+            if op == "sum":
+                return 0
+            raise ValueError(f"{op} reduction of empty array")
+        chunks = self._chunks(arr.size)
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            if op == "sum":
+                partials = list(pool.map(lambda c: arr[c[0]: c[1]].sum(), chunks))
+                return np.sum(partials)
+            if op == "min":
+                partials = list(pool.map(lambda c: arr[c[0]: c[1]].min(), chunks))
+                return np.min(partials)
+            if op == "max":
+                partials = list(pool.map(lambda c: arr[c[0]: c[1]].max(), chunks))
+                return np.max(partials)
+        raise ValueError(f"unknown reduction op {op!r}")
+
+    def map_indices(self, n: int, fn: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+        chunks = self._chunks(n)
+        if not chunks:
+            return np.zeros(0)
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            pieces = list(
+                pool.map(lambda c: np.asarray(fn(np.arange(c[0], c[1], dtype=np.int64))), chunks)
+            )
+        return np.concatenate(pieces)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadSpace(num_threads={self.num_threads})"
+
+
+_DEFAULT = VectorSpace()
+
+
+def default_space() -> ExecutionSpace:
+    """The package-wide default execution space (the vectorised NumPy backend)."""
+    return _DEFAULT
+
+
+def available_spaces() -> List[ExecutionSpace]:
+    """One instance of every execution space (for cross-backend determinism tests)."""
+    return [SerialSpace(), VectorSpace(), ThreadSpace()]

@@ -1,0 +1,34 @@
+"""Multilevel graph partitioning built on MIS-2 coarsening.
+
+The paper positions MIS-2 coarsening as a building block for multilevel methods
+beyond multigrid and explicitly names multilevel graph partitioning (Gilbert et al.,
+IPDPS 2021) as the follow-on application it plans to evaluate. This package
+implements that extension end to end:
+
+* :func:`heavy_edge_matching` — the classical HEM coarsener, the baseline Gilbert
+  et al. compare MIS-2 coarsening against.
+* :func:`bisect_graph` — greedy growth bisection plus boundary (FM-style) refinement.
+* :func:`multilevel_bisection` / :func:`multilevel_kway` — the full V-cycle: coarsen
+  with any aggregation scheme (Algorithm 3 by default), partition the coarsest graph,
+  project back, refine on every level.
+* :func:`edge_cut` / :func:`partition_balance` — quality metrics.
+"""
+
+from __future__ import annotations
+
+from .matching import heavy_edge_matching
+from .metrics import edge_cut, partition_balance, is_valid_partition
+from .bisect import bisect_graph, refine_bisection
+from .multilevel import multilevel_bisection, multilevel_kway, PartitionResult
+
+__all__ = [
+    "heavy_edge_matching",
+    "edge_cut",
+    "partition_balance",
+    "is_valid_partition",
+    "bisect_graph",
+    "refine_bisection",
+    "multilevel_bisection",
+    "multilevel_kway",
+    "PartitionResult",
+]

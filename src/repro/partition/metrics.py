@@ -1,0 +1,41 @@
+"""Partition-quality metrics: edge cut, balance, validity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["edge_cut", "partition_balance", "is_valid_partition"]
+
+
+def is_valid_partition(graph: CSRGraph, parts: np.ndarray, num_parts: int) -> bool:
+    """True when every vertex has a part id in ``[0, num_parts)``."""
+    parts = np.asarray(parts)
+    if parts.shape != (graph.num_vertices,):
+        return False
+    if graph.num_vertices == 0:
+        return True
+    return bool(parts.min() >= 0 and parts.max() < num_parts)
+
+
+def edge_cut(graph: CSRGraph, parts: np.ndarray) -> int:
+    """Number of undirected edges whose endpoints lie in different parts."""
+    parts = np.asarray(parts)
+    if parts.shape != (graph.num_vertices,):
+        raise ValueError("parts must have one entry per vertex")
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees())
+    dst = graph.entries.astype(np.int64)
+    crossing = parts[src] != parts[dst]
+    # Each undirected edge is stored twice.
+    return int(np.count_nonzero(crossing) // 2)
+
+
+def partition_balance(parts: np.ndarray, num_parts: int) -> float:
+    """Load imbalance: ``max part size / ideal part size`` (1.0 is perfectly balanced)."""
+    parts = np.asarray(parts)
+    if parts.size == 0:
+        return 1.0
+    sizes = np.bincount(parts, minlength=num_parts)
+    ideal = parts.size / num_parts
+    return float(sizes.max() / ideal) if ideal > 0 else float("inf")

@@ -1,0 +1,133 @@
+"""Multilevel bisection and recursive k-way partitioning.
+
+The standard multilevel scheme: coarsen the graph until it is small (using any of the
+aggregation schemes in :mod:`repro.coarsen` — Algorithm 3 by default, or
+heavy-edge matching as the classical baseline), bisect the coarsest graph, project the
+partition back level by level, and refine the boundary after every projection. This is
+the workflow the paper names as future work (replacing Bell's coarsening inside
+Gilbert et al.'s performance-portable partitioner with Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..coarsen.aggregation import Aggregation
+from ..coarsen.mis2_agg import mis2_aggregation
+from ..coarsen.multilevel import coarsen_recursive
+from ..graph.csr import CSRGraph
+from .bisect import bisect_graph, refine_bisection
+from .metrics import edge_cut, partition_balance
+
+__all__ = ["PartitionResult", "multilevel_bisection", "multilevel_kway"]
+
+AggregationFn = Callable[[CSRGraph], Aggregation]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of a multilevel partitioning run."""
+
+    #: Per-vertex part ids on the finest graph.
+    parts: np.ndarray
+    #: Number of parts requested.
+    num_parts: int
+    #: Edge cut on the finest graph.
+    cut: int
+    #: Load imbalance (max part size / ideal size).
+    balance: float
+    #: Vertex counts of the coarsening hierarchy, finest first.
+    level_sizes: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionResult(num_parts={self.num_parts}, cut={self.cut}, "
+            f"balance={self.balance:.3f}, levels={self.level_sizes})"
+        )
+
+
+def multilevel_bisection(
+    graph: CSRGraph,
+    aggregation_fn: AggregationFn = mis2_aggregation,
+    coarse_size: int = 128,
+    balance_tolerance: float = 1.1,
+    refine_passes: int = 4,
+) -> PartitionResult:
+    """Bisect ``graph`` with the multilevel scheme.
+
+    Parameters
+    ----------
+    graph:
+        Graph to partition.
+    aggregation_fn:
+        Coarsening used at every level (Algorithm 3 by default; pass
+        :func:`repro.partition.heavy_edge_matching` for the HEM baseline).
+    coarse_size:
+        Stop coarsening once the graph has at most this many vertices.
+    balance_tolerance:
+        Maximum allowed ``max part size / (n/2)``.
+    refine_passes:
+        Boundary-refinement passes applied on every level during uncoarsening.
+    """
+    hierarchy = coarsen_recursive(graph, aggregation_fn=aggregation_fn, target_size=coarse_size)
+    parts = bisect_graph(hierarchy.coarsest, balance_tolerance, refine_passes)
+    # Uncoarsen: project level by level and refine after every projection.
+    for level in reversed(hierarchy.levels[:-1]):
+        assert level.aggregation is not None
+        parts = parts[level.aggregation.labels]
+        parts = refine_bisection(level.graph, parts, balance_tolerance, refine_passes)
+    return PartitionResult(
+        parts=parts,
+        num_parts=2,
+        cut=edge_cut(graph, parts),
+        balance=partition_balance(parts, 2),
+        level_sizes=hierarchy.vertex_counts(),
+    )
+
+
+def multilevel_kway(
+    graph: CSRGraph,
+    num_parts: int,
+    aggregation_fn: AggregationFn = mis2_aggregation,
+    coarse_size: int = 128,
+    balance_tolerance: float = 1.15,
+) -> PartitionResult:
+    """Recursive-bisection k-way partitioning (``num_parts`` must be a power of two).
+
+    Each recursion level bisects every current part's induced subgraph independently;
+    part ids are assigned so that the final labels lie in ``[0, num_parts)``.
+    """
+    if num_parts < 1 or (num_parts & (num_parts - 1)) != 0:
+        raise ValueError("num_parts must be a positive power of two")
+    n = graph.num_vertices
+    parts = np.zeros(n, dtype=np.int64)
+    if num_parts == 1 or n == 0:
+        return PartitionResult(parts, num_parts, 0, partition_balance(parts, num_parts), [n])
+
+    from ..graph.ops import induced_subgraph
+
+    def recurse(vertices: np.ndarray, first_part: int, parts_remaining: int) -> None:
+        if parts_remaining == 1 or vertices.size <= 1:
+            parts[vertices] = first_part
+            return
+        sub, mapping = induced_subgraph(graph, vertices)
+        result = multilevel_bisection(
+            sub, aggregation_fn=aggregation_fn, coarse_size=coarse_size,
+            balance_tolerance=balance_tolerance,
+        )
+        left = mapping[result.parts == 0]
+        right = mapping[result.parts == 1]
+        recurse(left, first_part, parts_remaining // 2)
+        recurse(right, first_part + parts_remaining // 2, parts_remaining // 2)
+
+    recurse(np.arange(n, dtype=np.int64), 0, num_parts)
+    return PartitionResult(
+        parts=parts,
+        num_parts=num_parts,
+        cut=edge_cut(graph, parts),
+        balance=partition_balance(parts, num_parts),
+        level_sizes=[n],
+    )

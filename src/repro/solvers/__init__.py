@@ -1,0 +1,28 @@
+"""Linear solvers: smoothed-aggregation AMG, CG, GMRES, smoothers and direct solves.
+
+These are the substrates of the paper's two solver experiments: Table V preconditions
+CG with an SA-AMG V-cycle whose aggregation scheme is swapped between Algorithm 2,
+Algorithm 3 and the MueLu baselines; Table VI preconditions GMRES with point/cluster
+multicolor Gauss-Seidel (see :mod:`repro.gs`).
+"""
+
+from __future__ import annotations
+
+from .result import SolveResult
+from .smoothers import JacobiSmoother, ChebyshevSmoother
+from .direct import DirectSolver
+from .cg import pcg
+from .gmres import gmres
+from .multigrid import AMGLevel, AMGHierarchy, build_hierarchy
+
+__all__ = [
+    "SolveResult",
+    "JacobiSmoother",
+    "ChebyshevSmoother",
+    "DirectSolver",
+    "pcg",
+    "gmres",
+    "AMGLevel",
+    "AMGHierarchy",
+    "build_hierarchy",
+]

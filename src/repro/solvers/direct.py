@@ -1,0 +1,47 @@
+"""Coarse-level direct solver.
+
+Multigrid hierarchies solve the coarsest system exactly; this wrapper prefers a sparse
+LU factorisation and falls back to dense LAPACK (or a pseudo-inverse for singular
+coarse operators, which can occur for pure Neumann problems).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["DirectSolver"]
+
+
+class DirectSolver:
+    """Factorise a (small) sparse matrix once and solve repeatedly."""
+
+    def __init__(self, A: sp.spmatrix) -> None:
+        A = sp.csc_matrix(A)
+        if A.shape[0] != A.shape[1]:
+            raise ValueError("DirectSolver requires a square matrix")
+        self.shape = A.shape
+        self._lu = None
+        self._dense_inverse: Optional[np.ndarray] = None
+        if A.shape[0] == 0:
+            return
+        try:
+            self._lu = spla.splu(A)
+        except RuntimeError:
+            # Singular coarse operator: fall back to a pseudo-inverse.
+            self._dense_inverse = np.linalg.pinv(A.toarray())
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b``."""
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.shape[0]:
+            raise ValueError("right-hand side has the wrong length")
+        if self.shape[0] == 0:
+            return np.zeros(0)
+        if self._lu is not None:
+            return self._lu.solve(b)
+        assert self._dense_inverse is not None
+        return self._dense_inverse @ b

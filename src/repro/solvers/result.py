@@ -1,0 +1,47 @@
+"""Result containers for the iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative linear solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Number of iterations performed (the metric reported in Tables V and VI).
+    converged:
+        Whether the relative-residual tolerance was reached.
+    residual_norms:
+        Residual-norm history, one entry per iteration (including the initial one).
+    setup_seconds / solve_seconds:
+        Wall-clock timings filled in by the callers that time their phases
+        (the benchmark drivers for Tables V and VI).
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: List[float] = field(default_factory=list)
+    setup_seconds: Optional[float] = None
+    solve_seconds: Optional[float] = None
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult(iterations={self.iterations}, converged={self.converged}, "
+            f"final_residual={self.final_residual:.3e})"
+        )

@@ -1,0 +1,98 @@
+"""ASCII result tables used by the benchmark drivers.
+
+The paper reports its evaluation as tables (Tables I-VI) and figures whose underlying
+data is tabular. :class:`Table` renders aligned plain-text tables so that every bench
+target can print "the same rows the paper reports".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_float", "geometric_mean"]
+
+
+def format_float(value: float, sig: int = 3) -> str:
+    """Format ``value`` with ``sig`` significant digits, matching paper-style tables.
+
+    Integers are rendered without a decimal point; NaN renders as ``"-"``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if value == 0:
+        return "0"
+    return f"{value:.{sig}g}"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speedup summaries, as in the paper)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    Example
+    -------
+    >>> t = Table(["matrix", "iters"], title="MIS-2 iterations")
+    >>> t.add_row(["ecology2", 8])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    MIS-2 iterations
+    ...
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("Table requires at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append one row; values are stringified with :func:`format_float` for floats."""
+        row = []
+        for v in values:
+            if isinstance(v, bool):
+                row.append("yes" if v else "no")
+            elif isinstance(v, float):
+                row.append(format_float(v))
+            else:
+                row.append(str(v))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def to_dicts(self) -> List[dict]:
+        """Return rows as a list of ``{column: cell}`` dictionaries (for tests)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,154 @@
+"""Lightweight timing helpers.
+
+The paper reports mean times over 100 trials; :func:`repeat_timed` provides the same
+protocol (configurable warmup and trial counts) and :class:`TimingStats` carries the
+summary statistics used by the benchmark drivers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Timer", "TimingStats", "repeat_timed"]
+
+
+class Timer:
+    """Context-manager wall-clock timer based on :func:`time.perf_counter`.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+        self._running = False
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed seconds since :meth:`start`."""
+        if not self._running or self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._running = False
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the most recent start/stop interval.
+
+        If the timer is still running, returns the time elapsed so far without
+        stopping it.
+        """
+        if self._running and self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._running else "stopped"
+        return f"Timer({state}, elapsed={self.elapsed:.6f}s)"
+
+
+@dataclass
+class TimingStats:
+    """Summary of repeated timing trials (seconds)."""
+
+    trials: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        """Record one trial."""
+        self.trials.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.trials)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.trials))
+
+    @property
+    def mean(self) -> float:
+        if not self.trials:
+            return 0.0
+        return self.total / len(self.trials)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.trials) if self.trials else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.trials) if self.trials else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if len(self.trials) < 2:
+            return 0.0
+        m = self.mean
+        var = sum((t - m) ** 2 for t in self.trials) / (len(self.trials) - 1)
+        return math.sqrt(var)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimingStats(n={self.count}, mean={self.mean:.6f}s, "
+            f"min={self.minimum:.6f}s, max={self.maximum:.6f}s)"
+        )
+
+
+def repeat_timed(
+    fn: Callable[[], T],
+    trials: int = 5,
+    warmup: int = 1,
+) -> tuple[T, TimingStats]:
+    """Run ``fn`` repeatedly and collect wall-clock statistics.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its last return value is returned alongside the stats.
+    trials:
+        Number of timed trials (the paper uses 100 for Table II; benches here default
+        to smaller counts so that the scaled suite completes quickly).
+    warmup:
+        Untimed warmup calls executed before the timed trials.
+
+    Returns
+    -------
+    (result, stats):
+        ``result`` is the return value of the final timed trial, ``stats`` the
+        collected :class:`TimingStats`.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    result: T
+    for _ in range(warmup):
+        result = fn()
+    stats = TimingStats()
+    for _ in range(trials):
+        t = Timer().start()
+        result = fn()
+        stats.add(t.stop())
+    return result, stats

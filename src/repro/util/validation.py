@@ -1,0 +1,64 @@
+"""Argument-validation helpers used at public API boundaries.
+
+Keeping validation in one place means error messages are consistent and the numeric
+kernels themselves stay free of defensive clutter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "require",
+    "check_array_1d",
+    "check_integer_dtype",
+    "check_nonnegative",
+    "check_positive",
+    "check_square_matrix",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_array_1d(arr: Any, name: str) -> np.ndarray:
+    """Coerce ``arr`` to a 1-D :class:`numpy.ndarray`, raising on higher dimensions."""
+    out = np.asarray(arr)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {out.shape}")
+    return out
+
+
+def check_integer_dtype(arr: np.ndarray, name: str) -> np.ndarray:
+    """Ensure ``arr`` has an integer dtype."""
+    if not np.issubdtype(np.asarray(arr).dtype, np.integer):
+        raise TypeError(f"{name} must have an integer dtype, got {np.asarray(arr).dtype}")
+    return np.asarray(arr)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Ensure a scalar is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure a scalar is > 0."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_square_matrix(A: Any, name: str = "A") -> sp.csr_matrix:
+    """Coerce ``A`` to CSR and ensure it is square."""
+    mat = sp.csr_matrix(A)
+    if mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {mat.shape}")
+    return mat

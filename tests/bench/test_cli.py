@@ -1,0 +1,37 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_every_experiment_is_registered():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    }
+
+
+def test_cli_runs_single_experiment(capsys):
+    code = main(["table1", "--scale", "0.002", "--matrices", "ecology2", "tmt_sym"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "ecology2" in out and "tmt_sym" in out
+
+
+def test_cli_runs_figure_driver(capsys):
+    code = main(["fig3", "--scale", "0.002", "--matrices", "ecology2"])
+    assert code == 0
+    assert "bandwidth-efficiency" in capsys.readouterr().out
+
+
+def test_cli_scaling_figures(capsys):
+    code = main(["fig4", "--scale", "0.002", "--matrices", "ecology2"])
+    assert code == 0
+    assert "strong-scaling" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["table99"])

@@ -1,0 +1,177 @@
+"""Tests for the experiment drivers (fast configurations).
+
+Each driver is run on a tiny configuration (two or three matrices, very small scale)
+and its structural claims are checked: rows for every requested matrix, the published
+reference numbers attached, and the qualitative "shape" the paper reports where it is
+cheap enough to assert at this scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    AGGREGATION_SCHEMES,
+    BenchConfig,
+    PAPER_FIG2_MEANS,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+    fig2_geometric_means,
+    fig2_table,
+    fig3_table,
+    run_fig2,
+    run_fig3,
+    run_fig6,
+    run_fig7,
+    run_scaling,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    scaling_table,
+    speedup_table,
+    table1_table,
+    table2_table,
+    table3_table,
+    table4_table,
+    table5_table,
+    table6_table,
+)
+
+#: A deliberately tiny configuration so the whole module runs in seconds.
+FAST = BenchConfig(scale=0.003, trials=1, warmup=0, matrices=("ecology2", "Laplace3D_100"))
+
+
+class TestTable1:
+    def test_rows_and_schemes(self):
+        rows = run_table1(FAST)
+        assert [r.matrix for r in rows] == list(FAST.matrices)
+        for row in rows:
+            assert row.fixed >= 1 and row.xor >= 1 and row.xorstar >= 1
+            assert row.paper_xorstar > 0
+        text = table1_table(rows).render()
+        assert "Xor*" in text and "ecology2" in text
+
+    def test_xorstar_never_much_worse_than_fixed(self):
+        rows = run_table1(FAST)
+        for row in rows:
+            assert row.xorstar <= row.fixed + 2
+
+
+class TestTable2:
+    def test_device_predictions_present(self):
+        rows = run_table2(FAST)
+        for row in rows:
+            assert set(row.predicted_ms) == {"v100", "mi100", "skylake", "tx2"}
+            assert all(v > 0 for v in row.predicted_ms.values())
+            assert row.python_ms > 0
+            assert set(row.paper_ms) == {"v100", "mi100", "skylake", "tx2"}
+        assert "Skylake (ms)" in table2_table(rows).render()
+
+    def test_gpu_predictions_faster_than_cpus_at_paper_scale(self):
+        rows = run_table2(FAST, extrapolate_to_paper_size=True)
+        for row in rows:
+            assert row.predicted_ms["v100"] < row.predicted_ms["skylake"]
+
+
+class TestTable3:
+    def test_structured_scaling_shape(self):
+        rows = run_table3(
+            FAST,
+            elasticity_grids=[(6, 6, 6), (12, 6, 6)],
+            laplace_grids=[(10, 10, 10), (20, 10, 10)],
+        )
+        assert len(rows) == 4
+        ela = [r for r in rows if r.problem.startswith("Elasticity")]
+        lap = [r for r in rows if r.problem.startswith("Laplace")]
+        # MIS-2 size grows with |V| for a fixed problem type (roughly proportionally).
+        assert ela[1].mis2_size > ela[0].mis2_size
+        assert lap[1].mis2_size > lap[0].mis2_size
+        # Iterations grow slowly (at most a couple) when the problem doubles.
+        assert ela[1].iterations <= ela[0].iterations + 3
+        assert lap[1].iterations <= lap[0].iterations + 3
+        # Elasticity (high degree) selects a much smaller fraction than Laplace.
+        assert ela[0].mis2_fraction < lap[0].mis2_fraction
+        assert "Elasticity 6x6x6" in table3_table(rows).render()
+
+
+class TestTable4:
+    def test_quality_spread_is_small(self):
+        rows = run_table4(FAST)
+        for row in rows:
+            # Table IV's claim: all three implementations produce similar MIS-2 sizes.
+            assert row.max_relative_spread < 0.12
+            assert row.paper_kk > 0
+        assert "ViennaCL" in table4_table(rows).render()
+
+
+class TestTable5:
+    def test_all_schemes_present_and_convergent(self):
+        rows = run_table5(grid=(12, 12, 12))
+        assert [r.scheme for r in rows] == list(AGGREGATION_SCHEMES)
+        assert set(PAPER_TABLE5) == set(AGGREGATION_SCHEMES)
+        by_name = {r.scheme: r for r in rows}
+        for row in rows:
+            assert row.converged
+            assert row.iterations > 0
+            assert row.setup_seconds >= row.aggregation_seconds >= 0
+        # Headline of Table V: MIS2 Agg converges in no more iterations than MIS2 Basic.
+        assert by_name["MIS2 Agg"].iterations <= by_name["MIS2 Basic"].iterations
+        assert "MIS2 Agg" in table5_table(rows).render()
+
+
+class TestTable6:
+    def test_point_vs_cluster_comparison(self):
+        config = BenchConfig(scale=0.004, trials=1, warmup=0,
+                             matrices=("bodyy5", "Laplace3D_100"))
+        rows = run_table6(config, tol=1e-6, maxiter=400)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.point_converged and row.cluster_converged
+            assert row.point_setup_seconds > 0 and row.cluster_setup_seconds > 0
+            assert row.point_iterations > 0 and row.cluster_iterations > 0
+            assert len(row.paper) == 6
+        assert "C. iters" in table6_table(rows).render()
+
+
+class TestFigures:
+    def test_fig2_speedups(self):
+        rows = run_fig2(FAST)
+        means = fig2_geometric_means(rows, use_model=True)
+        # The fully optimized configuration must beat the Bell baseline in the model,
+        # and the cumulative speedup must grow monotonically with the packed level.
+        assert means["simd"] > 1.5
+        assert means["packed_status"] >= means["worklist"] * 0.9
+        assert set(PAPER_FIG2_MEANS) <= set(means)
+        assert "geometric mean" in fig2_table(rows).render()
+
+    def test_fig3_profiles_normalised(self):
+        rows = run_fig3(FAST)
+        for row in rows:
+            norm = row.normalized()
+            assert max(norm.values()) == pytest.approx(1.0)
+            assert all(0 < v <= 1.0 for v in norm.values())
+        assert "best device" in fig3_table(rows).render()
+
+    @pytest.mark.parametrize("device_key,cores", [("skylake", 48), ("tx2", 56)])
+    def test_fig45_scaling_curves(self, device_key, cores):
+        rows = run_scaling(device_key, FAST)
+        for row in rows:
+            assert row.efficiency[0] == pytest.approx(1.0)
+            # Efficiency decreases with thread count and hyperthreads do not help.
+            assert row.efficiency[-1] < row.efficiency[0]
+            assert row.speedup_at(cores) > 10
+        assert "strong-scaling" in scaling_table(rows).title
+
+    def test_fig6_and_fig7_speedups(self):
+        fig6 = run_fig6(FAST)
+        fig7 = run_fig7(FAST)
+        for rows, label in ((fig6, "cusp"), (fig7, "viennacl")):
+            assert all(r.baseline == label for r in rows)
+            # Algorithm 1 beats the Bell-based library pipeline in the V100 model and
+            # in Python wall-clock on every matrix (Figs. 6 and 7 show 3-8x on all 17).
+            for r in rows:
+                assert r.model_speedup > 1.0
+                assert r.python_speedup > 1.0
+        assert "speedup" in speedup_table(fig6, "Fig. 6").columns[3]

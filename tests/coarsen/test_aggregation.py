@@ -1,0 +1,77 @@
+"""Tests for the Aggregation container and the max-coupling cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import Aggregation, join_by_max_coupling
+from repro.graph import from_edges, path_graph, star_graph
+
+
+class TestAggregationContainer:
+    def test_basic_properties(self):
+        agg = Aggregation(labels=np.array([0, 0, 1, 1, 1]), num_aggregates=2)
+        assert agg.num_vertices == 5
+        assert agg.is_complete()
+        assert agg.sizes().tolist() == [2, 3]
+        assert agg.members(1).tolist() == [2, 3, 4]
+
+    def test_incomplete_detection(self):
+        agg = Aggregation(labels=np.array([0, -1, 0]), num_aggregates=1)
+        assert not agg.is_complete()
+
+    def test_aggregate_lists_partition(self):
+        labels = np.array([2, 0, 1, 0, 2, 1])
+        agg = Aggregation(labels=labels, num_aggregates=3)
+        lists = agg.aggregate_lists()
+        assert len(lists) == 3
+        combined = np.sort(np.concatenate(lists))
+        assert np.array_equal(combined, np.arange(6))
+        for a, members in enumerate(lists):
+            assert np.all(labels[members] == a)
+
+    def test_members_out_of_range(self):
+        agg = Aggregation(labels=np.array([0]), num_aggregates=1)
+        with pytest.raises(IndexError):
+            agg.members(3)
+
+    def test_empty_aggregation(self):
+        agg = Aggregation(labels=np.zeros(0, dtype=np.int64), num_aggregates=0)
+        assert agg.is_complete()
+        assert agg.sizes().size == 0
+
+
+class TestJoinByMaxCoupling:
+    def test_joins_to_most_connected_aggregate(self):
+        # Vertex 4 touches aggregate 0 twice (vertices 0, 1) and aggregate 1 once.
+        g = from_edges(5, [(0, 1), (2, 3), (4, 0), (4, 1), (4, 2)])
+        labels = np.array([0, 0, 1, 1, -1])
+        out = join_by_max_coupling(g, labels, 2)
+        assert out[4] == 0
+        # Existing labels are untouched.
+        assert out[:4].tolist() == [0, 0, 1, 1]
+
+    def test_tie_broken_by_smaller_aggregate(self):
+        # Vertex 5 touches aggregate 0 once and aggregate 1 once; aggregate 1 is smaller.
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4), (5, 0), (5, 3)])
+        labels = np.array([0, 0, 0, 1, 1, -1])
+        out = join_by_max_coupling(g, labels, 2)
+        assert out[5] == 1
+
+    def test_no_unaggregated_is_noop(self):
+        g = path_graph(3)
+        labels = np.array([0, 0, 1])
+        out = join_by_max_coupling(g, labels, 2)
+        assert np.array_equal(out, labels)
+
+    def test_vertex_without_aggregated_neighbor_raises(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        labels = np.array([0, 0, -1, -1])
+        with pytest.raises(ValueError):
+            join_by_max_coupling(g, labels, 1)
+
+    def test_deterministic_tie_on_label(self):
+        # Equal coupling, equal size -> smaller aggregate id wins.
+        g = star_graph(2)  # hub 0 with leaves 1, 2
+        labels = np.array([-1, 0, 1])
+        out = join_by_max_coupling(g, labels, 2)
+        assert out[0] == 0

@@ -1,0 +1,78 @@
+"""Tests for coarse graphs and recursive multilevel coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    coarse_graph,
+    coarsen_recursive,
+    mis2_aggregation,
+    mis2_basic_aggregation,
+)
+from repro.graph import grid2d, laplace3d, path_graph
+
+
+class TestCoarseGraph:
+    def test_coarse_graph_adjacency(self):
+        g = path_graph(6)
+        agg = mis2_basic_aggregation(g)
+        cg = coarse_graph(g, agg)
+        assert cg.num_vertices == agg.num_aggregates
+        assert not cg.has_self_loops()
+        # Adjacent fine vertices in different aggregates induce a coarse edge.
+        labels = agg.labels
+        for u, v in g.iter_edges():
+            if labels[u] != labels[v]:
+                assert cg.has_edge(int(labels[u]), int(labels[v]))
+
+    def test_incomplete_rejected(self):
+        from repro.coarsen import Aggregation
+
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            coarse_graph(g, Aggregation(labels=np.array([0, -1, 0]), num_aggregates=1))
+
+    def test_vertex_count_mismatch_rejected(self):
+        from repro.coarsen import Aggregation
+
+        with pytest.raises(ValueError):
+            coarse_graph(path_graph(3), Aggregation(labels=np.array([0, 0]), num_aggregates=1))
+
+
+class TestRecursiveCoarsening:
+    def test_hierarchy_shrinks_to_target(self):
+        g = laplace3d(10, 10, 10)
+        hierarchy = coarsen_recursive(g, target_size=50)
+        sizes = hierarchy.vertex_counts()
+        assert sizes[0] == 1000
+        assert sizes[-1] <= 50 or len(sizes) >= 2
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_project_to_finest(self):
+        g = grid2d(12, 12)
+        hierarchy = coarsen_recursive(g, target_size=10)
+        coarse_labels = np.arange(hierarchy.coarsest.num_vertices) % 3
+        fine = hierarchy.project_to_finest(coarse_labels)
+        assert fine.shape == (g.num_vertices,)
+        assert set(np.unique(fine)).issubset({0, 1, 2})
+
+    def test_project_rejects_wrong_length(self):
+        g = grid2d(8, 8)
+        hierarchy = coarsen_recursive(g, target_size=10)
+        with pytest.raises(ValueError):
+            hierarchy.project_to_finest(np.zeros(hierarchy.coarsest.num_vertices + 1))
+
+    def test_small_graph_single_level(self):
+        g = path_graph(5)
+        hierarchy = coarsen_recursive(g, target_size=100)
+        assert hierarchy.num_levels == 1
+        assert hierarchy.coarsest.num_vertices == 5
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            coarsen_recursive(path_graph(5), target_size=0)
+
+    def test_custom_aggregation_function(self):
+        g = grid2d(10, 10)
+        hierarchy = coarsen_recursive(g, aggregation_fn=mis2_aggregation, target_size=8)
+        assert hierarchy.num_levels >= 2

@@ -1,0 +1,92 @@
+"""Tests for prolongation operators and the Galerkin coarse operator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.coarsen import (
+    Aggregation,
+    estimate_spectral_radius,
+    galerkin_operator,
+    mis2_aggregation,
+    smoothed_prolongation,
+    tentative_prolongation,
+)
+from repro.graph import from_scipy, laplace2d, laplace3d_matrix
+
+
+@pytest.fixture
+def laplace_and_aggregation():
+    A = laplace3d_matrix(8, 8, 8)
+    agg = mis2_aggregation(from_scipy(A))
+    return A, agg
+
+
+class TestTentativeProlongation:
+    def test_shape_and_partition(self, laplace_and_aggregation):
+        _, agg = laplace_and_aggregation
+        P = tentative_prolongation(agg)
+        assert P.shape == (agg.num_vertices, agg.num_aggregates)
+        # Exactly one nonzero per row (piecewise-constant interpolation).
+        assert np.all(np.diff(P.indptr) == 1)
+
+    def test_columns_unit_norm(self, laplace_and_aggregation):
+        _, agg = laplace_and_aggregation
+        P = tentative_prolongation(agg, normalize=True)
+        col_norms = np.sqrt(np.asarray(P.multiply(P).sum(axis=0)).ravel())
+        assert np.allclose(col_norms, 1.0)
+
+    def test_unnormalized_preserves_constant(self, laplace_and_aggregation):
+        _, agg = laplace_and_aggregation
+        P = tentative_prolongation(agg, normalize=False)
+        ones_coarse = np.ones(agg.num_aggregates)
+        assert np.allclose(P @ ones_coarse, 1.0)
+
+    def test_incomplete_aggregation_rejected(self):
+        bad = Aggregation(labels=np.array([0, -1]), num_aggregates=1)
+        with pytest.raises(ValueError):
+            tentative_prolongation(bad)
+
+
+class TestSpectralRadius:
+    def test_dinv_a_radius_of_laplacian_close_to_two(self):
+        A = laplace2d(20, 20)
+        rho = estimate_spectral_radius(A, iterations=30)
+        assert 1.5 <= rho <= 2.05
+
+    def test_deterministic(self):
+        A = laplace2d(10, 10)
+        assert estimate_spectral_radius(A) == estimate_spectral_radius(A)
+
+
+class TestSmoothedProlongation:
+    def test_shapes(self, laplace_and_aggregation):
+        A, agg = laplace_and_aggregation
+        P, P_tent = smoothed_prolongation(A, agg)
+        assert P.shape == P_tent.shape
+        assert P.nnz >= P_tent.nnz  # smoothing widens the stencil
+
+    def test_explicit_omega(self, laplace_and_aggregation):
+        A, agg = laplace_and_aggregation
+        P_zero, P_tent = smoothed_prolongation(A, agg, omega=0.0)
+        assert abs(P_zero - P_tent).max() == 0
+
+
+class TestGalerkin:
+    def test_coarse_operator_spd_structure(self, laplace_and_aggregation):
+        A, agg = laplace_and_aggregation
+        P, _ = smoothed_prolongation(A, agg)
+        Ac = galerkin_operator(A, P)
+        assert Ac.shape == (agg.num_aggregates, agg.num_aggregates)
+        assert abs(Ac - Ac.T).max() < 1e-10
+        # SPD-ness: the coarse Rayleigh quotient of a random vector is non-negative.
+        rng = np.random.default_rng(0)
+        x = rng.random(Ac.shape[0])
+        assert x @ (Ac @ x) >= -1e-10
+
+    def test_shape_validation(self):
+        A = laplace2d(4, 4)
+        with pytest.raises(ValueError):
+            galerkin_operator(A, sp.identity(3, format="csr"))
+        with pytest.raises(ValueError):
+            galerkin_operator(sp.csr_matrix(np.ones((2, 3))), sp.identity(3, format="csr"))

@@ -1,0 +1,62 @@
+"""Tests for distance-2 coloring (parallel and sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import (
+    distance2_color,
+    greedy_color,
+    is_valid_coloring,
+    sequential_distance2_color,
+    sequential_greedy_color,
+)
+from repro.graph import cycle_graph, empty_graph, grid2d, path_graph, star_graph
+from repro.mis import is_independent_set
+
+
+class TestDistance2Coloring:
+    def test_valid_on_every_small_graph(self, any_small_graph):
+        result = distance2_color(any_small_graph)
+        assert is_valid_coloring(any_small_graph, result.colors, distance=2)
+        assert result.distance == 2
+
+    def test_color_classes_are_distance2_independent_sets(self, nonempty_small_graph):
+        result = distance2_color(nonempty_small_graph)
+        for cls in result.color_classes():
+            assert is_independent_set(nonempty_small_graph, cls, k=2)
+
+    def test_star_needs_many_colors(self):
+        # All leaves are within distance 2 of each other.
+        result = distance2_color(star_graph(6))
+        assert result.num_colors == 7
+
+    def test_path_needs_three_colors(self):
+        result = distance2_color(path_graph(9))
+        assert result.num_colors == 3
+
+    def test_empty(self):
+        assert distance2_color(empty_graph(0)).num_colors == 0
+
+    def test_uses_more_colors_than_distance1(self, small_laplace3d):
+        d1 = greedy_color(small_laplace3d)
+        d2 = distance2_color(small_laplace3d)
+        assert d2.num_colors > d1.num_colors
+
+
+class TestSequentialColoring:
+    def test_sequential_d1_valid(self, any_small_graph):
+        result = sequential_greedy_color(any_small_graph)
+        assert is_valid_coloring(any_small_graph, result.colors, distance=1)
+
+    def test_sequential_d2_valid(self, nonempty_small_graph):
+        result = sequential_distance2_color(nonempty_small_graph)
+        assert is_valid_coloring(nonempty_small_graph, result.colors, distance=2)
+
+    def test_sequential_first_fit_is_compact(self):
+        result = sequential_greedy_color(grid2d(8, 8))
+        assert result.num_colors == 2
+
+    def test_parallel_color_count_close_to_sequential(self, small_laplace3d):
+        par = greedy_color(small_laplace3d)
+        seq = sequential_greedy_color(small_laplace3d)
+        assert par.num_colors <= 2 * seq.num_colors + 1

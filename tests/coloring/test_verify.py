@@ -1,0 +1,39 @@
+"""Tests for coloring verification."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import is_valid_coloring
+from repro.graph import cycle_graph, empty_graph, path_graph
+
+
+def test_valid_and_invalid_distance1():
+    g = path_graph(4)
+    assert is_valid_coloring(g, np.array([0, 1, 0, 1]), distance=1)
+    assert not is_valid_coloring(g, np.array([0, 0, 1, 0]), distance=1)
+
+
+def test_distance2_check():
+    g = path_graph(4)
+    assert not is_valid_coloring(g, np.array([0, 1, 0, 1]), distance=2)
+    assert is_valid_coloring(g, np.array([0, 1, 2, 0]), distance=2)
+
+
+def test_uncolored_vertices_invalid():
+    g = path_graph(3)
+    assert not is_valid_coloring(g, np.array([0, -1, 1]), distance=1)
+
+
+def test_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        is_valid_coloring(path_graph(3), np.array([0, 1]))
+
+
+def test_empty_graph_trivially_valid():
+    assert is_valid_coloring(empty_graph(0), np.zeros(0, dtype=np.int64))
+
+
+def test_cycle_odd_requires_three_colors():
+    g = cycle_graph(5)
+    assert not is_valid_coloring(g, np.array([0, 1, 0, 1, 0]), distance=1)
+    assert is_valid_coloring(g, np.array([0, 1, 0, 1, 2]), distance=1)

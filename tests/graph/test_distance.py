@@ -1,0 +1,73 @@
+"""Tests for BFS distances and k-hop neighbourhoods."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    all_pairs_within,
+    bfs_distances,
+    cycle_graph,
+    from_edges,
+    k_hop_neighborhood,
+    path_graph,
+    star_graph,
+)
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked_minus_one(self):
+        g = from_edges(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[2] == -1 and dist[3] == -1
+
+    def test_max_distance_truncation(self):
+        g = path_graph(6)
+        dist = bfs_distances(g, 0, max_distance=2)
+        assert dist[2] == 2
+        assert dist[3] == -1
+
+    def test_invalid_source(self):
+        with pytest.raises(IndexError):
+            bfs_distances(path_graph(3), 9)
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(8)
+        dist = bfs_distances(g, 0)
+        assert dist[4] == 4
+        assert dist[1] == dist[7] == 1
+
+
+class TestKHop:
+    def test_k_hop_includes_self_by_default(self):
+        g = path_graph(5)
+        nb = k_hop_neighborhood(g, 2, 1)
+        assert nb.tolist() == [1, 2, 3]
+
+    def test_k_hop_excluding_self(self):
+        g = path_graph(5)
+        nb = k_hop_neighborhood(g, 2, 1, include_self=False)
+        assert nb.tolist() == [1, 3]
+
+    def test_k_hop_radius_two(self):
+        g = star_graph(4)
+        nb = k_hop_neighborhood(g, 1, 2)
+        assert set(nb.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(path_graph(3), 0, -1)
+
+
+class TestAllPairsWithin:
+    def test_path_pairs_within_two(self):
+        g = path_graph(4)
+        pairs = set(all_pairs_within(g, 2))
+        assert pairs == {(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)}
+
+    def test_k_zero_yields_nothing(self):
+        assert list(all_pairs_within(path_graph(3), 0)) == []

@@ -1,0 +1,159 @@
+"""Tests for the graph and matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    anisotropic3d,
+    complete_graph,
+    cycle_graph,
+    elasticity3d,
+    elasticity3d_matrix,
+    empty_graph,
+    grid2d,
+    laplace2d,
+    laplace3d,
+    laplace3d_matrix,
+    paper_example_graph,
+    path_graph,
+    random_gnp,
+    random_regular,
+    rmat,
+    star_graph,
+)
+
+
+class TestCanonicalGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_vertices == 8
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in range(5))
+
+    def test_empty(self):
+        assert empty_graph(3).num_edges == 0
+
+    def test_negative_sizes_rejected(self):
+        for fn in (path_graph, complete_graph, empty_graph):
+            with pytest.raises(ValueError):
+                fn(-1)
+        with pytest.raises(ValueError):
+            star_graph(-1)
+
+    def test_paper_example_structure(self):
+        g = paper_example_graph()
+        assert g.num_vertices == 6
+        assert sorted(g.neighbors(3).tolist()) == [2, 4, 5]
+        assert g.degree(0) == 1
+
+
+class TestGridsAndStencils:
+    def test_grid2d_degrees(self):
+        g = grid2d(4, 5)
+        assert g.num_vertices == 20
+        assert g.max_degree() == 4
+        corner_degree = g.degree(0)
+        assert corner_degree == 2
+
+    def test_grid2d_diagonal(self):
+        g = grid2d(4, 4, diagonal=True)
+        assert g.max_degree() == 8
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid2d(0, 3)
+
+    def test_laplace2d_matrix_structure(self):
+        A = laplace2d(4, 4)
+        assert A.shape == (16, 16)
+        assert (A.diagonal() == 4).all()
+        assert abs(A - A.T).max() == 0
+
+    def test_laplace3d_matrix_is_7_point(self):
+        A = laplace3d_matrix(4, 4, 4)
+        assert A.shape == (64, 64)
+        assert (A.diagonal() == 6).all()
+        # interior row has 7 nonzeros
+        row_nnz = np.diff(A.indptr)
+        assert row_nnz.max() == 7
+
+    def test_laplace3d_graph_degrees(self):
+        g = laplace3d(5, 5, 5)
+        assert g.num_vertices == 125
+        assert g.max_degree() == 6
+        assert g.degree(0) == 3  # corner
+
+    def test_laplace3d_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            laplace3d_matrix(0, 2, 2)
+
+    def test_anisotropic3d(self):
+        A = anisotropic3d(4, 4, 4, epsilon_y=0.1, epsilon_z=0.01)
+        iso = laplace3d_matrix(4, 4, 4)
+        assert A.shape == iso.shape
+        assert A.diagonal().max() < iso.diagonal().max()
+
+    def test_elasticity_matrix_spd_structure(self):
+        A = elasticity3d_matrix(3, 3, 3, dofs_per_node=3)
+        assert A.shape == (81, 81)
+        assert abs(A - A.T).max() < 1e-12
+        # strictly diagonally dominant by construction
+        diag = np.abs(A.diagonal())
+        offdiag_sum = np.abs(A).sum(axis=1).A1 - diag
+        assert np.all(diag >= offdiag_sum)
+
+    def test_elasticity_graph_average_degree_matches_paper_profile(self):
+        g = elasticity3d(6, 6, 6, dofs_per_node=3)
+        # The paper's Elasticity3D_60 has average degree ~78 (27-point stencil x 3 dof).
+        assert 50 <= g.average_degree() <= 81
+        assert g.num_vertices == 6 * 6 * 6 * 3
+
+
+class TestRandomGenerators:
+    def test_random_regular_degree_profile(self):
+        g = random_regular(200, 6, seed=1)
+        degs = g.degrees()
+        assert degs.mean() == pytest.approx(6, abs=1.0)
+        assert degs.max() <= 12
+
+    def test_random_regular_determinism(self):
+        assert random_regular(100, 4, seed=7) == random_regular(100, 4, seed=7)
+        assert random_regular(100, 4, seed=7) != random_regular(100, 4, seed=8)
+
+    def test_random_regular_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            random_regular(10, 10)
+
+    def test_random_gnp_bounds(self):
+        g = random_gnp(50, 0.1, seed=0)
+        assert g.num_vertices == 50
+        assert not g.has_self_loops()
+        with pytest.raises(ValueError):
+            random_gnp(10, 1.5)
+
+    def test_rmat_power_law_shape(self):
+        g = rmat(9, edge_factor=4, seed=3)
+        assert g.num_vertices == 512
+        degs = g.degrees()
+        assert degs.max() > 4 * degs[degs > 0].mean()
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, a=0.6, b=0.3, c=0.2)

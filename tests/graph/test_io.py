@@ -1,0 +1,78 @@
+"""Tests for MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    CSRGraph,
+    from_edges,
+    laplace2d,
+    read_matrix_market,
+    to_scipy,
+    write_matrix_market,
+)
+
+
+class TestRoundTrip:
+    def test_matrix_roundtrip(self, tmp_path):
+        A = laplace2d(4, 3)
+        path = tmp_path / "lap.mtx"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert (A != B).nnz == 0
+
+    def test_graph_pattern_roundtrip(self, tmp_path):
+        g = from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        path = tmp_path / "graph.mtx"
+        write_matrix_market(path, g)
+        g2 = read_matrix_market(path, as_graph=True)
+        assert isinstance(g2, CSRGraph)
+        assert g2 == g
+
+    def test_gzip_roundtrip(self, tmp_path):
+        A = laplace2d(3, 3)
+        path = tmp_path / "lap.mtx.gz"
+        write_matrix_market(path, A)
+        B = read_matrix_market(path)
+        assert (A != B).nnz == 0
+
+
+class TestParsing:
+    def test_symmetric_file_is_expanded(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% comment line\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "3 2 -1.0\n"
+        )
+        A = read_matrix_market(path)
+        assert A[0, 1] == -1.0 and A[1, 0] == -1.0
+        assert A[1, 2] == -1.0 and A[2, 1] == -1.0
+        assert A[0, 0] == 2.0
+
+    def test_pattern_file(self, tmp_path):
+        path = tmp_path / "pat.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        g = read_matrix_market(path, as_graph=True)
+        assert g.has_edge(0, 1)
+
+    def test_rejects_non_matrixmarket(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_array_format(self, tmp_path):
+        path = tmp_path / "dense.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)

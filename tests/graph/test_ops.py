@@ -1,0 +1,115 @@
+"""Tests for structural graph operations (square, subgraphs, statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    all_pairs_within,
+    complement_mask,
+    cycle_graph,
+    degree_statistics,
+    distance_k_graph,
+    from_edges,
+    grid2d,
+    induced_subgraph,
+    path_graph,
+    square,
+    star_graph,
+    union,
+)
+
+
+class TestSquare:
+    def test_square_of_path(self):
+        g = path_graph(5)
+        sq = square(g)
+        # distance-2 pairs appear
+        assert sq.has_edge(0, 2)
+        assert sq.has_edge(1, 3)
+        # distance-3 pairs do not
+        assert not sq.has_edge(0, 3)
+        # original edges are kept (distance-1)
+        assert sq.has_edge(0, 1)
+
+    def test_square_matches_bfs_pairs(self, nonempty_small_graph):
+        g = nonempty_small_graph
+        sq = square(g)
+        expected = set(all_pairs_within(g, 2))
+        actual = {(u, v) for u, v in sq.iter_edges() if u < v}
+        assert actual == expected
+
+    def test_distance_k_graph_general(self):
+        g = path_graph(7)
+        d3 = distance_k_graph(g, 3)
+        assert d3.has_edge(0, 3)
+        assert not d3.has_edge(0, 4)
+        with pytest.raises(ValueError):
+            distance_k_graph(g, 0)
+
+    def test_square_star_is_clique_on_leaves(self):
+        g = star_graph(5)
+        sq = square(g)
+        for i in range(1, 6):
+            for j in range(i + 1, 6):
+                assert sq.has_edge(i, j)
+
+
+class TestInducedSubgraph:
+    def test_basic_subgraph(self):
+        g = cycle_graph(6)
+        sub, mapping = induced_subgraph(g, np.array([0, 1, 2]))
+        assert sub.num_vertices == 3
+        assert mapping.tolist() == [0, 1, 2]
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 2)
+
+    def test_subgraph_of_nothing(self):
+        g = path_graph(4)
+        sub, mapping = induced_subgraph(g, np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        assert mapping.size == 0
+
+    def test_subgraph_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(path_graph(3), np.array([5]))
+
+    def test_subgraph_deduplicates(self):
+        g = path_graph(4)
+        sub, mapping = induced_subgraph(g, np.array([2, 2, 1]))
+        assert sub.num_vertices == 2
+        assert mapping.tolist() == [1, 2]
+
+
+class TestUnionAndMask:
+    def test_union(self):
+        a = from_edges(4, [(0, 1)])
+        b = from_edges(4, [(2, 3)])
+        u = union(a, b)
+        assert u.has_edge(0, 1) and u.has_edge(2, 3)
+        with pytest.raises(ValueError):
+            union(a, from_edges(5, [(0, 1)]))
+
+    def test_complement_mask(self):
+        mask = complement_mask(5, np.array([1, 3]))
+        assert mask.tolist() == [True, False, True, False, True]
+        with pytest.raises(ValueError):
+            complement_mask(3, np.array([7]))
+
+
+class TestDegreeStatistics:
+    def test_statistics_of_grid(self):
+        g = grid2d(5, 5)
+        stats = degree_statistics(g)
+        assert stats.num_vertices == 25
+        assert stats.max_degree == 4
+        assert stats.min_degree == 2
+        assert stats.average_degree == pytest.approx(g.average_degree())
+        assert stats.num_vertices_millions == pytest.approx(25e-6)
+        assert stats.num_edges_millions == pytest.approx(g.num_edge_slots / 1e6)
+
+    def test_statistics_of_empty_graph(self):
+        from repro.graph import empty_graph
+
+        stats = degree_statistics(empty_graph(3))
+        assert stats.max_degree == 0
+        assert stats.min_degree == 0

@@ -1,0 +1,50 @@
+"""Tests for connectivity and degree-histogram helpers."""
+
+import pytest
+
+from repro.graph import (
+    connected_components,
+    cycle_graph,
+    degree_histogram,
+    empty_graph,
+    from_edges,
+    grid2d,
+    is_connected,
+    path_graph,
+)
+
+
+def test_connected_components_of_connected_graph():
+    n, labels = connected_components(cycle_graph(5))
+    assert n == 1
+    assert len(set(labels.tolist())) == 1
+
+
+def test_connected_components_of_disconnected_graph(disconnected_graph):
+    n, labels = connected_components(disconnected_graph)
+    # one triangle, one path of 4, two isolated vertices
+    assert n == 4
+    assert labels.size == 9
+
+
+def test_connected_components_of_empty_graph():
+    n, labels = connected_components(empty_graph(0))
+    assert n == 0
+    assert labels.size == 0
+
+
+def test_is_connected():
+    assert is_connected(path_graph(4))
+    assert not is_connected(from_edges(4, [(0, 1)]))
+    assert not is_connected(empty_graph(0))
+
+
+def test_degree_histogram_grid():
+    hist = degree_histogram(grid2d(3, 3))
+    # 4 corners of degree 2, 4 edge-midpoints of degree 3, 1 center of degree 4
+    assert hist == {2: 4, 3: 4, 4: 1}
+
+
+def test_degree_histogram_isolated():
+    hist = degree_histogram(empty_graph(3))
+    assert hist == {0: 3}

@@ -1,0 +1,88 @@
+"""Tests for the 17-matrix evaluation suite and its synthetic stand-ins."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    SUITE,
+    load_suite_graph,
+    load_suite_matrix,
+    paper_statistics,
+    suite_names,
+    write_matrix_market,
+)
+
+
+class TestRegistry:
+    def test_seventeen_main_matrices(self):
+        assert len(suite_names()) == 17
+
+    def test_bodyy5_is_extra(self):
+        names_all = suite_names(main_only=False)
+        assert "bodyy5" in names_all
+        assert "bodyy5" not in suite_names()
+
+    def test_every_main_record_has_reference_data(self):
+        for name in suite_names():
+            rec = paper_statistics(name)
+            assert rec.paper_nv_millions > 0
+            assert set(rec.paper_times_ms) == {"v100", "mi100", "skylake", "tx2"}
+            assert set(rec.paper_iterations) == {"fixed", "xor", "xorstar"}
+            assert set(rec.paper_mis2_sizes) == {"kk", "cusp", "viennacl"}
+
+    def test_paper_reference_values_spot_checks(self):
+        eco = paper_statistics("ecology2")
+        assert eco.paper_avg_degree == pytest.approx(3.0)
+        assert eco.paper_iterations["xorstar"] == 8
+        assert eco.paper_mis2_sizes["kk"] == 139431
+        lap = paper_statistics("Laplace3D_100")
+        assert lap.paper_num_vertices == 1_000_000
+        assert lap.paper_times_ms["v100"] == pytest.approx(3.34)
+
+    def test_unknown_matrix_raises(self):
+        with pytest.raises(KeyError):
+            paper_statistics("not_a_matrix")
+
+
+class TestStandIns:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_standin_generates_and_scales(self, name):
+        graph = load_suite_graph(name, scale=0.004, seed=0)
+        record = paper_statistics(name)
+        target = record.paper_num_vertices * 0.004
+        assert graph.num_vertices >= 64
+        # within a factor ~3 of the requested scaled size (grid rounding)
+        assert graph.num_vertices <= max(3 * target, 500)
+        assert graph.is_symmetric()
+        assert not graph.has_self_loops()
+
+    def test_degree_profile_roughly_matches_paper(self):
+        # Spot-check representative generator families.
+        for name, tolerance in [("ecology2", 2.0), ("Laplace3D_100", 2.0), ("audikw_1", 8.0)]:
+            graph = load_suite_graph(name, scale=0.01)
+            record = paper_statistics(name)
+            assert abs(graph.average_degree() - record.paper_avg_degree) <= tolerance
+
+    def test_matrix_is_spd_like(self):
+        A = load_suite_matrix("Emilia_923", scale=0.002)
+        assert abs(A - A.T).max() < 1e-10
+        assert A.diagonal().min() > 0
+
+    def test_determinism_of_standins(self):
+        a = load_suite_graph("Serena", scale=0.002, seed=1)
+        b = load_suite_graph("Serena", scale=0.002, seed=1)
+        assert a == b
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_suite_matrix("ecology2", scale=0.0)
+
+    def test_mtx_dir_override(self, tmp_path):
+        # A real .mtx file in mtx_dir takes precedence over the stand-in generator.
+        from repro.graph import laplace2d
+
+        A = laplace2d(5, 5)
+        write_matrix_market(tmp_path / "ecology2.mtx", A)
+        B = load_suite_matrix("ecology2", scale=0.01, mtx_dir=str(tmp_path))
+        assert B.shape == (25, 25)

@@ -1,0 +1,108 @@
+"""Tests for cluster multicolor Gauss-Seidel (Algorithm 4)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.coarsen import mis2_basic_aggregation
+from repro.coloring import is_valid_coloring
+from repro.graph import from_scipy, laplace2d, laplace3d_matrix
+from repro.gs import ClusterMulticolorGaussSeidel, MulticolorGaussSeidel
+from repro.solvers import gmres
+
+
+@pytest.fixture
+def system():
+    A = laplace3d_matrix(8, 8, 8)
+    rng = np.random.default_rng(5)
+    x_exact = rng.random(A.shape[0])
+    return A, x_exact, A @ x_exact
+
+
+class TestSetup:
+    def test_coarse_graph_coloring_valid(self, system):
+        A, _, _ = system
+        gs = ClusterMulticolorGaussSeidel(A)
+        assert is_valid_coloring(gs.coarse, gs.coloring.colors, distance=1)
+        assert gs.aggregation.is_complete()
+        assert gs.coarse.num_vertices == gs.aggregation.num_aggregates
+
+    def test_cluster_setup_colors_smaller_graph_than_point(self, system):
+        # The core setup-cost argument of Table VI: the cluster method colors the
+        # coarsened graph, which is an order of magnitude smaller.
+        A, _, _ = system
+        cluster = ClusterMulticolorGaussSeidel(A)
+        assert cluster.coarse.num_vertices < A.shape[0] / 3
+
+    def test_alternate_aggregation(self, system):
+        A, _, b = system
+        gs = ClusterMulticolorGaussSeidel(A, aggregation_fn=mis2_basic_aggregation)
+        x = gs.apply(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterMulticolorGaussSeidel(sp.csr_matrix(np.ones((2, 3))))
+        with pytest.raises(ValueError):
+            ClusterMulticolorGaussSeidel(sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+
+
+class TestApplySemantics:
+    def test_forward_sweep_matches_sequential_reference(self):
+        # The lockstep (color, position-in-cluster) schedule must reproduce exactly
+        # the sequential within-cluster Gauss-Seidel order of Algorithm 4.
+        A = laplace2d(9, 9).tocsr()
+        b = np.linspace(0.5, 1.5, A.shape[0])
+        gs = ClusterMulticolorGaussSeidel(A, sweeps=1, symmetric=False)
+        fast = gs.apply(b)
+        x = np.zeros(A.shape[0])
+        d = A.diagonal()
+        labels = gs.aggregation.labels
+        for color in range(gs.num_colors):
+            for agg in np.nonzero(gs.coloring.colors == color)[0]:
+                for i in np.sort(np.nonzero(labels == agg)[0]):
+                    row_dot = float((A[i] @ x)[0])
+                    x[i] = (b[i] - row_dot + d[i] * x[i]) / d[i]
+        assert np.allclose(fast, x)
+
+    def test_sweeps_reduce_residual(self, system):
+        A, _, b = system
+        gs = ClusterMulticolorGaussSeidel(A)
+        x = gs.apply(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+        x2 = gs.apply(b, x)
+        assert np.linalg.norm(b - A @ x2) < np.linalg.norm(b - A @ x)
+
+    def test_exact_solution_fixed_point(self, system):
+        A, x_exact, b = system
+        gs = ClusterMulticolorGaussSeidel(A)
+        assert np.allclose(gs.apply(b, x_exact.copy()), x_exact, atol=1e-10)
+
+    def test_deterministic(self, system):
+        A, _, b = system
+        a = ClusterMulticolorGaussSeidel(A).apply(b)
+        c = ClusterMulticolorGaussSeidel(A).apply(b)
+        assert np.array_equal(a, c)
+
+
+class TestAsPreconditioner:
+    def test_accelerates_gmres(self, system):
+        A, _, b = system
+        plain = gmres(A, b, tol=1e-8, maxiter=800)
+        gs = ClusterMulticolorGaussSeidel(A)
+        pre = gmres(A, b, M=gs.as_preconditioner(), tol=1e-8, maxiter=800)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_iteration_count_comparable_to_point_method(self, system):
+        # Table VI: the cluster method's iteration counts are in the same ballpark as
+        # the point method's (the paper reports ~5% fewer on average; this
+        # reproduction's point baseline uses a near-optimal 2-coloring on structured
+        # grids, so we only assert the counts are comparable).
+        A, _, b = system
+        point = MulticolorGaussSeidel(A)
+        cluster = ClusterMulticolorGaussSeidel(A)
+        point_result = gmres(A, b, M=point.as_preconditioner(), tol=1e-8, maxiter=800)
+        cluster_result = gmres(A, b, M=cluster.as_preconditioner(), tol=1e-8, maxiter=800)
+        assert cluster_result.converged and point_result.converged
+        assert cluster_result.iterations <= 2 * point_result.iterations

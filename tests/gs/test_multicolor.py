@@ -1,0 +1,81 @@
+"""Tests for point multicolor Gauss-Seidel (the Table VI baseline)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.coloring import is_valid_coloring
+from repro.graph import laplace2d, laplace3d_matrix
+from repro.gs import MulticolorGaussSeidel
+from repro.solvers import gmres, pcg
+
+
+@pytest.fixture
+def system():
+    A = laplace3d_matrix(8, 8, 8)
+    rng = np.random.default_rng(4)
+    x_exact = rng.random(A.shape[0])
+    return A, x_exact, A @ x_exact
+
+
+class TestSetup:
+    def test_coloring_is_valid(self, system):
+        A, _, _ = system
+        gs = MulticolorGaussSeidel(A)
+        from repro.graph import from_scipy
+
+        assert is_valid_coloring(from_scipy(A), gs.coloring.colors, distance=1)
+        assert gs.num_colors >= 2
+
+    def test_color_sets_partition_rows(self, system):
+        A, _, _ = system
+        gs = MulticolorGaussSeidel(A)
+        combined = np.sort(np.concatenate(gs.color_sets))
+        assert np.array_equal(combined, np.arange(A.shape[0]))
+
+    def test_setup_time_recorded(self, system):
+        A, _, _ = system
+        assert MulticolorGaussSeidel(A).setup_seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MulticolorGaussSeidel(sp.csr_matrix(np.ones((2, 3))))
+        with pytest.raises(ValueError):
+            MulticolorGaussSeidel(sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+
+
+class TestApply:
+    def test_sweeps_reduce_residual(self, system):
+        A, _, b = system
+        gs = MulticolorGaussSeidel(A, sweeps=1, symmetric=True)
+        x = gs.apply(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+        x2 = gs.apply(b, x)
+        assert np.linalg.norm(b - A @ x2) < np.linalg.norm(b - A @ x)
+
+    def test_exact_solution_fixed_point(self, system):
+        A, x_exact, b = system
+        gs = MulticolorGaussSeidel(A)
+        assert np.allclose(gs.apply(b, x_exact.copy()), x_exact, atol=1e-10)
+
+    def test_forward_only_variant(self, system):
+        A, _, b = system
+        fwd = MulticolorGaussSeidel(A, symmetric=False).apply(b)
+        sym = MulticolorGaussSeidel(A, symmetric=True).apply(b)
+        assert not np.allclose(fwd, sym)
+
+
+class TestAsPreconditioner:
+    def test_accelerates_gmres(self, system):
+        A, _, b = system
+        plain = gmres(A, b, tol=1e-8, maxiter=800)
+        gs = MulticolorGaussSeidel(A)
+        pre = gmres(A, b, M=gs.as_preconditioner(), tol=1e-8, maxiter=800)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_symmetric_variant_works_with_cg(self, system):
+        A, _, b = system
+        gs = MulticolorGaussSeidel(A, symmetric=True)
+        result = pcg(A, b, M=gs.as_preconditioner(), tol=1e-10, maxiter=500)
+        assert result.converged

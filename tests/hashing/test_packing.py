@@ -1,0 +1,104 @@
+"""Tests for the compressed status tuples of Section V-C."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import TuplePacking, packed_in, packed_out, priority_bits
+
+
+class TestPriorityBits:
+    def test_paper_formula(self):
+        # b = ceil(log2(|V| + 2))
+        id_bits, prio_bits = priority_bits(1000, word_bits=32)
+        assert id_bits == 10
+        assert prio_bits == 22
+
+    def test_small_graphs(self):
+        assert priority_bits(0)[0] == 1
+        assert priority_bits(1)[0] == 2
+
+    def test_word_width_validation(self):
+        with pytest.raises(ValueError):
+            priority_bits(10, word_bits=16)
+        with pytest.raises(ValueError):
+            priority_bits(-1)
+
+    def test_too_large_graph_for_32_bits(self):
+        with pytest.raises(ValueError):
+            priority_bits(2**33, word_bits=32)
+
+    def test_packed_markers(self):
+        assert packed_in(32) == 0
+        assert packed_out(32) == 2**32 - 1
+        assert packed_out(64) == 2**64 - 1
+        with pytest.raises(ValueError):
+            packed_out(8)
+
+
+@pytest.mark.parametrize("word_bits", [32, 64])
+class TestTuplePacking:
+    def test_roundtrip(self, word_bits):
+        packer = TuplePacking(500, word_bits=word_bits)
+        vids = np.arange(500, dtype=np.int64)
+        prios = np.arange(500, dtype=np.uint64) * 7 + 1
+        packed = packer.pack(prios, vids)
+        unpacked_prio, unpacked_vid = packer.unpack(packed)
+        assert np.array_equal(unpacked_vid, vids)
+        # Priorities are truncated to prio_bits.
+        mask = (1 << packer.prio_bits) - 1
+        assert np.array_equal(unpacked_prio, prios & mask)
+
+    def test_ordering_in_lt_undecided_lt_out(self, word_bits):
+        packer = TuplePacking(100, word_bits=word_bits)
+        packed = packer.pack(np.uint64(12345), np.int64(42))
+        assert packer.in_value < packed < packer.out_value
+
+    def test_no_collision_with_markers(self, word_bits):
+        # Equation 1 of the paper: no (priority, id) packs to IN or OUT.
+        packer = TuplePacking(300, word_bits=word_bits)
+        vids = np.arange(300, dtype=np.int64)
+        max_prio = np.full(300, np.iinfo(np.uint64).max, dtype=np.uint64)
+        zero_prio = np.zeros(300, dtype=np.uint64)
+        for prios in (max_prio, zero_prio):
+            packed = packer.pack(prios, vids)
+            assert not packer.is_in(packed).any()
+            assert not packer.is_out(packed).any()
+            assert packer.is_undecided(packed).all()
+
+    def test_id_is_tiebreak(self, word_bits):
+        packer = TuplePacking(64, word_bits=word_bits)
+        same_prio = np.uint64(99)
+        a = packer.pack(same_prio, np.int64(3))
+        b = packer.pack(same_prio, np.int64(17))
+        assert a != b
+        assert a < b  # lower id wins the minimum
+
+    def test_priority_dominates_id(self, word_bits):
+        packer = TuplePacking(64, word_bits=word_bits)
+        low = packer.pack(np.uint64(1), np.int64(60))
+        high = packer.pack(np.uint64(2), np.int64(0))
+        assert low < high
+
+    def test_vertex_of(self, word_bits):
+        packer = TuplePacking(200, word_bits=word_bits)
+        packed = packer.pack(np.uint64(5), np.arange(200, dtype=np.int64))
+        assert np.array_equal(packer.vertex_of(packed), np.arange(200))
+
+    def test_unpack_markers_rejected(self, word_bits):
+        packer = TuplePacking(10, word_bits=word_bits)
+        with pytest.raises(ValueError):
+            packer.unpack(np.array([packer.in_value]))
+        with pytest.raises(ValueError):
+            packer.unpack(np.array([packer.out_value]))
+
+    def test_pack_rejects_bad_vertex(self, word_bits):
+        packer = TuplePacking(10, word_bits=word_bits)
+        with pytest.raises(ValueError):
+            packer.pack(np.uint64(1), np.int64(10))
+        with pytest.raises(ValueError):
+            packer.pack(np.uint64(1), np.int64(-1))
+
+    def test_dtype_matches_word_width(self, word_bits):
+        packer = TuplePacking(10, word_bits=word_bits)
+        expected = np.uint32 if word_bits == 32 else np.uint64
+        assert packer.dtype == np.dtype(expected)

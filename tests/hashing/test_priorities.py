@@ -1,0 +1,64 @@
+"""Tests for the priority schemes of Section V-A."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    PriorityScheme,
+    fixed_priorities,
+    iteration_priorities,
+    priority_scheme_names,
+)
+
+
+class TestPriorityScheme:
+    def test_coerce_from_string(self):
+        assert PriorityScheme.coerce("fixed") is PriorityScheme.FIXED
+        assert PriorityScheme.coerce("XORSTAR") is PriorityScheme.XORSTAR
+        assert PriorityScheme.coerce(PriorityScheme.XOR) is PriorityScheme.XOR
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            PriorityScheme.coerce("random")
+
+    def test_names_in_table_one_order(self):
+        assert priority_scheme_names() == ["fixed", "xor", "xorstar"]
+
+
+class TestFixedPriorities:
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(fixed_priorities(100, seed=1), fixed_priorities(100, seed=1))
+        assert not np.array_equal(fixed_priorities(100, seed=1), fixed_priorities(100, seed=2))
+
+    def test_all_distinct(self):
+        p = fixed_priorities(5000)
+        assert np.unique(p).size == 5000
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_priorities(-1)
+
+    def test_empty(self):
+        assert fixed_priorities(0).size == 0
+
+
+class TestIterationPriorities:
+    def test_fixed_scheme_ignores_iteration(self):
+        a = iteration_priorities("fixed", 0, 64, seed=3)
+        b = iteration_priorities("fixed", 9, 64, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_hash_schemes_change_with_iteration(self):
+        a = iteration_priorities("xorstar", 0, 64)
+        b = iteration_priorities("xorstar", 1, 64)
+        assert not np.array_equal(a, b)
+
+    def test_xor_and_xorstar_differ(self):
+        a = iteration_priorities("xor", 2, 64)
+        b = iteration_priorities("xorstar", 2, 64)
+        assert not np.array_equal(a, b)
+
+    def test_output_length_and_dtype(self):
+        p = iteration_priorities("xorstar", 0, 33)
+        assert p.shape == (33,)
+        assert p.dtype == np.uint64

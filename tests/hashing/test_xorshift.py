@@ -1,0 +1,90 @@
+"""Tests for the xorshift / xorshift* hash functions."""
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    XORSHIFT64_STAR_MULTIPLIER,
+    hash_iter_vertex,
+    xorshift64,
+    xorshift64star,
+)
+
+
+class TestXorshift:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(xorshift64(x), xorshift64(x))
+        assert np.array_equal(xorshift64star(x), xorshift64star(x))
+
+    def test_scalar_and_array_agree(self):
+        arr = xorshift64star(np.array([7, 8], dtype=np.uint64))
+        assert xorshift64star(7) == arr[0]
+        assert xorshift64star(8) == arr[1]
+
+    def test_zero_is_fixed_point_of_xorshift(self):
+        assert int(xorshift64(0)) == 0
+        assert int(xorshift64star(0)) == 0
+
+    def test_nonzero_inputs_produce_distinct_outputs(self):
+        x = np.arange(1, 10_001, dtype=np.uint64)
+        assert np.unique(xorshift64(x)).size == x.size
+        assert np.unique(xorshift64star(x)).size == x.size
+
+    def test_outputs_fill_64_bit_range(self):
+        x = np.arange(1, 1001, dtype=np.uint64)
+        h = xorshift64star(x)
+        # High bits must be exercised (values above 2^63 occur).
+        assert (h > np.uint64(1) << np.uint64(63)).any()
+
+    def test_star_differs_from_plain(self):
+        x = np.arange(1, 100, dtype=np.uint64)
+        assert not np.array_equal(xorshift64(x), xorshift64star(x))
+
+    def test_multiplier_constant(self):
+        assert int(XORSHIFT64_STAR_MULTIPLIER) == 0x2545F4914F6CDD1D
+
+    def test_does_not_mutate_input(self):
+        x = np.arange(5, dtype=np.uint64)
+        before = x.copy()
+        xorshift64(x)
+        xorshift64star(x)
+        assert np.array_equal(x, before)
+
+
+class TestHashIterVertex:
+    def test_changes_with_iteration(self):
+        v = np.arange(50, dtype=np.uint64)
+        h0 = hash_iter_vertex(0, v)
+        h1 = hash_iter_vertex(1, v)
+        assert not np.array_equal(h0, h1)
+
+    def test_changes_with_vertex(self):
+        h = hash_iter_vertex(3, np.arange(1000, dtype=np.uint64))
+        assert np.unique(h).size == 1000
+
+    def test_star_flag_selects_function(self):
+        v = np.arange(20, dtype=np.uint64)
+        assert not np.array_equal(
+            hash_iter_vertex(0, v, star=True), hash_iter_vertex(0, v, star=False)
+        )
+
+    def test_vertex_zero_iteration_zero_is_not_degenerate(self):
+        assert int(hash_iter_vertex(0, np.array([0], dtype=np.uint64))[0]) != 0
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            hash_iter_vertex(-1, np.array([0], dtype=np.uint64))
+
+    def test_low_correlation_between_iterations(self):
+        # The decorrelation across iterations is exactly why the paper picked
+        # xorshift*: consecutive iterations should rank vertices very differently.
+        v = np.arange(2000, dtype=np.uint64)
+        r0 = np.argsort(hash_iter_vertex(0, v))
+        r1 = np.argsort(hash_iter_vertex(1, v))
+        ranks0 = np.empty_like(r0)
+        ranks0[r0] = np.arange(v.size)
+        ranks1 = np.empty_like(r1)
+        ranks1[r1] = np.arange(v.size)
+        corr = np.corrcoef(ranks0, ranks1)[0, 1]
+        assert abs(corr) < 0.1

@@ -1,0 +1,106 @@
+"""End-to-end integration tests across module boundaries.
+
+These mirror the paper's two use cases (SA-AMG aggregation and cluster Gauss-Seidel
+preconditioning) plus the multilevel-coarsening application, exercising the whole
+stack: generators -> MIS-2 -> aggregation -> transfer operators -> solvers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    aggregate_quality,
+    coarsen_recursive,
+    galerkin_operator,
+    mis2_aggregation,
+    smoothed_prolongation,
+)
+from repro.graph import elasticity3d_matrix, from_scipy, laplace3d_matrix, load_suite_matrix
+from repro.gs import ClusterMulticolorGaussSeidel, MulticolorGaussSeidel
+from repro.mis import kk_mis2, verify_mis
+from repro.solvers import build_hierarchy, gmres, pcg
+
+
+class TestAMGPipeline:
+    def test_laplace_poisson_solve_end_to_end(self):
+        A = laplace3d_matrix(13, 13, 13)
+        rng = np.random.default_rng(0)
+        x_exact = rng.random(A.shape[0])
+        b = A @ x_exact
+        hierarchy = build_hierarchy(A, aggregation_fn=mis2_aggregation)
+        result = hierarchy.solve(b, tol=1e-10)
+        assert result.converged
+        assert np.allclose(result.x, x_exact, atol=1e-5)
+        # The aggregation driving the hierarchy must itself be a valid coarsening.
+        level0 = hierarchy.levels[0]
+        assert level0.aggregation.is_complete()
+
+    def test_elasticity_like_system(self):
+        A = elasticity3d_matrix(4, 4, 4, dofs_per_node=3)
+        b = np.ones(A.shape[0])
+        hierarchy = build_hierarchy(A)
+        result = hierarchy.solve(b, tol=1e-8, maxiter=300)
+        assert result.converged
+
+    def test_manual_two_level_method(self):
+        A = laplace3d_matrix(10, 10, 10)
+        graph = from_scipy(A)
+        mis = kk_mis2(graph)
+        assert verify_mis(graph, mis.in_set, k=2)
+        agg = mis2_aggregation(graph, mis=mis)
+        P, _ = smoothed_prolongation(A, agg)
+        Ac = galerkin_operator(A, P)
+        assert Ac.shape[0] == agg.num_aggregates
+        # Two-level preconditioner: coarse-grid correction plus Jacobi smoothing.
+        from repro.solvers import DirectSolver, JacobiSmoother
+
+        coarse = DirectSolver(Ac)
+        smoother = JacobiSmoother(A, sweeps=1)
+
+        def two_level(r):
+            x = smoother.apply(r)
+            x += P @ coarse.solve(P.T @ (r - A @ x))
+            return smoother.apply(r, x)
+
+        b = np.ones(A.shape[0])
+        plain = pcg(A, b, tol=1e-10, maxiter=2000)
+        preconditioned = pcg(A, b, M=two_level, tol=1e-10, maxiter=2000)
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+
+class TestClusterGSPipeline:
+    def test_gmres_with_both_preconditioners_on_suite_matrix(self):
+        A = load_suite_matrix("Laplace3D_100", scale=0.004)
+        b = np.ones(A.shape[0])
+        point = MulticolorGaussSeidel(A)
+        cluster = ClusterMulticolorGaussSeidel(A)
+        rp = gmres(A, b, M=point.as_preconditioner(), tol=1e-8, maxiter=600)
+        rc = gmres(A, b, M=cluster.as_preconditioner(), tol=1e-8, maxiter=600)
+        assert rp.converged and rc.converged
+        # Cluster setup colors a much smaller graph.
+        assert cluster.coarse.num_vertices < A.shape[0] / 3
+        # Both solutions solve the system.
+        assert np.allclose(A @ rc.x, b, atol=1e-5)
+
+
+class TestMultilevelPartitioningPipeline:
+    def test_coarsen_partition_project(self):
+        A = laplace3d_matrix(12, 12, 12)
+        graph = from_scipy(A)
+        hierarchy = coarsen_recursive(graph, target_size=64)
+        assert hierarchy.coarsest.num_vertices <= 64 or hierarchy.num_levels > 1
+        # "Partition" the coarsest graph by alternating labels and project back.
+        coarse_part = np.arange(hierarchy.coarsest.num_vertices) % 2
+        fine_part = hierarchy.project_to_finest(coarse_part)
+        assert fine_part.shape == (graph.num_vertices,)
+        sizes = np.bincount(fine_part, minlength=2)
+        # Both parts are non-trivial (coarsening preserves rough balance).
+        assert sizes.min() > graph.num_vertices * 0.2
+
+    def test_quality_improves_with_algorithm3(self):
+        graph = from_scipy(laplace3d_matrix(12, 12, 12))
+        agg = mis2_aggregation(graph)
+        q = aggregate_quality(agg)
+        assert q.singletons == 0
+        assert q.mean_size >= 3.0

@@ -1,0 +1,82 @@
+"""Tests for the Bell/Dalton/Olson MIS-k baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, cycle_graph, empty_graph, path_graph, star_graph
+from repro.mis import bell_mis, kk_mis2, verify_mis
+
+
+class TestCorrectness:
+    def test_valid_mis2_on_every_small_graph(self, any_small_graph):
+        result = bell_mis(any_small_graph, k=2)
+        assert verify_mis(any_small_graph, result.in_set, k=2)
+
+    def test_valid_mis1(self, any_small_graph):
+        result = bell_mis(any_small_graph, k=1)
+        assert verify_mis(any_small_graph, result.in_set, k=1)
+
+    def test_valid_mis3_on_path(self):
+        g = path_graph(30)
+        result = bell_mis(g, k=3)
+        chosen = np.sort(result.in_set)
+        assert np.all(np.diff(chosen) >= 4)
+        assert verify_mis(g, chosen, k=3)
+
+    def test_valid_mis4_on_cycle(self):
+        g = cycle_graph(23)
+        result = bell_mis(g, k=4)
+        assert verify_mis(g, result.in_set, k=4)
+
+    def test_structured_graph(self, small_laplace3d):
+        result = bell_mis(small_laplace3d, k=2)
+        assert verify_mis(small_laplace3d, result.in_set, k=2)
+
+    def test_empty_graph(self):
+        assert bell_mis(empty_graph(0)).size == 0
+
+    def test_complete_graph(self):
+        assert bell_mis(complete_graph(6), k=2).size == 1
+
+    def test_k_validation(self, small_laplace3d):
+        with pytest.raises(ValueError):
+            bell_mis(small_laplace3d, k=0)
+
+
+class TestComparisonWithKK:
+    def test_similar_set_size(self, small_laplace3d):
+        # Table IV: CUSP/ViennaCL and Kokkos Kernels produce very similar MIS-2 sizes.
+        kk = kk_mis2(small_laplace3d)
+        bell = bell_mis(small_laplace3d, k=2)
+        assert abs(kk.size - bell.size) / kk.size < 0.15
+
+    def test_bell_moves_more_memory(self, small_laplace3d):
+        # No worklists + 3-word tuples means the baseline moves much more data,
+        # which is the basis of the paper's Fig. 2 speedups.
+        kk = kk_mis2(small_laplace3d)
+        bell = bell_mis(small_laplace3d, k=2)
+        assert bell.traffic.total_bytes > 2 * kk.traffic.total_bytes
+
+    def test_fixed_priorities_recorded(self, small_laplace3d):
+        result = bell_mis(small_laplace3d)
+        assert result.config.algorithm == "bell"
+        assert result.config.priority_scheme == "fixed"
+        assert result.config.packed_tuples is False
+        assert result.config.use_worklists is False
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, small_laplace3d):
+        a = bell_mis(small_laplace3d, k=2, seed=3)
+        b = bell_mis(small_laplace3d, k=2, seed=3)
+        assert np.array_equal(a.in_set, b.in_set)
+        assert a.iterations == b.iterations
+
+    def test_seed_changes_set(self, small_laplace3d):
+        a = bell_mis(small_laplace3d, k=2, seed=0)
+        b = bell_mis(small_laplace3d, k=2, seed=1)
+        assert not np.array_equal(a.in_set, b.in_set)
+
+    def test_refreshed_priority_variant(self, small_laplace3d):
+        result = bell_mis(small_laplace3d, k=2, priority_scheme="xorstar")
+        assert verify_mis(small_laplace3d, result.in_set, k=2)

@@ -1,0 +1,75 @@
+"""Determinism tests.
+
+The paper advertises determinism as a first-class property: the same input must yield
+the same MIS-2 on every architecture and on every run. The Python analogue is
+checked here: repeated runs, different execution backends (vectorised vs loop
+reference), and both word widths must all produce bit-identical results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid2d, laplace3d, random_gnp, random_regular
+from repro.mis import bell_mis, kk_mis2, luby_mis1, mis2_reference
+from repro.coarsen import mis2_aggregation, mis2_basic_aggregation
+from repro.coloring import greedy_color
+
+
+GRAPHS = {
+    "grid": lambda: grid2d(12, 13),
+    "laplace": lambda: laplace3d(8, 8, 8),
+    "gnp": lambda: random_gnp(90, 0.05, seed=2),
+    "regular": lambda: random_regular(120, 6, seed=4),
+}
+
+
+@pytest.fixture(params=sorted(GRAPHS), ids=sorted(GRAPHS))
+def det_graph(request):
+    return GRAPHS[request.param]()
+
+
+class TestRunToRunDeterminism:
+    def test_kk_mis2(self, det_graph):
+        runs = [kk_mis2(det_graph) for _ in range(3)]
+        for r in runs[1:]:
+            assert np.array_equal(runs[0].in_set, r.in_set)
+            assert runs[0].iterations == r.iterations
+
+    def test_bell(self, det_graph):
+        assert np.array_equal(bell_mis(det_graph).in_set, bell_mis(det_graph).in_set)
+
+    def test_luby(self, det_graph):
+        assert np.array_equal(luby_mis1(det_graph).in_set, luby_mis1(det_graph).in_set)
+
+    def test_coloring(self, det_graph):
+        assert np.array_equal(greedy_color(det_graph).colors, greedy_color(det_graph).colors)
+
+    def test_aggregation(self, det_graph):
+        a = mis2_aggregation(det_graph)
+        b = mis2_aggregation(det_graph)
+        assert np.array_equal(a.labels, b.labels)
+        c = mis2_basic_aggregation(det_graph)
+        d = mis2_basic_aggregation(det_graph)
+        assert np.array_equal(c.labels, d.labels)
+
+
+class TestCrossBackendDeterminism:
+    def test_vectorised_equals_loop_reference(self, det_graph):
+        if det_graph.num_vertices > 600:
+            pytest.skip("reference implementation is slow")
+        assert np.array_equal(kk_mis2(det_graph).in_set, mis2_reference(det_graph).in_set)
+
+    def test_word_width_is_independent_of_set_validity(self, det_graph):
+        from repro.mis import verify_mis
+
+        r32 = kk_mis2(det_graph, word_bits=32)
+        r64 = kk_mis2(det_graph, word_bits=64)
+        assert verify_mis(det_graph, r32.in_set, k=2)
+        assert verify_mis(det_graph, r64.in_set, k=2)
+
+    def test_worklist_and_simd_flags_do_not_affect_output(self, det_graph):
+        base = kk_mis2(det_graph)
+        for use_worklists in (True, False):
+            for simd in (None, True, False):
+                other = kk_mis2(det_graph, use_worklists=use_worklists, simd=simd)
+                assert np.array_equal(base.in_set, other.in_set)

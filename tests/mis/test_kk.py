@@ -1,0 +1,152 @@
+"""Tests for Algorithm 1 (kk_mis2), the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid2d,
+    laplace3d,
+    path_graph,
+    star_graph,
+)
+from repro.hashing import PriorityScheme
+from repro.mis import kk_mis2, verify_mis
+
+
+class TestCorrectness:
+    def test_valid_mis2_on_every_small_graph(self, any_small_graph):
+        result = kk_mis2(any_small_graph)
+        assert verify_mis(any_small_graph, result.in_set, k=2)
+
+    def test_valid_on_structured_graph(self, small_laplace3d):
+        result = kk_mis2(small_laplace3d)
+        assert verify_mis(small_laplace3d, result.in_set, k=2)
+        # The 7-point Laplace MIS-2 is roughly 9% of the vertices in the paper.
+        fraction = result.size / small_laplace3d.num_vertices
+        assert 0.04 <= fraction <= 0.2
+
+    def test_empty_graph(self):
+        result = kk_mis2(empty_graph(0))
+        assert result.size == 0
+        assert result.iterations == 0
+
+    def test_isolated_vertices_all_in(self):
+        result = kk_mis2(empty_graph(5))
+        assert result.size == 5
+
+    def test_single_vertex(self):
+        result = kk_mis2(empty_graph(1))
+        assert result.in_set.tolist() == [0]
+
+    def test_complete_graph_has_one_vertex(self):
+        result = kk_mis2(complete_graph(7))
+        assert result.size == 1
+
+    def test_star_graph_center_or_single_leaf(self):
+        # Any two leaves are at distance 2, so the MIS-2 has exactly one vertex.
+        result = kk_mis2(star_graph(10))
+        assert result.size == 1
+
+    def test_path_graph_spacing(self):
+        result = kk_mis2(path_graph(20))
+        chosen = np.sort(result.in_set)
+        assert np.all(np.diff(chosen) >= 3)
+        assert verify_mis(path_graph(20), chosen, k=2)
+
+    def test_in_mask_consistent_with_in_set(self, small_laplace3d):
+        result = kk_mis2(small_laplace3d)
+        assert np.array_equal(np.nonzero(result.in_mask)[0], result.in_set)
+
+    def test_fig1_example_selects_vertices_far_apart(self, fig1_graph):
+        result = kk_mis2(fig1_graph)
+        assert verify_mis(fig1_graph, result.in_set, k=2)
+        assert result.size == 2  # the figure's {1, 4} in 1-based numbering
+
+
+class TestPrioritySchemes:
+    @pytest.mark.parametrize("scheme", ["fixed", "xor", "xorstar"])
+    def test_all_schemes_valid(self, scheme, small_laplace3d):
+        result = kk_mis2(small_laplace3d, priority_scheme=scheme)
+        assert verify_mis(small_laplace3d, result.in_set, k=2)
+        assert result.config.priority_scheme == scheme
+
+    def test_xorstar_converges_in_few_iterations(self):
+        graph = laplace3d(12, 12, 12)
+        result = kk_mis2(graph, priority_scheme="xorstar")
+        # Paper Table I: ~10 iterations at 10^6 vertices; small graphs need fewer.
+        assert result.iterations <= 14
+
+    def test_unknown_scheme_rejected(self, small_laplace3d):
+        with pytest.raises(ValueError):
+            kk_mis2(small_laplace3d, priority_scheme="bogus")
+
+    def test_fixed_scheme_seed_changes_result(self):
+        graph = grid2d(15, 15)
+        a = kk_mis2(graph, priority_scheme="fixed", seed=0)
+        b = kk_mis2(graph, priority_scheme="fixed", seed=1)
+        assert verify_mis(graph, a.in_set, k=2) and verify_mis(graph, b.in_set, k=2)
+        assert not np.array_equal(a.in_set, b.in_set)
+
+
+class TestOptions:
+    def test_worklist_toggle_does_not_change_result(self, small_laplace3d):
+        with_wl = kk_mis2(small_laplace3d, use_worklists=True)
+        without_wl = kk_mis2(small_laplace3d, use_worklists=False)
+        assert np.array_equal(with_wl.in_set, without_wl.in_set)
+        assert with_wl.iterations == without_wl.iterations
+
+    def test_simd_flag_does_not_change_result(self, small_laplace3d):
+        auto = kk_mis2(small_laplace3d)
+        off = kk_mis2(small_laplace3d, simd=False)
+        on = kk_mis2(small_laplace3d, simd=True)
+        assert np.array_equal(auto.in_set, off.in_set)
+        assert np.array_equal(auto.in_set, on.in_set)
+
+    def test_simd_heuristic_uses_average_degree(self):
+        low_degree = grid2d(20, 20)  # avg degree ~4 < 16
+        high_degree = complete_graph(40)  # avg degree 39 >= 16
+        assert kk_mis2(low_degree).config.simd is False
+        assert kk_mis2(high_degree).config.simd is True
+
+    def test_word_bits_32(self, small_laplace3d):
+        r32 = kk_mis2(small_laplace3d, word_bits=32)
+        assert verify_mis(small_laplace3d, r32.in_set, k=2)
+        assert r32.config.word_bits == 32
+
+    def test_config_recorded(self, small_laplace3d):
+        result = kk_mis2(small_laplace3d, use_worklists=False, simd=True, seed=5)
+        cfg = result.config
+        assert cfg.algorithm == "kk"
+        assert cfg.k == 2
+        assert cfg.use_worklists is False
+        assert cfg.packed_tuples is True
+        assert cfg.simd is True
+        assert cfg.seed == 5
+
+
+class TestInstrumentation:
+    def test_worklist_sizes_shrink(self, small_laplace3d):
+        result = kk_mis2(small_laplace3d)
+        sizes = [w1 for w1, _ in result.worklist_sizes]
+        assert sizes[0] == small_laplace3d.num_vertices
+        assert sizes[-1] < sizes[0]
+        assert len(result.worklist_sizes) == result.iterations
+
+    def test_traffic_recorded_per_phase(self, small_laplace3d):
+        result = kk_mis2(small_laplace3d)
+        by_kernel = result.traffic.by_kernel()
+        for phase in ("refresh_row", "refresh_column", "decide", "compact_worklists"):
+            assert phase in by_kernel
+        assert result.traffic.num_kernels == 4 * result.iterations
+
+    def test_worklists_reduce_traffic(self, small_laplace3d):
+        with_wl = kk_mis2(small_laplace3d, use_worklists=True)
+        without_wl = kk_mis2(small_laplace3d, use_worklists=False)
+        assert with_wl.traffic.total_bytes < without_wl.traffic.total_bytes
+
+    def test_result_repr(self, small_laplace3d):
+        text = repr(kk_mis2(small_laplace3d))
+        assert "kk" in text and "size=" in text

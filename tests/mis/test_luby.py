@@ -1,0 +1,53 @@
+"""Tests for Luby's MIS-1 algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.graph import complete_graph, cycle_graph, empty_graph, path_graph, star_graph
+from repro.mis import luby_mis1, verify_mis
+
+
+class TestCorrectness:
+    def test_valid_mis1_on_every_small_graph(self, any_small_graph):
+        result = luby_mis1(any_small_graph)
+        assert verify_mis(any_small_graph, result.in_set, k=1)
+
+    def test_path_alternation_is_maximal(self):
+        result = luby_mis1(path_graph(12))
+        assert verify_mis(path_graph(12), result.in_set, k=1)
+        # An MIS-1 of a path with 12 vertices has at least 4 members.
+        assert result.size >= 4
+
+    def test_star_graph(self):
+        result = luby_mis1(star_graph(9))
+        # Either the hub alone or all the leaves.
+        assert result.size in (1, 9)
+        assert verify_mis(star_graph(9), result.in_set, k=1)
+
+    def test_complete_graph(self):
+        assert luby_mis1(complete_graph(8)).size == 1
+
+    def test_empty_and_isolated(self):
+        assert luby_mis1(empty_graph(0)).size == 0
+        assert luby_mis1(empty_graph(4)).size == 4
+
+    def test_structured_graph(self, small_laplace3d):
+        result = luby_mis1(small_laplace3d)
+        assert verify_mis(small_laplace3d, result.in_set, k=1)
+        # MIS-1 of the 7-point stencil covers a sizable fraction of the vertices.
+        assert result.size > small_laplace3d.num_vertices / 8
+
+
+class TestSchemesAndDeterminism:
+    def test_deterministic(self, small_laplace3d):
+        a = luby_mis1(small_laplace3d)
+        b = luby_mis1(small_laplace3d)
+        assert np.array_equal(a.in_set, b.in_set)
+
+    def test_fixed_priorities_greedy_variant(self, small_laplace3d):
+        result = luby_mis1(small_laplace3d, priority_scheme="fixed", seed=4)
+        assert verify_mis(small_laplace3d, result.in_set, k=1)
+
+    def test_iteration_count_logarithmic(self):
+        result = luby_mis1(cycle_graph(2000))
+        assert result.iterations <= 30

@@ -1,0 +1,47 @@
+"""Tests for the Lemma IV.2 reduction (MIS-1 of G^2 is an MIS-2 of G)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import cycle_graph, grid2d, path_graph, random_gnp, square, star_graph
+from repro.mis import (
+    kk_mis2,
+    luby_mis1,
+    mis1_on_square_equals_mis2,
+    mis2_via_square,
+    verify_mis,
+)
+
+
+class TestLemmaIV2:
+    def test_holds_on_every_small_graph(self, any_small_graph):
+        assert mis1_on_square_equals_mis2(any_small_graph)
+
+    def test_holds_on_structured_graph(self, small_laplace3d):
+        assert mis1_on_square_equals_mis2(small_laplace3d)
+
+    def test_mis2_of_square_result_is_mis1_of_square(self):
+        g = grid2d(9, 9)
+        result = mis2_via_square(g)
+        assert verify_mis(square(g), result.in_set, k=1)
+        assert verify_mis(g, result.in_set, k=2)
+
+
+class TestComparisonWithDirectAlgorithm:
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: path_graph(30), lambda: cycle_graph(25), lambda: grid2d(10, 10),
+         lambda: random_gnp(70, 0.05, seed=11)],
+    )
+    def test_sizes_comparable(self, factory):
+        g = factory()
+        direct = kk_mis2(g)
+        reduced = mis2_via_square(g)
+        assert verify_mis(g, reduced.in_set, k=2)
+        # Both are maximal so their sizes should be in the same ballpark.
+        assert 0.5 <= reduced.size / max(direct.size, 1) <= 2.0
+
+    def test_config_labelled(self):
+        result = mis2_via_square(path_graph(10))
+        assert result.config.algorithm == "mis1-on-square"
+        assert result.config.k == 2

@@ -1,0 +1,59 @@
+"""Tests for the loop-based reference implementation and its equivalence to the
+vectorised Algorithm 1 kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph import cycle_graph, grid2d, path_graph, random_gnp, star_graph
+from repro.mis import kk_mis2, mis2_reference, verify_mis
+
+
+class TestReferenceCorrectness:
+    def test_valid_on_small_graphs(self, any_small_graph):
+        if any_small_graph.num_vertices > 200:
+            pytest.skip("reference implementation is intentionally slow")
+        result = mis2_reference(any_small_graph)
+        assert verify_mis(any_small_graph, result.in_set, k=2)
+
+    def test_phase_callback_invoked(self, fig1_graph):
+        phases = []
+        mis2_reference(fig1_graph, phase_callback=lambda p, i, T, M: phases.append((p, i)))
+        assert phases[0] == ("refresh_row", 0)
+        assert phases[1] == ("refresh_column", 0)
+        assert phases[2] == ("decide", 0)
+        # Three callbacks per iteration.
+        assert len(phases) % 3 == 0
+
+
+class TestEquivalenceWithVectorisedKernel:
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: path_graph(25),
+            lambda: cycle_graph(30),
+            lambda: star_graph(12),
+            lambda: grid2d(8, 9),
+            lambda: random_gnp(60, 0.07, seed=5),
+            lambda: random_gnp(80, 0.03, seed=9),
+        ],
+    )
+    def test_bitwise_identical_results(self, graph_factory):
+        graph = graph_factory()
+        fast = kk_mis2(graph)
+        slow = mis2_reference(graph)
+        assert np.array_equal(fast.in_set, slow.in_set)
+        assert fast.iterations == slow.iterations
+
+    @pytest.mark.parametrize("scheme", ["fixed", "xor", "xorstar"])
+    def test_equivalence_across_priority_schemes(self, scheme):
+        graph = grid2d(9, 9)
+        fast = kk_mis2(graph, priority_scheme=scheme)
+        slow = mis2_reference(graph, priority_scheme=scheme)
+        assert np.array_equal(fast.in_set, slow.in_set)
+        assert fast.iterations == slow.iterations
+
+    def test_equivalence_with_32_bit_words(self):
+        graph = grid2d(7, 11)
+        fast = kk_mis2(graph, word_bits=32)
+        slow = mis2_reference(graph, word_bits=32)
+        assert np.array_equal(fast.in_set, slow.in_set)

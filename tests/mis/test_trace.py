@@ -1,0 +1,46 @@
+"""Tests for the Fig. 1 iteration tracer."""
+
+import numpy as np
+
+from repro.graph import paper_example_graph, path_graph
+from repro.mis import IterationSnapshot, kk_mis2, trace_mis2
+
+
+class TestTrace:
+    def test_snapshots_cover_every_phase(self):
+        g = paper_example_graph()
+        result, snapshots = trace_mis2(g)
+        assert len(snapshots) == 3 * result.iterations
+        phases = [s.phase for s in snapshots[:3]]
+        assert phases == ["refresh_row", "refresh_column", "decide"]
+
+    def test_trace_matches_vectorised_result(self):
+        g = paper_example_graph()
+        result, _ = trace_mis2(g)
+        fast = kk_mis2(g)
+        assert np.array_equal(result.in_set, fast.in_set)
+
+    def test_statuses_progress_monotonically(self):
+        g = path_graph(12)
+        result, snapshots = trace_mis2(g)
+        decided_counts = [
+            sum(1 for s in snap.statuses if s != "undecided")
+            for snap in snapshots
+            if snap.phase == "decide"
+        ]
+        assert all(b >= a for a, b in zip(decided_counts, decided_counts[1:]))
+        assert decided_counts[-1] == g.num_vertices
+
+    def test_final_snapshot_in_vertices_match_result(self):
+        g = paper_example_graph()
+        result, snapshots = trace_mis2(g)
+        final = snapshots[-1]
+        in_vertices = [v for v, s in enumerate(final.statuses) if s == "in"]
+        assert in_vertices == sorted(result.in_set.tolist())
+
+    def test_describe_mentions_every_vertex(self):
+        g = paper_example_graph()
+        _, snapshots = trace_mis2(g)
+        text = snapshots[0].describe()
+        for v in range(g.num_vertices):
+            assert f"vertex {v}:" in text

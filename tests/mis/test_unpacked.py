@@ -1,0 +1,49 @@
+"""Tests for the unpacked-tuple variant of Algorithm 1 (the Fig. 2 ablation rung)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid2d
+from repro.mis import kk_mis2, verify_mis
+from repro.mis.unpacked import mis2_unpacked
+
+
+class TestCorrectness:
+    def test_valid_on_every_small_graph(self, any_small_graph):
+        result = mis2_unpacked(any_small_graph)
+        assert verify_mis(any_small_graph, result.in_set, k=2)
+
+    @pytest.mark.parametrize("use_worklists", [False, True])
+    def test_worklist_toggle_is_result_invariant(self, small_laplace3d, use_worklists):
+        result = mis2_unpacked(small_laplace3d, use_worklists=use_worklists)
+        assert verify_mis(small_laplace3d, result.in_set, k=2)
+
+    def test_worklist_and_full_sweep_agree(self, small_laplace3d):
+        a = mis2_unpacked(small_laplace3d, use_worklists=True)
+        b = mis2_unpacked(small_laplace3d, use_worklists=False)
+        assert np.array_equal(a.in_set, b.in_set)
+        assert a.iterations == b.iterations
+
+    def test_deterministic(self, small_laplace3d):
+        a = mis2_unpacked(small_laplace3d)
+        b = mis2_unpacked(small_laplace3d)
+        assert np.array_equal(a.in_set, b.in_set)
+
+
+class TestAblationProperties:
+    def test_unpacked_moves_more_bytes_than_packed(self, small_laplace3d):
+        packed = kk_mis2(small_laplace3d, use_worklists=True)
+        unpacked = mis2_unpacked(small_laplace3d, use_worklists=True)
+        assert unpacked.traffic.total_bytes > packed.traffic.total_bytes
+
+    def test_worklists_reduce_unpacked_traffic(self, small_laplace3d):
+        with_wl = mis2_unpacked(small_laplace3d, use_worklists=True)
+        without_wl = mis2_unpacked(small_laplace3d, use_worklists=False)
+        assert with_wl.traffic.total_bytes < without_wl.traffic.total_bytes
+
+    def test_config_flags(self):
+        graph = grid2d(10, 10)
+        result = mis2_unpacked(graph, use_worklists=True)
+        assert result.config.algorithm == "kk-unpacked"
+        assert result.config.packed_tuples is False
+        assert result.config.use_worklists is True

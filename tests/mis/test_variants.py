@@ -1,0 +1,58 @@
+"""Tests for the Fig. 2 optimization ladder."""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid2d, laplace3d
+from repro.mis import OPTIMIZATION_LEVELS, run_optimization_level, verify_mis
+from repro.parallel import predict_device_time, scale_traffic
+
+
+class TestLadderStructure:
+    def test_five_levels_in_cumulative_order(self):
+        keys = [lv.key for lv in OPTIMIZATION_LEVELS]
+        assert keys == ["baseline", "random_priority", "worklist", "packed_status", "simd"]
+        # Each level enables a superset of the previous level's optimizations.
+        for prev, cur in zip(OPTIMIZATION_LEVELS, OPTIMIZATION_LEVELS[1:]):
+            for flag in ("random_priority", "worklists", "packed", "simd"):
+                assert getattr(cur, flag) >= getattr(prev, flag)
+
+    def test_level_by_key_and_unknown(self):
+        g = grid2d(8, 8)
+        result = run_optimization_level(g, "baseline")
+        assert result.config.algorithm == "bell"
+        with pytest.raises(ValueError):
+            run_optimization_level(g, "turbo")
+
+
+class TestLadderResults:
+    @pytest.mark.parametrize("level", OPTIMIZATION_LEVELS, ids=lambda lv: lv.key)
+    def test_every_level_produces_valid_mis2(self, level, small_laplace3d):
+        result = run_optimization_level(small_laplace3d, level)
+        assert verify_mis(small_laplace3d, result.in_set, k=2)
+
+    def test_config_flags_match_level(self, small_laplace3d):
+        for level in OPTIMIZATION_LEVELS:
+            result = run_optimization_level(small_laplace3d, level)
+            assert result.config.packed_tuples == level.packed
+            assert result.config.use_worklists == level.worklists
+
+    def test_full_optimization_is_fastest_in_the_model(self):
+        graph = laplace3d(12, 12, 12)
+        # Extrapolate the recorded traffic to a paper-sized problem (~1M vertices) so
+        # the V100 prediction is bandwidth-dominated rather than launch-dominated,
+        # matching the regime Fig. 2 was measured in.
+        factor = 1_000_000 / graph.num_vertices
+        times = {
+            lv.key: predict_device_time(
+                scale_traffic(run_optimization_level(graph, lv).traffic, factor), "v100"
+            )
+            for lv in OPTIMIZATION_LEVELS
+        }
+        # The fully-optimized configuration (with SIMD) must beat the Bell baseline by
+        # a wide margin in the V100 model — this is the headline of Fig. 2.
+        assert times["baseline"] / times["simd"] > 2.0
+        # Each broad optimization group helps: packed beats worklist-only, which
+        # beats no-worklist configurations.
+        assert times["packed_status"] <= times["worklist"]
+        assert times["worklist"] <= times["random_priority"]

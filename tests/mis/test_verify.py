@@ -1,0 +1,91 @@
+"""Tests for the distance-k verification machinery itself."""
+
+import numpy as np
+import pytest
+
+from repro.graph import cycle_graph, empty_graph, from_edges, path_graph, star_graph
+from repro.mis import (
+    independence_violations,
+    is_independent_set,
+    is_maximal,
+    verify_mis,
+)
+
+
+class TestIndependence:
+    def test_path_distance2(self):
+        g = path_graph(6)
+        assert is_independent_set(g, [0, 3], k=2)
+        assert not is_independent_set(g, [0, 2], k=2)
+        assert is_independent_set(g, [0, 2], k=1)
+
+    def test_empty_and_singleton_sets(self):
+        g = cycle_graph(5)
+        assert is_independent_set(g, [], k=2)
+        assert is_independent_set(g, [3], k=2)
+
+    def test_distance3(self):
+        g = path_graph(8)
+        assert is_independent_set(g, [0, 4], k=3)
+        assert not is_independent_set(g, [0, 3], k=3)
+
+    def test_invalid_vertex(self):
+        with pytest.raises(ValueError):
+            is_independent_set(path_graph(3), [5], k=2)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            is_independent_set(path_graph(3), [0], k=0)
+        with pytest.raises(ValueError):
+            is_maximal(path_graph(3), [0], k=0)
+
+
+class TestMaximality:
+    def test_star_center(self):
+        g = star_graph(6)
+        assert is_maximal(g, [0], k=2)
+        assert is_maximal(g, [1], k=2)  # a leaf covers everything within distance 2
+
+    def test_path_incomplete_cover(self):
+        g = path_graph(10)
+        assert not is_maximal(g, [0], k=2)
+        assert is_maximal(g, [0, 3, 6, 9], k=2)
+
+    def test_empty_graph_vacuously_maximal(self):
+        assert is_maximal(empty_graph(0), [], k=2)
+
+    def test_isolated_vertices_require_membership(self):
+        g = empty_graph(3)
+        assert not is_maximal(g, [0], k=2)
+        assert is_maximal(g, [0, 1, 2], k=2)
+
+
+class TestVerifyMIS:
+    def test_known_mis2_of_path(self):
+        g = path_graph(7)
+        assert verify_mis(g, [0, 3, 6], k=2)
+        assert not verify_mis(g, [0, 3], k=2)  # not maximal (6 uncovered)
+        assert not verify_mis(g, [0, 2, 5], k=2)  # not independent
+
+    def test_disconnected_graph(self, disconnected_graph):
+        # one vertex per component of the triangle/path + both isolated vertices
+        assert verify_mis(disconnected_graph, [0, 4, 7, 8], k=2)
+
+
+class TestViolations:
+    def test_lists_offending_pairs(self):
+        g = path_graph(6)
+        violations = independence_violations(g, [0, 2, 5], k=2)
+        assert violations == [(0, 2)]
+
+    def test_no_violations(self):
+        g = path_graph(6)
+        assert independence_violations(g, [0, 3], k=2) == []
+
+    def test_matches_is_independent(self, nonempty_small_graph):
+        g = nonempty_small_graph
+        rng = np.random.default_rng(0)
+        candidates = rng.choice(g.num_vertices, size=min(5, g.num_vertices), replace=False)
+        assert (len(independence_violations(g, candidates, 2)) == 0) == is_independent_set(
+            g, candidates, 2
+        )

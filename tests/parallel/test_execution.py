@@ -1,0 +1,90 @@
+"""Tests for the execution spaces (Serial / Vector / Thread)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SerialSpace,
+    ThreadSpace,
+    VectorSpace,
+    available_spaces,
+    default_space,
+)
+
+
+@pytest.fixture(params=["serial", "vector", "threads"])
+def space(request):
+    return {
+        "serial": SerialSpace(),
+        "vector": VectorSpace(),
+        "threads": ThreadSpace(num_threads=3),
+    }[request.param]
+
+
+class TestParallelFor:
+    def test_writes_all_indices(self, space):
+        out = np.zeros(17, dtype=np.int64)
+
+        def functor(i):
+            out[i] = np.asarray(i) * 2
+
+        space.parallel_for(17, functor)
+        assert out.tolist() == [2 * i for i in range(17)]
+
+    def test_zero_iterations(self, space):
+        called = []
+        space.parallel_for(0, lambda i: called.append(i))
+        assert called == []
+
+    def test_negative_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.parallel_for(-1, lambda i: None)
+
+
+class TestParallelReduce:
+    def test_sum_min_max_match_numpy(self, space):
+        values = np.arange(1, 101, dtype=np.int64)
+        assert space.parallel_reduce(values, "sum") == values.sum()
+        assert space.parallel_reduce(values, "min") == 1
+        assert space.parallel_reduce(values, "max") == 100
+
+    def test_unknown_op(self, space):
+        with pytest.raises(ValueError):
+            space.parallel_reduce(np.arange(3), "median")
+
+    def test_empty_min_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.parallel_reduce(np.array([], dtype=np.int64), "min")
+
+
+class TestParallelScan:
+    def test_scan_matches_exclusive_prefix(self, space):
+        values = np.array([3, 1, 4, 1, 5])
+        assert space.parallel_scan(values).tolist() == [0, 3, 4, 8, 9, 14]
+
+
+class TestMapIndices:
+    def test_map_indices_identical_across_spaces(self):
+        fn = lambda idx: idx * idx + 1
+        results = [s.map_indices(23, fn) for s in available_spaces()]
+        for r in results[1:]:
+            assert np.array_equal(results[0], r)
+
+    def test_map_indices_empty(self, space):
+        assert space.map_indices(0, lambda idx: idx).size == 0
+
+
+class TestConfiguration:
+    def test_default_space_is_vector(self):
+        assert isinstance(default_space(), VectorSpace)
+
+    def test_thread_space_validation(self):
+        with pytest.raises(ValueError):
+            ThreadSpace(num_threads=0)
+
+    def test_thread_space_default_threads_positive(self):
+        assert ThreadSpace().num_threads >= 1
+
+    def test_available_spaces_names(self):
+        names = {s.name for s in available_spaces()}
+        assert names == {"serial", "vector", "threads"}

@@ -1,0 +1,40 @@
+"""Tests for the device catalogue."""
+
+import pytest
+
+from repro.parallel import DEVICES, device, device_names
+
+
+def test_four_devices_in_table_ii_order():
+    assert device_names() == ["v100", "mi100", "skylake", "tx2"]
+    assert set(DEVICES) == set(device_names())
+
+
+def test_paper_bandwidths():
+    # Section VI-C quotes these theoretical bandwidths explicitly.
+    assert device("v100").memory_bandwidth_gbs == 900.0
+    assert device("mi100").memory_bandwidth_gbs == 1200.0
+    assert device("skylake").memory_bandwidth_gbs == 238.0
+    assert device("tx2").memory_bandwidth_gbs == 317.0
+
+
+def test_cpu_core_counts_match_paper():
+    assert device("skylake").physical_cores == 48
+    assert device("skylake").max_threads == 96
+    assert device("tx2").physical_cores == 56
+    assert device("tx2").max_threads == 112
+
+
+def test_kinds():
+    assert device("v100").kind == "gpu"
+    assert device("skylake").kind == "cpu"
+
+
+def test_lookup_is_case_insensitive_and_validated():
+    assert device("V100").key == "v100"
+    with pytest.raises(KeyError):
+        device("a100")
+
+
+def test_bandwidth_bytes_conversion():
+    assert device("v100").memory_bandwidth_bytes == pytest.approx(900e9)

@@ -1,0 +1,175 @@
+"""Tests for the segmented/data-parallel primitives underlying every graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph import path_graph, star_graph
+from repro.parallel import (
+    exclusive_scan,
+    inclusive_scan,
+    segmented_all_equal,
+    segmented_any_equal,
+    segmented_lexmin,
+    segmented_max,
+    segmented_min,
+    segmented_sum,
+    stream_compact,
+)
+from repro.parallel.primitives import expand_rows, row_lengths
+
+
+class TestScans:
+    def test_inclusive_scan(self):
+        assert inclusive_scan(np.array([1, 2, 3])).tolist() == [1, 3, 6]
+
+    def test_exclusive_scan_has_total_at_end(self):
+        out = exclusive_scan(np.array([1, 2, 3]))
+        assert out.tolist() == [0, 1, 3, 6]
+
+    def test_exclusive_scan_empty(self):
+        assert exclusive_scan(np.array([], dtype=np.int64)).tolist() == [0]
+
+    def test_scan_rejects_2d(self):
+        with pytest.raises(ValueError):
+            exclusive_scan(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            inclusive_scan(np.zeros((2, 2)))
+
+    def test_exclusive_scan_matches_loop(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 10, size=50)
+        out = exclusive_scan(vals)
+        acc = 0
+        for i, v in enumerate(vals):
+            assert out[i] == acc
+            acc += v
+        assert out[-1] == acc
+
+
+class TestStreamCompact:
+    def test_keeps_order(self):
+        items = np.array([5, 6, 7, 8])
+        keep = np.array([True, False, True, False])
+        assert stream_compact(items, keep).tolist() == [5, 7]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stream_compact(np.array([1, 2]), np.array([True]))
+
+
+class TestRowExpansion:
+    def test_row_lengths(self):
+        g = star_graph(3)
+        assert row_lengths(g.rowmap, np.array([0, 1])).tolist() == [3, 1]
+
+    def test_expand_rows_structure(self):
+        g = path_graph(4)
+        slots, seg = expand_rows(g.rowmap, np.array([0, 2]))
+        assert seg.tolist() == [0, 1, 3]
+        assert g.entries[slots].tolist() == [1, 1, 3]
+
+    def test_expand_rows_with_empty_rows(self):
+        from repro.graph import from_edges
+
+        g = from_edges(4, [(0, 1)])
+        slots, seg = expand_rows(g.rowmap, np.array([2, 0, 3]))
+        assert seg.tolist() == [0, 0, 1, 1]
+        assert g.entries[slots].tolist() == [1]
+
+    def test_expand_rows_no_rows(self):
+        g = path_graph(3)
+        slots, seg = expand_rows(g.rowmap, np.array([], dtype=np.int64))
+        assert slots.size == 0
+        assert seg.tolist() == [0]
+
+
+class TestSegmentedReductions:
+    def test_segmented_min_max_sum(self):
+        values = np.array([4, 1, 7, 3, 9], dtype=np.int64)
+        seg = np.array([0, 2, 2, 5])  # segments: [4,1], [], [7,3,9]
+        assert segmented_min(values, seg, identity=99).tolist() == [1, 99, 3]
+        assert segmented_max(values, seg, identity=-1).tolist() == [4, -1, 9]
+        assert segmented_sum(values, seg).tolist() == [5, 0, 19]
+
+    def test_trailing_empty_segment(self):
+        values = np.array([2, 8], dtype=np.int64)
+        seg = np.array([0, 2, 2])
+        assert segmented_min(values, seg, identity=42).tolist() == [2, 42]
+
+    def test_leading_empty_segment(self):
+        values = np.array([2, 8], dtype=np.int64)
+        seg = np.array([0, 0, 2])
+        assert segmented_min(values, seg, identity=42).tolist() == [42, 2]
+
+    def test_all_empty(self):
+        values = np.array([], dtype=np.int64)
+        seg = np.array([0, 0, 0])
+        assert segmented_min(values, seg, identity=7).tolist() == [7, 7]
+
+    def test_matches_loop_reference(self):
+        rng = np.random.default_rng(1)
+        lens = rng.integers(0, 5, size=30)
+        seg = exclusive_scan(lens)
+        values = rng.integers(0, 100, size=int(seg[-1]))
+        mins = segmented_min(values, seg, identity=10**6)
+        sums = segmented_sum(values, seg)
+        for j in range(30):
+            chunk = values[seg[j]: seg[j + 1]]
+            assert sums[j] == chunk.sum()
+            assert mins[j] == (chunk.min() if chunk.size else 10**6)
+
+
+class TestSegmentedPredicates:
+    def test_all_equal(self):
+        values = np.array([5, 5, 3, 5])
+        seg = np.array([0, 2, 2, 4])
+        ref = np.array([5, 5, 5])
+        out = segmented_all_equal(values, ref, seg)
+        assert out.tolist() == [True, True, False]  # empty segment vacuously true
+
+    def test_any_equal(self):
+        values = np.array([1, 2, 3, 9])
+        seg = np.array([0, 2, 2, 4])
+        out = segmented_any_equal(values, 9, seg)
+        assert out.tolist() == [False, False, True]
+
+
+class TestSegmentedLexmin:
+    def test_two_key_lexmin(self):
+        prio = np.array([5, 5, 2, 9], dtype=np.uint64)
+        vid = np.array([3, 1, 7, 0], dtype=np.int64)
+        seg = np.array([0, 2, 4])
+        p, i = segmented_lexmin([prio, vid], seg, [np.uint64(99), np.int64(99)])
+        assert p.tolist() == [5, 2]
+        assert i.tolist() == [1, 7]
+
+    def test_three_key_matches_python_min(self):
+        rng = np.random.default_rng(2)
+        lens = rng.integers(0, 6, size=20)
+        seg = exclusive_scan(lens)
+        total = int(seg[-1])
+        status = rng.integers(0, 3, size=total).astype(np.uint8)
+        prio = rng.integers(0, 4, size=total).astype(np.uint64)
+        vid = rng.integers(0, 50, size=total).astype(np.int64)
+        s, p, i = segmented_lexmin(
+            [status, prio, vid], seg, [np.uint8(2), np.uint64(2**64 - 1), np.int64(2**62)]
+        )
+        for j in range(20):
+            lo, hi = seg[j], seg[j + 1]
+            if lo == hi:
+                assert s[j] == 2
+                continue
+            expected = min(zip(status[lo:hi], prio[lo:hi], vid[lo:hi]))
+            assert (s[j], p[j], i[j]) == expected
+
+    def test_empty_segment_identities(self):
+        s, = segmented_lexmin([np.array([], dtype=np.int64)], np.array([0, 0]), [np.int64(-5)])
+        assert s.tolist() == [-5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segmented_lexmin([], np.array([0]), [])
+        with pytest.raises(ValueError):
+            segmented_lexmin([np.array([1])], np.array([0, 1]), [1, 2])
+        with pytest.raises(ValueError):
+            segmented_lexmin([np.array([1, 2])], np.array([0, 1]), [0])

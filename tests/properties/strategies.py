@@ -1,0 +1,39 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, from_edges
+
+__all__ = ["graphs", "graph_and_vertex_subset"]
+
+
+@st.composite
+def graphs(draw, max_vertices: int = 24, max_extra_edges: int = 60) -> CSRGraph:
+    """Random small undirected graphs (possibly disconnected, possibly empty)."""
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    if n == 0:
+        return from_edges(0, [])
+    num_edges = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=0,
+            max_size=num_edges,
+        )
+    )
+    return from_edges(n, edges)
+
+
+@st.composite
+def graph_and_vertex_subset(draw, max_vertices: int = 20):
+    """A random graph plus a random subset of its vertices."""
+    graph = draw(graphs(max_vertices=max_vertices))
+    if graph.num_vertices == 0:
+        return graph, np.zeros(0, dtype=np.int64)
+    subset = draw(
+        st.lists(st.integers(0, graph.num_vertices - 1), min_size=0, max_size=graph.num_vertices)
+    )
+    return graph, np.unique(np.asarray(subset, dtype=np.int64))

@@ -1,0 +1,109 @@
+"""Property-based tests of the MIS algorithms.
+
+These are the core invariants the paper's claims rest on: independence, maximality,
+determinism, cross-algorithm agreement with the Lemma IV.2 reduction, and exact
+equivalence between the vectorised kernel and the loop reference implementation.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph import square
+from repro.mis import (
+    bell_mis,
+    independence_violations,
+    is_independent_set,
+    is_maximal,
+    kk_mis2,
+    luby_mis1,
+    mis2_reference,
+    mis2_via_square,
+    verify_mis,
+)
+
+from .strategies import graphs
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_kk_mis2_is_independent_and_maximal(graph):
+    result = kk_mis2(graph)
+    assert is_independent_set(graph, result.in_set, k=2)
+    assert is_maximal(graph, result.in_set, k=2)
+    assert independence_violations(graph, result.in_set, k=2) == []
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_bell_mis2_is_valid(graph):
+    result = bell_mis(graph, k=2)
+    assert verify_mis(graph, result.in_set, k=2)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_luby_mis1_is_valid(graph):
+    result = luby_mis1(graph)
+    assert verify_mis(graph, result.in_set, k=1)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_kk_mis2_is_deterministic(graph):
+    a = kk_mis2(graph)
+    b = kk_mis2(graph)
+    assert np.array_equal(a.in_set, b.in_set)
+    assert a.iterations == b.iterations
+
+
+@given(graphs(max_vertices=18))
+@settings(**COMMON)
+def test_vectorised_kernel_matches_loop_reference(graph):
+    fast = kk_mis2(graph)
+    slow = mis2_reference(graph)
+    assert np.array_equal(fast.in_set, slow.in_set)
+    assert fast.iterations == slow.iterations
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_lemma_iv2_mis1_of_square_is_mis2(graph):
+    result = mis2_via_square(graph)
+    assert verify_mis(graph, result.in_set, k=2)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_mis2_of_graph_is_mis1_of_square(graph):
+    # The converse direction of the reduction: Algorithm 1's output, viewed in the
+    # boolean square, is a distance-1 MIS.
+    result = kk_mis2(graph)
+    sq = square(graph)
+    assert verify_mis(sq, result.in_set, k=1)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_worklist_and_simd_toggles_never_change_the_set(graph):
+    base = kk_mis2(graph)
+    no_wl = kk_mis2(graph, use_worklists=False)
+    simd = kk_mis2(graph, simd=True)
+    assert np.array_equal(base.in_set, no_wl.in_set)
+    assert np.array_equal(base.in_set, simd.in_set)
+
+
+@given(graphs())
+@settings(**COMMON)
+def test_mis2_size_bounds(graph):
+    result = kk_mis2(graph)
+    # Size can never exceed the vertex count, and an MIS-2 of a non-empty graph is
+    # never empty.
+    assert 0 <= result.size <= graph.num_vertices
+    if graph.num_vertices > 0:
+        assert result.size >= 1

@@ -1,0 +1,63 @@
+"""Property-based tests of the compressed status tuples and the hash functions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import TuplePacking, hash_iter_vertex, xorshift64, xorshift64star
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10_000),
+    vertex=st.integers(min_value=0),
+    priority=st.integers(min_value=0, max_value=2**64 - 1),
+    word_bits=st.sampled_from([32, 64]),
+)
+@settings(max_examples=200, deadline=None)
+def test_pack_unpack_roundtrip_and_ordering(n, vertex, priority, word_bits):
+    vertex = vertex % n
+    packer = TuplePacking(n, word_bits=word_bits)
+    packed = packer.pack(np.uint64(priority), np.int64(vertex))
+    # Equation 1: never collides with the IN/OUT markers.
+    assert packer.in_value < packed < packer.out_value
+    prio_back, vid_back = packer.unpack(np.asarray([packed]))
+    assert int(vid_back[0]) == vertex
+    assert int(prio_back[0]) == priority & ((1 << packer.prio_bits) - 1)
+    assert int(packer.vertex_of(np.asarray([packed]))[0]) == vertex
+
+
+@given(
+    n=st.integers(min_value=2, max_value=2000),
+    priority=st.integers(min_value=0, max_value=2**64 - 1),
+    v1=st.integers(min_value=0),
+    v2=st.integers(min_value=0),
+)
+@settings(max_examples=100, deadline=None)
+def test_packed_comparison_breaks_ties_by_vertex_id(n, priority, v1, v2):
+    v1, v2 = v1 % n, v2 % n
+    packer = TuplePacking(n)
+    a = packer.pack(np.uint64(priority), np.int64(v1))
+    b = packer.pack(np.uint64(priority), np.int64(v2))
+    if v1 == v2:
+        assert a == b
+    else:
+        assert (a < b) == (v1 < v2)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2**64 - 1), min_size=1, max_size=200, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_xorshift_is_injective_on_samples(values):
+    arr = np.asarray(values, dtype=np.uint64)
+    assert np.unique(xorshift64(arr)).size == arr.size
+    assert np.unique(xorshift64star(arr)).size == arr.size
+
+
+@given(
+    iteration=st.integers(min_value=0, max_value=1000),
+    vertices=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_hash_iter_vertex_distinct_per_vertex(iteration, vertices):
+    arr = np.asarray(vertices, dtype=np.uint64)
+    hashed = hash_iter_vertex(iteration, arr)
+    assert np.unique(hashed).size == arr.size

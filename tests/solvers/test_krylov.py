@@ -1,0 +1,131 @@
+"""Tests for CG, GMRES and the direct coarse solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import laplace2d, laplace3d_matrix
+from repro.solvers import DirectSolver, JacobiSmoother, gmres, pcg
+
+
+@pytest.fixture
+def spd_system():
+    A = laplace2d(15, 15)
+    rng = np.random.default_rng(2)
+    x_exact = rng.random(A.shape[0])
+    return A, x_exact, A @ x_exact
+
+
+class TestDirectSolver:
+    def test_exact_solve(self, spd_system):
+        A, x_exact, b = spd_system
+        solver = DirectSolver(A)
+        assert np.allclose(solver.solve(b), x_exact, atol=1e-8)
+
+    def test_singular_matrix_falls_back_to_pinv(self):
+        A = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        solver = DirectSolver(A)
+        x = solver.solve(np.array([2.0, 2.0]))
+        assert np.allclose(A @ x, [2.0, 2.0])
+
+    def test_empty_system(self):
+        solver = DirectSolver(sp.csr_matrix((0, 0)))
+        assert solver.solve(np.zeros(0)).size == 0
+
+    def test_validation(self, spd_system):
+        A, _, _ = spd_system
+        solver = DirectSolver(A)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(3))
+        with pytest.raises(ValueError):
+            DirectSolver(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestPCG:
+    def test_converges_unpreconditioned(self, spd_system):
+        A, x_exact, b = spd_system
+        result = pcg(A, b, tol=1e-10, maxiter=2000)
+        assert result.converged
+        assert np.allclose(result.x, x_exact, atol=1e-6)
+        assert result.residual_norms[-1] < result.residual_norms[0]
+
+    def test_preconditioning_reduces_iterations(self, spd_system):
+        A, _, b = spd_system
+        plain = pcg(A, b, tol=1e-10, maxiter=2000)
+        smoother = JacobiSmoother(A, sweeps=2)
+        preconditioned = pcg(A, b, M=smoother.apply, tol=1e-10, maxiter=2000)
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_zero_rhs(self, spd_system):
+        A, _, _ = spd_system
+        result = pcg(A, np.zeros(A.shape[0]))
+        assert result.converged
+        assert result.iterations == 0
+        assert np.all(result.x == 0)
+
+    def test_initial_guess(self, spd_system):
+        A, x_exact, b = spd_system
+        result = pcg(A, b, x0=x_exact.copy(), tol=1e-10)
+        assert result.iterations == 0
+        assert result.converged
+
+    def test_maxiter_respected(self, spd_system):
+        A, _, b = spd_system
+        result = pcg(A, b, tol=1e-14, maxiter=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pcg(laplace2d(3, 3), np.zeros(5))
+
+
+class TestGMRES:
+    def test_converges_on_spd_system(self, spd_system):
+        A, x_exact, b = spd_system
+        result = gmres(A, b, tol=1e-10, maxiter=500)
+        assert result.converged
+        assert np.allclose(result.x, x_exact, atol=1e-5)
+
+    def test_converges_on_nonsymmetric_system(self):
+        A = laplace2d(10, 10).tolil()
+        A[0, 5] += 0.3  # break symmetry
+        A = sp.csr_matrix(A)
+        rng = np.random.default_rng(3)
+        x_exact = rng.random(A.shape[0])
+        b = A @ x_exact
+        result = gmres(A, b, tol=1e-10, maxiter=500)
+        assert result.converged
+        assert np.allclose(result.x, x_exact, atol=1e-5)
+
+    def test_preconditioning_reduces_iterations(self, spd_system):
+        A, _, b = spd_system
+        plain = gmres(A, b, tol=1e-8, maxiter=800)
+        smoother = JacobiSmoother(A, sweeps=2)
+        pre = gmres(A, b, M=smoother.apply, tol=1e-8, maxiter=800)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_restart_still_converges(self, spd_system):
+        A, x_exact, b = spd_system
+        result = gmres(A, b, tol=1e-8, restart=10, maxiter=800)
+        assert result.converged
+        assert np.allclose(result.x, x_exact, atol=1e-4)
+
+    def test_zero_rhs(self, spd_system):
+        A, _, _ = spd_system
+        result = gmres(A, np.zeros(A.shape[0]))
+        assert result.converged and result.iterations == 0
+
+    def test_maxiter_cap(self, spd_system):
+        A, _, b = spd_system
+        result = gmres(A, b, tol=1e-15, maxiter=5)
+        assert result.iterations <= 5
+        assert not result.converged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gmres(laplace2d(3, 3), np.zeros(5))
+        with pytest.raises(ValueError):
+            gmres(laplace2d(3, 3), np.zeros(9), restart=0)

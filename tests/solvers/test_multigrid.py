@@ -1,0 +1,101 @@
+"""Tests for the SA-AMG hierarchy and V-cycle (the Table V substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import mis2_aggregation, mis2_basic_aggregation, serial_aggregation
+from repro.graph import laplace3d_matrix
+from repro.solvers import build_hierarchy, pcg
+
+
+@pytest.fixture(scope="module")
+def laplace_system():
+    A = laplace3d_matrix(12, 12, 12)
+    b = np.ones(A.shape[0])
+    return A, b
+
+
+class TestHierarchySetup:
+    def test_levels_shrink(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A, max_levels=5, min_coarse_size=40)
+        sizes = h.level_sizes()
+        assert sizes[0] == A.shape[0]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] <= 40 or h.num_levels == 5
+
+    def test_transfer_operator_shapes(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A)
+        for fine, coarse in zip(h.levels, h.levels[1:]):
+            assert fine.P.shape == (fine.A.shape[0], coarse.A.shape[0])
+            assert fine.R.shape == (coarse.A.shape[0], fine.A.shape[0])
+
+    def test_operator_complexity_reasonable(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A)
+        assert 1.0 < h.operator_complexity() < 3.0
+
+    def test_aggregation_time_recorded(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A)
+        assert 0 < h.aggregation_seconds <= h.setup_seconds
+
+    def test_max_levels_respected(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A, max_levels=2, min_coarse_size=2)
+        assert h.num_levels <= 2
+
+    def test_aggregation_name_recorded(self, laplace_system):
+        A, _ = laplace_system
+        h = build_hierarchy(A, aggregation_fn=mis2_basic_aggregation, aggregation_name="MIS2 Basic")
+        assert h.aggregation_name == "MIS2 Basic"
+
+
+class TestVCycleSolve:
+    def test_vcycle_reduces_residual(self, laplace_system):
+        A, b = laplace_system
+        h = build_hierarchy(A)
+        x = h.vcycle(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+    def test_preconditioned_cg_converges_fast(self, laplace_system):
+        A, b = laplace_system
+        h = build_hierarchy(A)
+        result = h.solve(b, tol=1e-10)
+        assert result.converged
+        assert result.iterations < 30
+        assert np.allclose(A @ result.x, b, atol=1e-6)
+
+    def test_amg_beats_unpreconditioned_cg(self, laplace_system):
+        A, b = laplace_system
+        h = build_hierarchy(A)
+        amg = h.solve(b, tol=1e-10)
+        plain = pcg(A, b, tol=1e-10, maxiter=2000)
+        assert amg.iterations < plain.iterations
+
+    def test_solve_records_timings(self, laplace_system):
+        A, b = laplace_system
+        h = build_hierarchy(A)
+        result = h.solve(b, tol=1e-8)
+        assert result.solve_seconds > 0
+        assert result.setup_seconds == h.setup_seconds
+
+
+class TestAggregationSchemesInsideAMG:
+    @pytest.mark.parametrize(
+        "fn", [mis2_aggregation, mis2_basic_aggregation, serial_aggregation],
+        ids=["mis2_agg", "mis2_basic", "serial"],
+    )
+    def test_all_schemes_converge(self, laplace_system, fn):
+        A, b = laplace_system
+        h = build_hierarchy(A, aggregation_fn=fn)
+        result = h.solve(b, tol=1e-10)
+        assert result.converged
+
+    def test_algorithm3_converges_at_least_as_fast_as_algorithm2(self, laplace_system):
+        # The headline of Table V: MIS2 Agg needs fewer CG iterations than MIS2 Basic.
+        A, b = laplace_system
+        agg3 = build_hierarchy(A, aggregation_fn=mis2_aggregation).solve(b, tol=1e-10)
+        agg2 = build_hierarchy(A, aggregation_fn=mis2_basic_aggregation).solve(b, tol=1e-10)
+        assert agg3.iterations <= agg2.iterations

@@ -1,0 +1,80 @@
+"""Tests for the Jacobi and Chebyshev smoothers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import laplace2d
+from repro.solvers import ChebyshevSmoother, JacobiSmoother
+
+
+@pytest.fixture
+def system():
+    A = laplace2d(12, 12)
+    rng = np.random.default_rng(0)
+    x_exact = rng.random(A.shape[0])
+    return A, x_exact, A @ x_exact
+
+
+class TestJacobi:
+    def test_reduces_residual(self, system):
+        A, x_exact, b = system
+        smoother = JacobiSmoother(A, sweeps=3)
+        x = smoother.apply(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+    def test_sweeps_accumulate(self, system):
+        A, _, b = system
+        one = JacobiSmoother(A, sweeps=1).apply(b)
+        two = JacobiSmoother(A, sweeps=2).apply(b)
+        r1 = np.linalg.norm(b - A @ one)
+        r2 = np.linalg.norm(b - A @ two)
+        assert r2 < r1
+
+    def test_initial_guess_respected(self, system):
+        A, x_exact, b = system
+        smoother = JacobiSmoother(A, sweeps=1)
+        from_exact = smoother.apply(b, x_exact.copy())
+        assert np.allclose(from_exact, x_exact, atol=1e-12)
+
+    def test_error_energy_norm_does_not_grow(self, system):
+        A, _, _ = system
+        n = A.shape[0]
+        rng = np.random.default_rng(1)
+        rough = rng.standard_normal(n)
+        smoother = JacobiSmoother(A, sweeps=2)
+        # For the homogeneous system b = 0 the new error is simply the smoother
+        # applied to the old error; damped Jacobi must not amplify it in energy norm.
+        e_after = smoother.apply(np.zeros(n), rough)
+        assert e_after @ (A @ e_after) <= rough @ (A @ rough) * 1.001
+
+    def test_zero_diagonal_rejected(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            JacobiSmoother(A)
+
+
+class TestChebyshev:
+    def test_reduces_residual(self, system):
+        A, _, b = system
+        smoother = ChebyshevSmoother(A, degree=3)
+        x = smoother.apply(b)
+        assert np.linalg.norm(b - A @ x) < np.linalg.norm(b)
+
+    def test_higher_degree_better(self, system):
+        A, _, b = system
+        r2 = np.linalg.norm(b - A @ ChebyshevSmoother(A, degree=2).apply(b))
+        r4 = np.linalg.norm(b - A @ ChebyshevSmoother(A, degree=4).apply(b))
+        assert r4 < r2
+
+    def test_explicit_lambda_max(self, system):
+        A, _, b = system
+        x = ChebyshevSmoother(A, degree=2, lambda_max=2.0).apply(b)
+        assert np.all(np.isfinite(x))
+
+    def test_validation(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(A)
+        with pytest.raises(ValueError):
+            ChebyshevSmoother(laplace2d(3, 3), lambda_max=-1.0)

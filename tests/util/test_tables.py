@@ -1,0 +1,86 @@
+"""Tests for repro.util.tables."""
+
+import math
+
+import pytest
+
+from repro.util import Table, format_float, geometric_mean
+
+
+class TestFormatFloat:
+    def test_integer_valued_float(self):
+        assert format_float(3.0) == "3"
+
+    def test_significant_digits(self):
+        assert format_float(3.14159, sig=3) == "3.14"
+
+    def test_none_and_nan(self):
+        assert format_float(None) == "-"
+        assert format_float(float("nan")) == "-"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_matches_log_definition(self):
+        vals = [1.5, 2.5, 10.0, 0.3]
+        expected = math.exp(sum(math.log(v) for v in vals) / len(vals))
+        assert geometric_mean(vals) == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestTable:
+    def test_render_contains_header_and_rows(self):
+        t = Table(["matrix", "iters"], title="demo")
+        t.add_row(["ecology2", 8])
+        t.add_row(["thermal2", 9.0])
+        text = t.render()
+        assert "demo" in text
+        assert "matrix" in text and "iters" in text
+        assert "ecology2" in text
+        assert "thermal2" in text
+        # float with integral value renders as integer
+        assert " 9" in text
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_bool_rendering(self):
+        t = Table(["scheme", "det"])
+        t.add_row(["mis2", True])
+        t.add_row(["d2c", False])
+        dicts = t.to_dicts()
+        assert dicts[0]["det"] == "yes"
+        assert dicts[1]["det"] == "no"
+
+    def test_to_dicts_roundtrip(self):
+        t = Table(["x", "y"])
+        t.add_row([1, 2])
+        assert t.to_dicts() == [{"x": "1", "y": "2"}]
+
+    def test_alignment_width(self):
+        t = Table(["name", "v"])
+        t.add_row(["a_very_long_matrix_name", 1])
+        lines = t.render().splitlines()
+        header, divider, row = lines[0], lines[1], lines[2]
+        assert len(header) == len(divider) == len(row.rstrip()) or len(header) <= len(row)

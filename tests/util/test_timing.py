@@ -1,0 +1,87 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util import Timer, TimingStats, repeat_timed
+
+
+class TestTimer:
+    def test_start_stop_measures_elapsed(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        elapsed = t.stop()
+        assert elapsed >= 0.009
+        assert t.elapsed == elapsed
+
+    def test_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_while_running_is_monotonic(self):
+        t = Timer().start()
+        first = t.elapsed
+        time.sleep(0.002)
+        assert t.elapsed >= first
+        t.stop()
+
+    def test_restart_resets(self):
+        t = Timer().start()
+        time.sleep(0.002)
+        t.stop()
+        t.start()
+        t.stop()
+        assert t.elapsed < 0.01
+
+
+class TestTimingStats:
+    def test_empty_stats(self):
+        s = TimingStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.minimum == 0.0
+        assert s.maximum == 0.0
+        assert s.stddev == 0.0
+
+    def test_aggregates(self):
+        s = TimingStats()
+        for v in (1.0, 2.0, 3.0):
+            s.add(v)
+        assert s.count == 3
+        assert s.total == pytest.approx(6.0)
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stddev == pytest.approx(1.0)
+
+    def test_single_trial_stddev_zero(self):
+        s = TimingStats([5.0])
+        assert s.stddev == 0.0
+
+
+class TestRepeatTimed:
+    def test_returns_result_and_trial_count(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42
+
+        result, stats = repeat_timed(fn, trials=3, warmup=2)
+        assert result == 42
+        assert stats.count == 3
+        assert len(calls) == 5  # warmup + trials
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            repeat_timed(lambda: None, trials=0)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            repeat_timed(lambda: None, trials=1, warmup=-1)

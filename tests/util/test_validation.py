@@ -1,0 +1,50 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.util import (
+    check_array_1d,
+    check_integer_dtype,
+    check_nonnegative,
+    check_positive,
+    check_square_matrix,
+    require,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="boom"):
+        require(False, "boom")
+
+
+def test_check_array_1d():
+    out = check_array_1d([1, 2, 3], "x")
+    assert out.shape == (3,)
+    with pytest.raises(ValueError):
+        check_array_1d(np.zeros((2, 2)), "x")
+
+
+def test_check_integer_dtype():
+    check_integer_dtype(np.arange(3), "x")
+    with pytest.raises(TypeError):
+        check_integer_dtype(np.zeros(3, dtype=float), "x")
+
+
+def test_check_nonnegative_and_positive():
+    assert check_nonnegative(0, "x") == 0
+    assert check_positive(1, "x") == 1
+    with pytest.raises(ValueError):
+        check_nonnegative(-1, "x")
+    with pytest.raises(ValueError):
+        check_positive(0, "x")
+
+
+def test_check_square_matrix():
+    A = check_square_matrix(np.eye(3))
+    assert sp.issparse(A)
+    assert A.shape == (3, 3)
+    with pytest.raises(ValueError):
+        check_square_matrix(np.ones((2, 3)))
