@@ -5,9 +5,13 @@ Regenerate any of the paper's tables/figures without pytest::
     python -m repro.bench table1 --scale 0.01
     python -m repro.bench fig2 --matrices ecology2 thermal2
     python -m repro.bench all --scale 0.005
+    python -m repro.bench smoke                  # fast CI sanity check
+    python -m repro.bench table1 --backend chunked
 
 Each experiment prints the same paper-style table the benchmark harness writes to
-``benchmarks/results/``.
+``benchmarks/results/``. ``--backend`` selects the execution backend every
+measurement runs on; the chosen backend is printed with the results and recorded
+on each kernel's traffic counter.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Callable, Dict, List, Optional
+
+from ..parallel.backends import available_backends, default_backend, set_default_backend
 
 from . import (
     BenchConfig,
@@ -93,6 +99,49 @@ def _run_fig7(config: BenchConfig) -> str:
     return speedup_table(run_fig7(config), "Fig. 7: Algorithm 1 + coarsening vs ViennaCL").render()
 
 
+def _run_smoke(config: BenchConfig) -> str:
+    """Fast end-to-end sanity check for CI: exercise every kernel layer once.
+
+    Runs MIS-2, coloring, aggregation and the device cost model on a small
+    stencil graph and verifies the results, in a few seconds. A non-zero exit
+    (an exception here) fails the CI job.
+    """
+    import numpy as np
+
+    from ..coarsen.mis2_agg import mis2_aggregation
+    from ..coloring.greedy import greedy_color
+    from ..coloring.verify import is_valid_coloring
+    from ..graph.generators import laplace3d
+    from ..mis.kk import kk_mis2
+    from ..mis.verify import verify_mis
+    from ..parallel.costmodel import predict_device_time
+
+    graph = laplace3d(10, 10, 10)
+    mis = kk_mis2(graph, seed=config.seed)
+    if not verify_mis(graph, mis.in_set, k=2):
+        raise RuntimeError("smoke check failed: kk_mis2 produced an invalid MIS-2")
+    coloring = greedy_color(graph)
+    if not is_valid_coloring(graph, coloring.colors, distance=1):
+        raise RuntimeError("smoke check failed: greedy_color produced an invalid coloring")
+    agg = mis2_aggregation(graph, mis=mis, seed=config.seed)
+    if not agg.is_complete():
+        raise RuntimeError("smoke check failed: mis2_aggregation left vertices unaggregated")
+    predicted = predict_device_time(mis.traffic, "v100")
+    if not np.isfinite(predicted) or predicted <= 0:
+        raise RuntimeError("smoke check failed: cost model produced a non-positive time")
+    return "\n".join(
+        [
+            "smoke check: OK",
+            f"  backend             : {mis.config.backend}",
+            f"  graph               : laplace3d(10,10,10), {graph.num_vertices} vertices",
+            f"  MIS-2 size          : {mis.in_set.size} ({mis.iterations} iterations)",
+            f"  coloring            : {coloring.num_colors} colors ({coloring.rounds} rounds)",
+            f"  aggregates          : {agg.num_aggregates}",
+            f"  predicted V100 time : {predicted * 1e6:.1f} us",
+        ]
+    )
+
+
 #: Experiment name -> driver returning the rendered table.
 EXPERIMENTS: Dict[str, Callable[[BenchConfig], str]] = {
     "table1": _run_table1,
@@ -107,6 +156,7 @@ EXPERIMENTS: Dict[str, Callable[[BenchConfig], str]] = {
     "fig5": _run_fig5,
     "fig6": _run_fig6,
     "fig7": _run_fig7,
+    "smoke": _run_smoke,
 }
 
 
@@ -129,6 +179,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory with real SuiteSparse .mtx files (optional)")
     parser.add_argument("--matrices", nargs="*", default=None,
                         help="subset of suite matrices to run")
+    parser.add_argument("--backend", choices=available_backends(), default=None,
+                        help="execution backend every measurement runs on "
+                             "(default: the process default, the NumPy reference)")
     args = parser.parse_args(argv)
 
     config = BenchConfig(
@@ -137,11 +190,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         mtx_dir=args.mtx_dir,
         matrices=tuple(args.matrices) if args.matrices else None,
+        backend=args.backend,
     )
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(EXPERIMENTS[name](config))
+    # 'all' regenerates the paper's tables/figures; the smoke check is CI-only.
+    names = (
+        [n for n in sorted(EXPERIMENTS) if n != "smoke"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    with set_default_backend(config.backend or default_backend()):
+        print(f"backend: {default_backend().name}")
         print()
+        for name in names:
+            print(EXPERIMENTS[name](config))
+            print()
     return 0
 
 

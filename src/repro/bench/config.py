@@ -36,6 +36,10 @@ class BenchConfig:
     mtx_dir: Optional[str] = None
     #: Subset of suite matrices to run (None = all 17).
     matrices: Optional[Tuple[str, ...]] = None
+    #: Execution backend every measurement runs on (None = the process default).
+    #: The drivers install it as the default backend for the run, so every kernel's
+    #: traffic counter records it.
+    backend: Optional[str] = None
 
     def matrix_names(self) -> List[str]:
         """Names of the matrices this configuration covers, in Table II order."""

@@ -23,7 +23,7 @@ import numpy as np
 from ..coloring.distance2 import distance2_color
 from ..coloring.greedy import ColoringResult
 from ..graph.csr import CSRGraph
-from ..parallel.primitives import expand_rows, segmented_sum
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from .aggregation import Aggregation, join_by_max_coupling
 
 __all__ = ["d2c_aggregation"]
@@ -33,6 +33,7 @@ def d2c_aggregation(
     graph: CSRGraph,
     coloring: Optional[ColoringResult] = None,
     min_root_neighbors: int = 2,
+    backend: "Optional[str | ExecutionBackend]" = None,
 ) -> Aggregation:
     """Coarsen ``graph`` using a distance-2 coloring to seed aggregate roots.
 
@@ -45,13 +46,17 @@ def d2c_aggregation(
     min_root_neighbors:
         Minimum number of unaggregated neighbours a root needs to form an aggregate
         (matching Algorithm 3's phase-2 rule).
+    backend:
+        Execution backend (name or instance) used for the aggregation's own
+        primitives and the on-demand coloring; ``None`` uses the default.
     """
+    B = resolve_backend(backend)
     n = graph.num_vertices
     labels = -np.ones(n, dtype=np.int64)
     if n == 0:
-        return Aggregation(labels, 0, algorithm="d2c_agg")
+        return Aggregation(labels, 0, algorithm="d2c_agg", backend=B.name)
     if coloring is None:
-        coloring = distance2_color(graph)
+        coloring = distance2_color(graph, backend=B)
 
     next_aggregate = 0
     roots_list = []
@@ -60,11 +65,11 @@ def d2c_aggregation(
         members = np.nonzero((coloring.colors == color) & unagg_mask)[0]
         if members.size == 0:
             continue
-        slots, seg = expand_rows(graph.rowmap, members)
+        slots, seg = B.expand_rows(graph.rowmap, members)
         nbrs = graph.entries[slots].astype(np.int64)
-        free_counts = segmented_sum(unagg_mask[nbrs].astype(np.int64), seg)
+        free_counts = B.segmented_sum(unagg_mask[nbrs].astype(np.int64), seg)
         qualifies = free_counts >= min_root_neighbors
-        roots = members[qualifies]
+        roots = B.stream_compact(members, qualifies)
         if roots.size == 0:
             continue
         # Same-color vertices are pairwise at distance > 2, so no two roots of this
@@ -72,7 +77,7 @@ def d2c_aggregation(
         new_ids = next_aggregate + np.arange(roots.size)
         labels[roots] = new_ids
         unagg_mask[roots] = False
-        rslots, rseg = expand_rows(graph.rowmap, roots)
+        rslots, rseg = B.expand_rows(graph.rowmap, roots)
         rnbrs = graph.entries[rslots].astype(np.int64)
         rids = np.repeat(new_ids, np.diff(rseg))
         free = unagg_mask[rnbrs]
@@ -109,4 +114,5 @@ def d2c_aggregation(
         algorithm="d2c_agg",
         deterministic=True,
         phase_vertex_counts={"phase1": phase1, "cleanup": n - phase1},
+        backend=B.name,
     )

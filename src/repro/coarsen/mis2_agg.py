@@ -28,7 +28,7 @@ from ..graph.csr import CSRGraph
 from ..graph.ops import induced_subgraph
 from ..mis.kk import kk_mis2
 from ..mis.result import MISResult
-from ..parallel.primitives import expand_rows, segmented_sum
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from .aggregation import Aggregation, join_by_max_coupling
 
 __all__ = ["mis2_aggregation"]
@@ -39,6 +39,7 @@ def mis2_aggregation(
     mis: Optional[MISResult] = None,
     min_secondary_neighbors: int = 2,
     seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
 ) -> Aggregation:
     """Coarsen ``graph`` with Algorithm 3 (the paper's "MIS2 Agg" scheme).
 
@@ -53,18 +54,23 @@ def mis2_aggregation(
         aggregate (the paper uses 2).
     seed:
         Seed forwarded to the MIS-2 computations.
+    backend:
+        Execution backend (name or instance) used for the aggregation's own
+        primitives and forwarded to the MIS-2 computations; ``None`` uses the
+        default.
     """
+    B = resolve_backend(backend)
     n = graph.num_vertices
     if mis is None:
-        mis = kk_mis2(graph, seed=seed)
+        mis = kk_mis2(graph, seed=seed, backend=B)
     roots = np.asarray(mis.in_set, dtype=np.int64)
     labels = -np.ones(n, dtype=np.int64)
     if n == 0:
-        return Aggregation(labels, 0, roots, algorithm="mis2_agg")
+        return Aggregation(labels, 0, roots, algorithm="mis2_agg", backend=B.name)
 
     # ------------------------------------------------------------------ phase 1
     labels[roots] = np.arange(roots.size)
-    slots1, seg1 = expand_rows(graph.rowmap, roots)
+    slots1, seg1 = B.expand_rows(graph.rowmap, roots)
     labels[graph.entries[slots1].astype(np.int64)] = np.repeat(
         np.arange(roots.size), np.diff(seg1)
     )
@@ -77,22 +83,22 @@ def mis2_aggregation(
     secondary_roots = np.zeros(0, dtype=np.int64)
     if unagg.size:
         sub, mapping = induced_subgraph(graph, unagg)
-        sub_mis = kk_mis2(sub, seed=seed)
+        sub_mis = kk_mis2(sub, seed=seed, backend=B)
         candidates = mapping[sub_mis.in_set]
         # Count each candidate root's unaggregated neighbours against the phase-1
         # labels. Phase-2 roots are pairwise at distance > 2 in the induced subgraph,
         # so no two of them share an unaggregated neighbour and the parallel scatter
         # below is conflict-free.
         unagg_mask = labels < 0
-        cslots, cseg = expand_rows(graph.rowmap, candidates)
+        cslots, cseg = B.expand_rows(graph.rowmap, candidates)
         cnbrs = graph.entries[cslots].astype(np.int64)
-        free_counts = segmented_sum(unagg_mask[cnbrs].astype(np.int64), cseg)
+        free_counts = B.segmented_sum(unagg_mask[cnbrs].astype(np.int64), cseg)
         qualifies = free_counts >= min_secondary_neighbors
-        secondary_roots = candidates[qualifies]
+        secondary_roots = B.stream_compact(candidates, qualifies)
         if secondary_roots.size:
             new_ids = next_aggregate + np.arange(secondary_roots.size)
             labels[secondary_roots] = new_ids
-            qslots, qseg = expand_rows(graph.rowmap, secondary_roots)
+            qslots, qseg = B.expand_rows(graph.rowmap, secondary_roots)
             qnbrs = graph.entries[qslots].astype(np.int64)
             nbr_new_ids = np.repeat(new_ids, np.diff(qseg))
             free = unagg_mask[qnbrs]
@@ -111,4 +117,5 @@ def mis2_aggregation(
         algorithm="mis2_agg",
         deterministic=True,
         phase_vertex_counts={"phase1": phase1, "phase2": phase2, "cleanup": cleanup},
+        backend=B.name,
     )

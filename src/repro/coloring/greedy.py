@@ -16,8 +16,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.costmodel import TrafficCounter
-from ..parallel.primitives import expand_rows, segmented_max
 
 __all__ = ["greedy_color", "ColoringResult"]
 
@@ -36,6 +36,8 @@ class ColoringResult:
     traffic: TrafficCounter = field(default_factory=TrafficCounter)
     #: Distance of the coloring (1 or 2).
     distance: int = 1
+    #: Name of the execution backend that ran the kernels.
+    backend: str = "numpy"
 
     def color_classes(self) -> List[np.ndarray]:
         """Vertices grouped by color, ordered by color id."""
@@ -49,10 +51,14 @@ class ColoringResult:
 
 
 def _speculative_assign(
-    graph: CSRGraph, colors: np.ndarray, worklist: np.ndarray, max_colors: int
+    graph: CSRGraph,
+    colors: np.ndarray,
+    worklist: np.ndarray,
+    max_colors: int,
+    B: ExecutionBackend,
 ) -> np.ndarray:
     """Smallest color not used by any colored neighbour, for each worklist vertex."""
-    slots, seg = expand_rows(graph.rowmap, worklist)
+    slots, seg = B.expand_rows(graph.rowmap, worklist)
     nbr_colors = colors[graph.entries[slots].astype(np.int64)]
     lens = np.diff(seg)
     owner = np.repeat(np.arange(worklist.size), lens)
@@ -65,7 +71,11 @@ def _speculative_assign(
     return np.argmin(forbidden, axis=1).astype(np.int64)
 
 
-def greedy_color(graph: CSRGraph, max_rounds: Optional[int] = None) -> ColoringResult:
+def greedy_color(
+    graph: CSRGraph,
+    max_rounds: Optional[int] = None,
+    backend: "Optional[str | ExecutionBackend]" = None,
+) -> ColoringResult:
     """Distance-1 greedy coloring of ``graph``.
 
     Parameters
@@ -75,16 +85,20 @@ def greedy_color(graph: CSRGraph, max_rounds: Optional[int] = None) -> ColoringR
     max_rounds:
         Safety cap on speculative rounds (defaults to ``num_vertices + 2``; the
         algorithm terminates far sooner in practice).
+    backend:
+        Execution backend (name or instance); ``None`` uses the default. All
+        backends produce bit-identical colorings.
 
     Returns
     -------
     :class:`ColoringResult` with a proper distance-1 coloring: adjacent vertices never
     share a color.
     """
+    B = resolve_backend(backend)
     n = graph.num_vertices
-    traffic = TrafficCounter()
+    traffic = TrafficCounter(backend=B.name)
     if n == 0:
-        return ColoringResult(np.zeros(0, dtype=np.int64), 0, 0, traffic)
+        return ColoringResult(np.zeros(0, dtype=np.int64), 0, 0, traffic, backend=B.name)
     colors = -np.ones(n, dtype=np.int64)
     worklist = np.arange(n, dtype=np.int64)
     max_colors = graph.max_degree() + 1
@@ -95,9 +109,9 @@ def greedy_color(graph: CSRGraph, max_rounds: Optional[int] = None) -> ColoringR
         if rounds >= cap:
             raise RuntimeError("greedy coloring did not converge (conflict loop)")
         # Speculative assignment.
-        proposal = _speculative_assign(graph, colors, worklist, max_colors)
+        proposal = _speculative_assign(graph, colors, worklist, max_colors, B)
         colors[worklist] = proposal
-        slots, seg = expand_rows(graph.rowmap, worklist)
+        slots, seg = B.expand_rows(graph.rowmap, worklist)
         nbrs = graph.entries[slots].astype(np.int64)
         lens = np.diff(seg)
         owners = np.repeat(worklist, lens)
@@ -125,4 +139,4 @@ def greedy_color(graph: CSRGraph, max_rounds: Optional[int] = None) -> ColoringR
     remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
     remap[used] = np.arange(used.size)
     colors = remap[colors]
-    return ColoringResult(colors, int(used.size), rounds, traffic, distance=1)
+    return ColoringResult(colors, int(used.size), rounds, traffic, distance=1, backend=B.name)

@@ -18,15 +18,15 @@ worklists, packing) rather than implementation quality.
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..hashing.priorities import PriorityScheme, fixed_priorities
 from ..hashing.xorshift import hash_iter_vertex
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.costmodel import TrafficCounter
-from ..parallel.primitives import expand_rows, segmented_lexmin
 from .result import MISConfig, MISResult
 
 __all__ = ["bell_mis", "STATUS_IN", "STATUS_UNDECIDED", "STATUS_OUT"]
@@ -54,6 +54,7 @@ def bell_mis(
     priority_scheme: Union[str, PriorityScheme] = PriorityScheme.FIXED,
     word_bits: int = 64,
     seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
 ) -> MISResult:
     """Compute a distance-``k`` maximal independent set with Bell's algorithm.
 
@@ -70,10 +71,13 @@ def bell_mis(
         Word width used only for traffic accounting (the priorities are 64-bit).
     seed:
         Seed of the fixed-priority scheme.
+    backend:
+        Execution backend (name or instance); ``None`` uses the default.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
     scheme = PriorityScheme.coerce(priority_scheme)
+    B = resolve_backend(backend)
     n = graph.num_vertices
     config = MISConfig(
         algorithm="bell",
@@ -84,8 +88,9 @@ def bell_mis(
         simd=False,
         word_bits=word_bits,
         seed=seed,
+        backend=B.name,
     )
-    traffic = TrafficCounter()
+    traffic = TrafficCounter(backend=B.name)
     if n == 0:
         return MISResult(
             in_set=np.zeros(0, dtype=np.int64),
@@ -107,7 +112,7 @@ def bell_mis(
 
     # Pre-expand the full-vertex CSR structure once: Bell processes every vertex in
     # every round, so the expansion never changes.
-    slots, seg = expand_rows(rowmap, all_vertices)
+    slots, seg = B.expand_rows(rowmap, all_vertices)
     neighbor_ids = entries[slots].astype(np.int64)
 
     worklist_sizes = []
@@ -139,7 +144,7 @@ def bell_mis(
             s_vals = min_status[neighbor_ids]
             p_vals = min_prio[neighbor_ids]
             i_vals = min_id[neighbor_ids]
-            red_s, red_p, red_i = segmented_lexmin(
+            red_s, red_p, red_i = B.segmented_lexmin(
                 [s_vals, p_vals, i_vals],
                 seg,
                 [STATUS_OUT, prio_identity, id_identity],

@@ -35,13 +35,8 @@ from ..graph.csr import CSRGraph
 from ..hashing.packing import TuplePacking
 from ..hashing.priorities import PriorityScheme, fixed_priorities
 from ..hashing.xorshift import hash_iter_vertex
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.costmodel import TrafficCounter
-from ..parallel.primitives import (
-    expand_rows,
-    segmented_all_equal,
-    segmented_any_equal,
-    segmented_min,
-)
 from .result import MISConfig, MISResult
 
 __all__ = ["kk_mis2"]
@@ -79,6 +74,7 @@ def kk_mis2(
     simd: Optional[bool] = None,
     word_bits: int = 64,
     seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
 ) -> MISResult:
     """Compute a distance-2 maximal independent set with Algorithm 1.
 
@@ -105,6 +101,10 @@ def kk_mis2(
         Width of the packed status tuples (32 to match the paper exactly, 64 default).
     seed:
         Seed of the fixed-priority scheme (ignored by the hash schemes).
+    backend:
+        Execution backend (name or instance) running the data-parallel primitives;
+        ``None`` uses :func:`repro.parallel.default_backend`. All backends produce
+        bit-identical results.
 
     Returns
     -------
@@ -112,6 +112,7 @@ def kk_mis2(
         The MIS-2, iteration count, worklist history and traffic counters.
     """
     scheme = PriorityScheme.coerce(priority_scheme)
+    B = resolve_backend(backend)
     n = graph.num_vertices
     if simd is None:
         simd = graph.average_degree() >= SIMD_DEGREE_THRESHOLD
@@ -124,8 +125,9 @@ def kk_mis2(
         simd=bool(simd),
         word_bits=word_bits,
         seed=seed,
+        backend=B.name,
     )
-    traffic = TrafficCounter()
+    traffic = TrafficCounter(backend=B.name)
     if n == 0:
         return MISResult(
             in_set=np.zeros(0, dtype=np.int64),
@@ -181,9 +183,9 @@ def kk_mis2(
         )
 
         # ------------------------------------------------------------- Refresh Column
-        slots2, seg2 = expand_rows(rowmap, w2)
+        slots2, seg2 = B.expand_rows(rowmap, w2)
         neighbor_T = T[entries[slots2]]
-        min_nbr = segmented_min(neighbor_T, seg2, identity=OUT)
+        min_nbr = B.segmented_min(neighbor_T, seg2, identity=OUT)
         Mv = np.minimum(min_nbr, T[w2])  # closed neighbourhood: include the vertex itself
         # A minimum of IN means "adjacent to an IN vertex": convert to OUT so the
         # information propagates one more hop in the Decide phase (lines 19-21).
@@ -206,11 +208,11 @@ def kk_mis2(
         )
 
         # ------------------------------------------------------------------- Decide
-        slots1, seg1 = expand_rows(rowmap, w1)
+        slots1, seg1 = B.expand_rows(rowmap, w1)
         neighbor_M = M[entries[slots1]]
         Tw1 = T[w1]
-        any_out = segmented_any_equal(neighbor_M, OUT, seg1) | (M[w1] == OUT)
-        all_match = segmented_all_equal(neighbor_M, Tw1, seg1) & (M[w1] == Tw1)
+        any_out = B.segmented_any_equal(neighbor_M, OUT, seg1) | (M[w1] == OUT)
+        all_match = B.segmented_all_equal(neighbor_M, Tw1, seg1) & (M[w1] == Tw1)
         undecided = packer.is_undecided(Tw1)
         to_out = any_out & undecided
         to_in = all_match & undecided & ~to_out
@@ -235,8 +237,8 @@ def kk_mis2(
         if use_worklists:
             keep1 = packer.is_undecided(T[worklist1])
             keep2 = M[worklist2] != OUT
-            new_w1 = worklist1[keep1]
-            new_w2 = worklist2[keep2]
+            new_w1 = B.stream_compact(worklist1, keep1)
+            new_w2 = B.stream_compact(worklist2, keep2)
             traffic.add(
                 "compact_worklists",
                 bytes_read=word_bytes * (worklist1.size + worklist2.size)

@@ -13,15 +13,15 @@ cross-check of Algorithm 1.
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..hashing.priorities import PriorityScheme, fixed_priorities
 from ..hashing.xorshift import hash_iter_vertex
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.costmodel import TrafficCounter
-from ..parallel.primitives import expand_rows, segmented_lexmin, segmented_sum
 from .result import MISConfig, MISResult
 
 __all__ = ["luby_mis1"]
@@ -35,6 +35,7 @@ def luby_mis1(
     graph: CSRGraph,
     priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
     seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
 ) -> MISResult:
     """Compute a distance-1 maximal independent set with Luby's Algorithm A.
 
@@ -48,8 +49,11 @@ def luby_mis1(
         the greedy ECL-MIS-style algorithm.
     seed:
         Seed for the fixed-priority scheme.
+    backend:
+        Execution backend (name or instance); ``None`` uses the default.
     """
     scheme = PriorityScheme.coerce(priority_scheme)
+    B = resolve_backend(backend)
     n = graph.num_vertices
     config = MISConfig(
         algorithm="luby",
@@ -59,8 +63,9 @@ def luby_mis1(
         packed_tuples=False,
         simd=False,
         seed=seed,
+        backend=B.name,
     )
-    traffic = TrafficCounter()
+    traffic = TrafficCounter(backend=B.name)
     if n == 0:
         return MISResult(
             in_set=np.zeros(0, dtype=np.int64),
@@ -83,7 +88,7 @@ def luby_mis1(
         if rounds >= max_rounds:
             raise RuntimeError(f"Luby MIS-1 did not converge within {max_rounds} rounds")
         undecided = status == _UNDECIDED
-        cand = all_vertices[undecided]
+        cand = B.stream_compact(all_vertices, undecided)
         if scheme is PriorityScheme.FIXED:
             priority[cand] = fixed_priorities(n, seed=seed)[cand]
         else:
@@ -93,12 +98,12 @@ def luby_mis1(
 
         # A candidate joins the set when its (priority, id) is the unique minimum of
         # the undecided part of its closed neighbourhood.
-        slots, seg = expand_rows(rowmap, cand)
+        slots, seg = B.expand_rows(rowmap, cand)
         nbr = entries[slots].astype(np.int64)
         nbr_undecided = status[nbr] == _UNDECIDED
         nbr_prio = np.where(nbr_undecided, priority[nbr], prio_max)
         nbr_id = np.where(nbr_undecided, nbr, id_max)
-        min_p, min_i = segmented_lexmin([nbr_prio, nbr_id], seg, [prio_max, id_max])
+        min_p, min_i = B.segmented_lexmin([nbr_prio, nbr_id], seg, [prio_max, id_max])
         own_better = (priority[cand] < min_p) | (
             (priority[cand] == min_p) & (cand < min_i)
         )
@@ -112,7 +117,7 @@ def luby_mis1(
 
         # Remove the neighbours of the new IN vertices.
         if winners.size:
-            wslots, wseg = expand_rows(rowmap, winners)
+            wslots, wseg = B.expand_rows(rowmap, winners)
             losers = entries[wslots].astype(np.int64)
             still_undecided = status[losers] == _UNDECIDED
             status[losers[still_undecided]] = _OUT

@@ -32,6 +32,9 @@ class MISConfig:
     word_bits: int = 64
     #: Seed for the fixed-priority scheme.
     seed: int = 0
+    #: Name of the execution backend that ran the kernels (``numpy`` reference,
+    #: ``chunked``, ``numba`` …).
+    backend: str = "numpy"
 
 
 @dataclass

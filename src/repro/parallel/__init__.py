@@ -11,6 +11,11 @@ analogue used by the reproduction:
 * :mod:`~repro.parallel.primitives` — the vectorised segmented/row-wise primitives the
   graph kernels are built from (segmented min/any/all over CSR rows, exclusive scans,
   stream compaction).
+* :mod:`~repro.parallel.backends` — the pluggable :class:`ExecutionBackend` seam
+  through which every kernel invokes those primitives: the ``numpy`` reference, the
+  cache-blocked/process-pool ``chunked`` backend and the optional ``numba`` JIT
+  backend (graceful NumPy fallback). Select per call (``backend="chunked"``) or
+  process-wide with :class:`set_default_backend`.
 * :mod:`~repro.parallel.machine` — device catalogue (V100, MI100, Skylake, ThunderX2)
   with the published memory bandwidths the paper's Fig. 3 uses.
 * :mod:`~repro.parallel.costmodel` — roofline-style traffic/latency model converting
@@ -39,6 +44,19 @@ from .primitives import (
     segmented_lexmin,
     segmented_sum,
 )
+from .backends import (
+    ExecutionBackend,
+    NumpyBackend,
+    ChunkedBackend,
+    NumbaBackend,
+    register_backend,
+    get_backend,
+    available_backends,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+    numba_available,
+)
 from .machine import DeviceSpec, DEVICES, device, device_names
 from .costmodel import (
     TrafficCounter,
@@ -66,6 +84,17 @@ __all__ = [
     "segmented_any_equal",
     "segmented_lexmin",
     "segmented_sum",
+    "ExecutionBackend",
+    "NumpyBackend",
+    "ChunkedBackend",
+    "NumbaBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "numba_available",
     "DeviceSpec",
     "DEVICES",
     "device",

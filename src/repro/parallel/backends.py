@@ -1,0 +1,542 @@
+"""Pluggable execution backends for the segmented-reduction core.
+
+The paper's central claim is *performance portability*: one algorithm expressed
+against a small set of data-parallel primitives (segmented reductions, scans,
+stream compaction, row expansion) and mapped onto many devices by swapping the
+execution backend underneath. This module is the Python analogue of that seam:
+every graph kernel in the package (MIS-2, coloring, aggregation, cluster
+Gauss-Seidel) calls the primitives through an :class:`ExecutionBackend` instead
+of importing the NumPy implementations directly, so a backend can be swapped
+per-call (``backend="chunked"``) or process-wide
+(:class:`set_default_backend`).
+
+Three backends ship with the package:
+
+``numpy`` (:class:`NumpyBackend`)
+    The reference: whole-worklist vectorised NumPy, delegating to
+    :mod:`repro.parallel.primitives`. Every other backend must match it
+    bit-for-bit — the determinism tests enforce this.
+
+``chunked`` (:class:`ChunkedBackend`)
+    Processes worklists in cache-sized blocks, splitting segmented operations
+    only at segment boundaries so per-segment results are identical to the
+    reference. Also fans batches of independent graphs out over a process pool
+    (:meth:`ExecutionBackend.map_graphs`), the sharding hook for multi-graph
+    benchmark sweeps.
+
+``numba`` (:class:`NumbaBackend`)
+    JIT-compiled per-segment loops when :mod:`numba` is importable; degrades
+    gracefully to the NumPy reference when it is not (``available`` is False
+    then), so code can request it unconditionally.
+
+All backends implement the same deterministic contract: primitives are pure
+functions of their inputs and reductions evaluate associative operators per
+segment, so results are bit-identical across backends for the integer dtypes
+the kernels use. (Floating-point scans are delegated to the reference by the
+chunked backend precisely to preserve this guarantee.)
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import primitives as _ref
+
+__all__ = [
+    "ExecutionBackend",
+    "NumpyBackend",
+    "ChunkedBackend",
+    "NumbaBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "numba_available",
+]
+
+
+def numba_available() -> bool:
+    """True when the optional :mod:`numba` dependency is importable."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+class ExecutionBackend:
+    """Interface every execution backend implements.
+
+    The base class provides the vectorised-NumPy reference behaviour for every
+    primitive, so a backend only overrides the operations it accelerates. All
+    overrides must be bit-identical to the reference for integer dtypes — the
+    backend-equivalence test suite parametrises the full kernel stack over all
+    registered backends and asserts exactly that.
+    """
+
+    #: Registry key and the name recorded on results / traffic counters.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------- scans
+    def inclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        """Inclusive prefix sum (``out[i] = sum(values[:i+1])``)."""
+        return _ref.inclusive_scan(values)
+
+    def exclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        """Exclusive prefix sum, one element longer than the input."""
+        return _ref.exclusive_scan(values)
+
+    # -------------------------------------------------------------- compaction
+    def stream_compact(self, items: np.ndarray, keep: np.ndarray) -> np.ndarray:
+        """Stable stream compaction: keep ``items[i]`` where ``keep[i]``."""
+        return _ref.stream_compact(items, keep)
+
+    # -------------------------------------------------------------------- rows
+    def row_lengths(self, rowmap: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Adjacency-list lengths of the selected CSR rows."""
+        return _ref.row_lengths(rowmap, rows)
+
+    def expand_rows(
+        self, rowmap: np.ndarray, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand selected CSR rows into flat (slots, segment_offsets) arrays."""
+        return _ref.expand_rows(rowmap, rows)
+
+    # -------------------------------------------------------------- reductions
+    def segmented_min(
+        self, values: np.ndarray, seg_offsets: np.ndarray, identity
+    ) -> np.ndarray:
+        """Per-segment minimum (identity for empty segments)."""
+        return _ref.segmented_min(values, seg_offsets, identity)
+
+    def segmented_max(
+        self, values: np.ndarray, seg_offsets: np.ndarray, identity
+    ) -> np.ndarray:
+        """Per-segment maximum (identity for empty segments)."""
+        return _ref.segmented_max(values, seg_offsets, identity)
+
+    def segmented_sum(self, values: np.ndarray, seg_offsets: np.ndarray) -> np.ndarray:
+        """Per-segment sum (0 for empty segments)."""
+        return _ref.segmented_sum(values, seg_offsets)
+
+    def segmented_all_equal(
+        self, values: np.ndarray, reference: np.ndarray, seg_offsets: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment "every value equals reference[j]" (vacuously True)."""
+        return _ref.segmented_all_equal(values, reference, seg_offsets)
+
+    def segmented_any_equal(
+        self, values: np.ndarray, target, seg_offsets: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment "any value equals target" (False for empty segments)."""
+        return _ref.segmented_any_equal(values, target, seg_offsets)
+
+    def segmented_lexmin(
+        self,
+        arrays: "List[np.ndarray]",
+        seg_offsets: np.ndarray,
+        identities: "List",
+    ) -> "List[np.ndarray]":
+        """Lexicographic per-segment minimum over parallel arrays."""
+        return _ref.segmented_lexmin(arrays, seg_offsets, identities)
+
+    # ------------------------------------------------------------ graph batches
+    def map_graphs(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item of a batch, preserving order.
+
+        The reference executes serially; sharded backends may fan the batch out
+        over a worker pool. ``fn`` must be a pure function so results are
+        independent of the execution strategy.
+        """
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyBackend(ExecutionBackend):
+    """The vectorised whole-worklist NumPy reference backend."""
+
+    name = "numpy"
+
+
+class ChunkedBackend(ExecutionBackend):
+    """Cache-blocked backend: segmented operations run in cache-sized blocks.
+
+    Blocks are split only at segment boundaries, so every segment is reduced by
+    exactly one reference call and results are bit-identical to
+    :class:`NumpyBackend`. This mirrors how a CPU implementation tiles the
+    worklist so each block's values stay resident in L2 while the reduction
+    runs, and it bounds the temporary-array footprint of ``expand_rows`` on
+    huge worklists.
+
+    Parameters
+    ----------
+    block_elements:
+        Target number of flat elements per block (default 32768, about 256 KiB
+        of int64 values — comfortably cache-sized).
+    processes:
+        Worker-pool width for :meth:`map_graphs`. ``None`` uses the CPU count;
+        1 executes inline.
+    """
+
+    name = "chunked"
+
+    def __init__(self, block_elements: int = 32768, processes: Optional[int] = None) -> None:
+        if block_elements < 1:
+            raise ValueError("block_elements must be >= 1")
+        self.block_elements = int(block_elements)
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+
+    # ------------------------------------------------------------------ helpers
+    def _segment_blocks(self, seg_offsets: np.ndarray) -> List[Tuple[int, int]]:
+        """Split segment indices into blocks of at most ~block_elements values.
+
+        A segment larger than the block size gets a block of its own — segments
+        are never split, which is what keeps per-segment results identical to
+        the reference.
+        """
+        nseg = int(seg_offsets.size) - 1
+        blocks: List[Tuple[int, int]] = []
+        start = 0
+        while start < nseg:
+            target = int(seg_offsets[start]) + self.block_elements
+            stop = int(np.searchsorted(seg_offsets, target, side="left"))
+            stop = min(max(stop, start + 1), nseg)
+            blocks.append((start, stop))
+            start = stop
+        return blocks
+
+    def _chunk_segmented(self, seg_offsets: np.ndarray, run_block: Callable) -> np.ndarray:
+        """Run ``run_block(s, e)`` over segment blocks and concatenate results."""
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        blocks = self._segment_blocks(seg_offsets)
+        pieces = [run_block(s, e) for s, e in blocks]
+        return np.concatenate(pieces)
+
+    def _small(self, seg_offsets) -> bool:
+        """Fast path: a worklist that fits one block runs the reference directly."""
+        seg_offsets = np.asarray(seg_offsets)
+        return seg_offsets.size <= 2 or int(seg_offsets[-1]) <= self.block_elements
+
+    # -------------------------------------------------------------------- scans
+    def exclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError("exclusive_scan expects a 1-D array")
+        # Blockwise float cumsum would reassociate additions; delegate floats to
+        # the reference to keep results bit-identical across backends.
+        if arr.dtype.kind not in "iub" or arr.size <= self.block_elements:
+            return _ref.exclusive_scan(arr)
+        out = np.zeros(arr.size + 1, dtype=np.int64)
+        carry = np.int64(0)
+        for start in range(0, arr.size, self.block_elements):
+            stop = min(arr.size, start + self.block_elements)
+            np.cumsum(arr[start:stop], out=out[start + 1: stop + 1])
+            out[start + 1: stop + 1] += carry
+            carry = out[stop]
+        return out
+
+    def inclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError("inclusive_scan expects a 1-D array")
+        if arr.dtype.kind not in "iub" or arr.size <= self.block_elements:
+            return _ref.inclusive_scan(arr)
+        return self.exclusive_scan(arr)[1:]
+
+    # --------------------------------------------------------------- compaction
+    def stream_compact(self, items: np.ndarray, keep: np.ndarray) -> np.ndarray:
+        items = np.asarray(items)
+        keep = np.asarray(keep, dtype=bool)
+        if items.shape != keep.shape:
+            raise ValueError("items and keep must have the same shape")
+        if items.size <= self.block_elements:
+            return _ref.stream_compact(items, keep)
+        pieces = [
+            _ref.stream_compact(
+                items[s: s + self.block_elements], keep[s: s + self.block_elements]
+            )
+            for s in range(0, items.size, self.block_elements)
+        ]
+        return np.concatenate(pieces)
+
+    # --------------------------------------------------------------------- rows
+    def expand_rows(
+        self, rowmap: np.ndarray, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        rowmap = np.asarray(rowmap, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        lens = _ref.row_lengths(rowmap, rows)
+        bounds = _ref.exclusive_scan(lens)
+        if self._small(bounds):
+            return _ref.expand_rows(rowmap, rows)
+        blocks = self._segment_blocks(bounds)
+        slot_pieces: List[np.ndarray] = []
+        seg_pieces: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        offset = np.int64(0)
+        for s, e in blocks:
+            bslots, bseg = _ref.expand_rows(rowmap, rows[s:e])
+            slot_pieces.append(bslots)
+            seg_pieces.append(bseg[1:] + offset)
+            offset += bseg[-1]
+        return np.concatenate(slot_pieces), np.concatenate(seg_pieces)
+
+    # --------------------------------------------------------------- reductions
+    def _blocked_reduce(self, values, seg_offsets, reduce_block):
+        values = np.asarray(values)
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        if self._small(seg_offsets):
+            return reduce_block(values, seg_offsets)
+
+        def run(s: int, e: int) -> np.ndarray:
+            lo, hi = seg_offsets[s], seg_offsets[e]
+            return reduce_block(values[lo:hi], seg_offsets[s: e + 1] - lo)
+
+        return self._chunk_segmented(seg_offsets, run)
+
+    def segmented_min(self, values, seg_offsets, identity):
+        return self._blocked_reduce(
+            values, seg_offsets, lambda v, o: _ref.segmented_min(v, o, identity)
+        )
+
+    def segmented_max(self, values, seg_offsets, identity):
+        return self._blocked_reduce(
+            values, seg_offsets, lambda v, o: _ref.segmented_max(v, o, identity)
+        )
+
+    def segmented_sum(self, values, seg_offsets):
+        return self._blocked_reduce(values, seg_offsets, _ref.segmented_sum)
+
+    def segmented_any_equal(self, values, target, seg_offsets):
+        return self._blocked_reduce(
+            values, seg_offsets, lambda v, o: _ref.segmented_any_equal(v, target, o)
+        )
+
+    def segmented_all_equal(self, values, reference, seg_offsets):
+        values = np.asarray(values)
+        reference = np.asarray(reference)
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        if self._small(seg_offsets):
+            return _ref.segmented_all_equal(values, reference, seg_offsets)
+
+        def run(s: int, e: int) -> np.ndarray:
+            lo, hi = seg_offsets[s], seg_offsets[e]
+            return _ref.segmented_all_equal(
+                values[lo:hi], reference[s:e], seg_offsets[s: e + 1] - lo
+            )
+
+        return self._chunk_segmented(seg_offsets, run)
+
+    def segmented_lexmin(self, arrays, seg_offsets, identities):
+        if not arrays:
+            raise ValueError("segmented_lexmin requires at least one array")
+        arrays = [np.asarray(a) for a in arrays]
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        if self._small(seg_offsets):
+            return _ref.segmented_lexmin(arrays, seg_offsets, identities)
+        blocks = self._segment_blocks(seg_offsets)
+        pieces: List[List[np.ndarray]] = []
+        for s, e in blocks:
+            lo, hi = seg_offsets[s], seg_offsets[e]
+            pieces.append(
+                _ref.segmented_lexmin(
+                    [a[lo:hi] for a in arrays], seg_offsets[s: e + 1] - lo, identities
+                )
+            )
+        return [np.concatenate([p[i] for p in pieces]) for i in range(len(arrays))]
+
+    # ------------------------------------------------------------- graph batches
+    def map_graphs(self, fn: Callable, items: Sequence) -> List:
+        """Fan a batch of independent per-graph computations over a process pool.
+
+        Falls back to inline execution for single-item batches or a one-worker
+        configuration. ``fn`` and the items must be picklable; order is
+        preserved, so results are deterministic regardless of pool width.
+        """
+        workers = self.processes if self.processes is not None else max(1, os.cpu_count() or 1)
+        items = list(items)
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+class NumbaBackend(NumpyBackend):
+    """Numba-JIT backend with graceful degradation.
+
+    When :mod:`numba` is importable the per-segment reduction loops run as
+    compiled kernels (the shape a real OpenMP backend would take); when it is
+    not, every primitive silently delegates to the NumPy reference so the
+    backend can always be requested. ``available`` records which path is
+    active.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._available: Optional[bool] = None
+        self._kernels: Optional[Dict[str, Callable]] = None
+
+    @property
+    def available(self) -> bool:
+        """Whether the JIT path is active (probed lazily — importing numba is
+        expensive, and the backend is registered at package-import time)."""
+        if self._available is None:
+            self._available = numba_available()
+        return self._available
+
+    def _get_kernels(self) -> Optional[Dict[str, Callable]]:
+        """Compile (once) and return the jitted kernels, or None unavailable."""
+        if not self.available:
+            return None
+        if self._kernels is None:
+            try:
+                import numba
+
+                @numba.njit(cache=False)
+                def seg_min(values, offs, out):  # pragma: no cover - jitted
+                    for j in range(out.size):
+                        for k in range(offs[j], offs[j + 1]):
+                            if values[k] < out[j]:
+                                out[j] = values[k]
+
+                @numba.njit(cache=False)
+                def seg_max(values, offs, out):  # pragma: no cover - jitted
+                    for j in range(out.size):
+                        for k in range(offs[j], offs[j + 1]):
+                            if values[k] > out[j]:
+                                out[j] = values[k]
+
+                @numba.njit(cache=False)
+                def seg_sum(values, offs, out):  # pragma: no cover - jitted
+                    for j in range(out.size):
+                        for k in range(offs[j], offs[j + 1]):
+                            out[j] += values[k]
+
+                self._kernels = {"min": seg_min, "max": seg_max, "sum": seg_sum}
+            except Exception:
+                # Any JIT failure (unsupported numba build, …) demotes the
+                # backend to the NumPy reference for the rest of the process.
+                self._available = False
+                return None
+        return self._kernels
+
+    def _jit_reduce(self, kind: str, values, seg_offsets, identity):
+        kernels = self._get_kernels()
+        values = np.ascontiguousarray(np.asarray(values))
+        seg_offsets = np.ascontiguousarray(np.asarray(seg_offsets, dtype=np.int64))
+        if kernels is None:
+            return None
+        nseg = seg_offsets.size - 1
+        dtype = values.dtype if values.size else np.asarray(identity).dtype
+        out = np.full(max(nseg, 0), identity, dtype=dtype)
+        if values.size and nseg > 0:
+            kernels[kind](values, seg_offsets, out)
+        return out
+
+    def segmented_min(self, values, seg_offsets, identity):
+        out = self._jit_reduce("min", values, seg_offsets, identity)
+        if out is None:
+            return super().segmented_min(values, seg_offsets, identity)
+        return out
+
+    def segmented_max(self, values, seg_offsets, identity):
+        out = self._jit_reduce("max", values, seg_offsets, identity)
+        if out is None:
+            return super().segmented_max(values, seg_offsets, identity)
+        return out
+
+    def segmented_sum(self, values, seg_offsets):
+        values = np.asarray(values)
+        zero = values.dtype.type(0) if values.size else 0
+        out = self._jit_reduce("sum", values, seg_offsets, zero)
+        if out is None:
+            return super().segmented_sum(values, seg_offsets)
+        return out
+
+
+# ------------------------------------------------------------------- registry
+_REGISTRY: "Dict[str, ExecutionBackend]" = {}
+
+
+def register_backend(backend: ExecutionBackend, *, overwrite: bool = False) -> ExecutionBackend:
+    """Register ``backend`` under its ``name`` for lookup by :func:`get_backend`."""
+    if not isinstance(backend, ExecutionBackend):
+        raise TypeError("backend must be an ExecutionBackend instance")
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(backend: "str | ExecutionBackend") -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend, in registration order."""
+    return list(_REGISTRY)
+
+
+register_backend(NumpyBackend())
+register_backend(ChunkedBackend())
+register_backend(NumbaBackend())
+
+_DEFAULT: ExecutionBackend = _REGISTRY["numpy"]
+
+
+def default_backend() -> ExecutionBackend:
+    """The process-wide default backend (the NumPy reference unless changed)."""
+    return _DEFAULT
+
+
+def resolve_backend(backend: "Optional[str | ExecutionBackend]" = None) -> ExecutionBackend:
+    """Resolve a kernel's ``backend=`` argument (None means the default)."""
+    if backend is None:
+        return _DEFAULT
+    return get_backend(backend)
+
+
+class set_default_backend:
+    """Set the process-wide default backend, optionally scoped as a context.
+
+    Usable both as a plain call (sets the default until changed again)::
+
+        set_default_backend("chunked")
+
+    and as a context manager that restores the previous default on exit::
+
+        with set_default_backend("chunked"):
+            kk_mis2(graph)   # runs on the chunked backend
+    """
+
+    def __init__(self, backend: "str | ExecutionBackend") -> None:
+        global _DEFAULT
+        self._previous = _DEFAULT
+        self.backend = get_backend(backend)
+        _DEFAULT = self.backend
+
+    def __enter__(self) -> ExecutionBackend:
+        return self.backend
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _DEFAULT
+        _DEFAULT = self._previous
+        return False

@@ -17,7 +17,7 @@ relative (speedup) comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -61,10 +61,12 @@ class TrafficCounter:
 
     Kernels call :meth:`add` once per parallel region; the MIS-2 drivers attach one
     counter per run so that the benchmark harness can convert the run into predicted
-    device times.
+    device times. ``backend`` records which execution backend produced the measured
+    kernels, so benchmark rows can attribute every measurement.
     """
 
     kernels: List[KernelTraffic] = field(default_factory=list)
+    backend: Optional[str] = None
 
     def add(
         self,
@@ -115,9 +117,16 @@ class TrafficCounter:
         return out
 
     def merge(self, other: "TrafficCounter") -> "TrafficCounter":
-        """Return a new counter containing the kernels of both operands."""
+        """Return a new counter containing the kernels of both operands.
+
+        The backend label survives only when both operands agree on it.
+        """
         merged = TrafficCounter()
         merged.kernels = list(self.kernels) + list(other.kernels)
+        if other.backend in (None, self.backend):
+            merged.backend = self.backend
+        elif self.backend is None:
+            merged.backend = other.backend
         return merged
 
 
@@ -132,7 +141,7 @@ def scale_traffic(traffic: TrafficCounter, factor: float) -> TrafficCounter:
     """
     if factor <= 0:
         raise ValueError("factor must be positive")
-    scaled = TrafficCounter()
+    scaled = TrafficCounter(backend=traffic.backend)
     for k in traffic.kernels:
         scaled.kernels.append(
             KernelTraffic(

@@ -8,8 +8,27 @@ from repro.bench.__main__ import EXPERIMENTS, main
 def test_every_experiment_is_registered():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5", "table6",
-        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "smoke",
     }
+
+
+def test_cli_smoke_check(capsys):
+    code = main(["smoke"])
+    assert code == 0
+    assert "smoke check: OK" in capsys.readouterr().out
+
+
+def test_cli_backend_flag_records_backend(capsys):
+    code = main(["smoke", "--backend", "chunked"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "backend: chunked" in out
+    assert "smoke check: OK" in out
+
+
+def test_cli_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--backend", "cuda"])
 
 
 def test_cli_runs_single_experiment(capsys):

@@ -1,0 +1,191 @@
+"""Tests for the ExecutionBackend registry, selection machinery and backends."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, path_graph, random_gnp
+from repro.mis import kk_mis2
+from repro.parallel import (
+    ChunkedBackend,
+    ExecutionBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    default_backend,
+    exclusive_scan,
+    get_backend,
+    numba_available,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.parallel.backends import _REGISTRY
+
+
+def _graph_mis_size(graph):
+    """Module-level so the process-pool test can pickle it."""
+    return int(kk_mis2(graph).in_set.size)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ["numpy", "chunked", "numba"]
+
+    def test_get_backend_by_name_and_instance(self):
+        np_backend = get_backend("numpy")
+        assert isinstance(np_backend, NumpyBackend)
+        assert get_backend(np_backend) is np_backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_register_rejects_duplicates_and_non_backends(self):
+        with pytest.raises(ValueError):
+            register_backend(NumpyBackend())
+        with pytest.raises(TypeError):
+            register_backend("numpy")
+
+    def test_register_overwrite(self):
+        original = get_backend("chunked")
+        replacement = ChunkedBackend(block_elements=128)
+        try:
+            register_backend(replacement, overwrite=True)
+            assert get_backend("chunked") is replacement
+        finally:
+            register_backend(original, overwrite=True)
+
+
+class TestDefaultBackend:
+    def test_default_is_numpy(self):
+        assert default_backend().name == "numpy"
+        assert resolve_backend(None) is default_backend()
+
+    def test_resolve_by_name(self):
+        assert resolve_backend("chunked").name == "chunked"
+
+    def test_set_default_backend_context_restores(self):
+        before = default_backend()
+        with set_default_backend("chunked") as active:
+            assert active.name == "chunked"
+            assert default_backend().name == "chunked"
+            # Kernels called without backend= pick up the scoped default.
+            result = kk_mis2(path_graph(8))
+            assert result.config.backend == "chunked"
+        assert default_backend() is before
+
+    def test_set_default_backend_plain_call(self):
+        before = default_backend()
+        try:
+            set_default_backend("chunked")
+            assert default_backend().name == "chunked"
+        finally:
+            set_default_backend(before)
+
+    def test_context_restores_on_exception(self):
+        before = default_backend()
+        with pytest.raises(RuntimeError):
+            with set_default_backend("chunked"):
+                raise RuntimeError("boom")
+        assert default_backend() is before
+
+
+class TestChunkedBackend:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ChunkedBackend(block_elements=0)
+        with pytest.raises(ValueError):
+            ChunkedBackend(processes=0)
+
+    def test_segment_blocks_never_split_segments(self):
+        B = ChunkedBackend(block_elements=4)
+        # Segment lengths 3, 3, 10, 1: the 10-element segment exceeds the block
+        # size and must still land in a block of its own.
+        seg = exclusive_scan(np.array([3, 3, 10, 1]))
+        blocks = B._segment_blocks(seg)
+        assert blocks[0] == (0, 1) or blocks[0] == (0, 2)
+        covered = []
+        for s, e in blocks:
+            assert s < e
+            covered.extend(range(s, e))
+        assert covered == [0, 1, 2, 3]
+
+    def test_chunked_scan_matches_reference_int(self):
+        B = ChunkedBackend(block_elements=7)
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 100, size=1000)
+        assert np.array_equal(B.exclusive_scan(vals), exclusive_scan(vals))
+        assert np.array_equal(B.inclusive_scan(vals), np.cumsum(vals))
+        assert B.exclusive_scan(vals).dtype == exclusive_scan(vals).dtype
+
+    def test_chunked_scan_floats_delegate(self):
+        B = ChunkedBackend(block_elements=7)
+        vals = np.linspace(0.0, 1.0, 100)
+        assert np.array_equal(B.exclusive_scan(vals), exclusive_scan(vals))
+
+    def test_chunked_compact_matches_reference(self):
+        B = ChunkedBackend(block_elements=16)
+        rng = np.random.default_rng(1)
+        items = rng.integers(0, 1000, size=500)
+        keep = rng.random(500) < 0.3
+        assert np.array_equal(B.stream_compact(items, keep), items[keep])
+
+    def test_chunked_expand_rows_matches_reference(self):
+        B = ChunkedBackend(block_elements=8)
+        ref = NumpyBackend()
+        g = random_gnp(150, 0.05, seed=5)
+        rows = np.arange(g.num_vertices, dtype=np.int64)
+        s_ref, seg_ref = ref.expand_rows(g.rowmap, rows)
+        s_chk, seg_chk = B.expand_rows(g.rowmap, rows)
+        assert np.array_equal(s_ref, s_chk)
+        assert np.array_equal(seg_ref, seg_chk)
+
+    def test_map_graphs_process_pool_preserves_order(self):
+        graphs = [random_gnp(40, 0.1, seed=s) for s in range(4)]
+        serial = NumpyBackend().map_graphs(_graph_mis_size, graphs)
+        pooled = ChunkedBackend(processes=2).map_graphs(_graph_mis_size, graphs)
+        inline = ChunkedBackend(processes=1).map_graphs(_graph_mis_size, graphs)
+        assert pooled == serial == inline
+
+    def test_error_paths_match_reference(self):
+        B = ChunkedBackend(block_elements=4)
+        with pytest.raises(ValueError):
+            B.stream_compact(np.array([1, 2]), np.array([True]))
+        with pytest.raises(ValueError):
+            B.exclusive_scan(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            B.segmented_lexmin([], np.array([0]), [])
+
+
+class TestNumbaBackend:
+    def test_reports_availability(self):
+        B = NumbaBackend()
+        assert B.available == numba_available()
+
+    def test_degrades_to_numpy_reference(self):
+        # Whether or not numba is installed, results must equal the reference.
+        B = NumbaBackend()
+        ref = NumpyBackend()
+        rng = np.random.default_rng(2)
+        lens = rng.integers(0, 6, size=50)
+        seg = exclusive_scan(lens)
+        values = rng.integers(0, 1000, size=int(seg[-1])).astype(np.uint64)
+        ident = np.uint64(2**64 - 1)
+        assert np.array_equal(
+            B.segmented_min(values, seg, ident), ref.segmented_min(values, seg, ident)
+        )
+        assert np.array_equal(
+            B.segmented_max(values, seg, np.uint64(0)),
+            ref.segmented_max(values, seg, np.uint64(0)),
+        )
+        assert np.array_equal(B.segmented_sum(values, seg), ref.segmented_sum(values, seg))
+
+    def test_requestable_by_name_without_numba(self):
+        result = kk_mis2(from_edges(5, [(0, 1), (1, 2), (3, 4)]), backend="numba")
+        assert result.config.backend == "numba"
+
+
+def test_every_registered_backend_is_an_execution_backend():
+    for name in available_backends():
+        assert isinstance(_REGISTRY[name], ExecutionBackend)
+        assert _REGISTRY[name].name == name

@@ -15,7 +15,7 @@ from repro.coloring import distance2_color, greedy_color, is_valid_coloring
 from repro.mis import is_independent_set
 from repro.parallel import exclusive_scan, segmented_min, segmented_sum
 
-from .strategies import graphs
+from tests.properties.strategies import graphs
 
 COMMON = dict(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 

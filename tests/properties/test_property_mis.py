@@ -21,7 +21,7 @@ from repro.mis import (
     verify_mis,
 )
 
-from .strategies import graphs
+from tests.properties.strategies import graphs
 
 COMMON = dict(
     max_examples=40,
