@@ -1,16 +1,20 @@
 """Fig. 3: bandwidth-efficiency profiles of the four architectures."""
 
-from conftest import emit
+from conftest import emit, emit_result
 
-from repro.bench import fig3_table, run_fig3
+from repro.bench import fig3_table, get_experiment
 from repro.bench.config import cached_suite_graph
 from repro.mis import kk_mis2
 from repro.parallel import bandwidth_efficiency
 
 
 def test_fig3_report(benchmark, bench_config, results_dir):
-    rows = benchmark.pedantic(lambda: run_fig3(bench_config), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig3").run(bench_config), rounds=1, iterations=1
+    )
+    rows = result.rows
     emit(results_dir, "fig3_portability", fig3_table(rows).render())
+    emit_result(results_dir, result)
     assert len(rows) == 17
     for row in rows:
         norm = row.normalized()

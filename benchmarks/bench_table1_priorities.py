@@ -5,16 +5,20 @@ benchmarks Algorithm 1 with its production xorshift* priorities on a representat
 matrix.
 """
 
-from conftest import emit
+from conftest import emit, emit_result
 
-from repro.bench import run_table1, table1_table
+from repro.bench import get_experiment, table1_table
 from repro.bench.config import cached_suite_graph
 from repro.mis import kk_mis2
 
 
 def test_table1_report(benchmark, bench_config, results_dir):
-    rows = benchmark.pedantic(lambda: run_table1(bench_config), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: get_experiment("table1").run(bench_config), rounds=1, iterations=1
+    )
+    rows = result.rows
     emit(results_dir, "table1_priorities", table1_table(rows).render())
+    emit_result(results_dir, result)
     assert len(rows) == 17
     # Shape check: the xorshift* scheme never needs (much) more iterations than the
     # fixed-priority scheme, on any matrix.

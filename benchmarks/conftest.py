@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import BenchConfig
+from repro.bench import BenchConfig, ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,3 +42,13 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     """Print a rendered table and persist it under ``benchmarks/results/``."""
     print(f"\n{text}\n")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_result(results_dir: Path, result: ExperimentResult) -> Path:
+    """Persist a structured ExperimentResult as a ``BENCH_*.json`` record.
+
+    These JSON records (one per experiment/backend pair) are the perf-trajectory
+    feed: CI uploads ``benchmarks/results/*.json`` as an artifact so wall-clock
+    and deterministic counts can be tracked across commits.
+    """
+    return result.save(results_dir)

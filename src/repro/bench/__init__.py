@@ -1,16 +1,42 @@
 """Benchmark / experiment drivers.
 
 One module per table or figure of the paper's evaluation section (Section VI); each
-exposes a ``run_*`` function returning structured rows and a ``*_table`` formatter
-that prints the same rows the paper reports (plus the published reference numbers).
-The ``benchmarks/`` directory at the repository root wraps these drivers with
-pytest-benchmark targets, and EXPERIMENTS.md records paper-vs-measured for every
-experiment.
+expresses its sweep declaratively through the :mod:`~repro.bench.experiment`
+framework — a *plan* stage producing picklable work units, a module-level *task*
+function executed through :meth:`ExecutionBackend.map_graphs` (so the chunked and
+threaded backends shard the sweep over worker pools), and a *render* stage printing
+the same rows the paper reports (plus the published reference numbers). Each module
+still exposes the classic ``run_*`` function returning structured rows and the
+``*_table`` formatter; ``Experiment.run`` additionally returns a JSON-persistable
+:class:`~repro.bench.experiment.ExperimentResult`, and
+:func:`~repro.bench.experiment.sweep` compares one experiment's wall-clock across
+backends. The ``benchmarks/`` directory at the repository root wraps these drivers
+with pytest-benchmark targets, and EXPERIMENTS.md records paper-vs-measured for
+every experiment.
 """
 
 from __future__ import annotations
 
-from .config import BenchConfig, cached_suite_graph, cached_suite_matrix
+from .config import (
+    BenchConfig,
+    cached_suite_graph,
+    cached_suite_matrix,
+    clear_suite_cache,
+    suite_cache_stats,
+)
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    SweepMismatchError,
+    SweepResult,
+    default_results_dir,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+    sweep,
+    sweep_table,
+)
 from .table1 import Table1Row, run_table1, table1_table
 from .table2 import Table2Row, run_table2, table2_table
 from .table3 import Table3Row, run_table3, table3_table, PAPER_TABLE3
@@ -21,11 +47,25 @@ from .fig2 import Fig2Row, run_fig2, fig2_table, fig2_geometric_means, PAPER_FIG
 from .fig3 import Fig3Row, run_fig3, fig3_table
 from .fig45 import ScalingRow, run_scaling, scaling_table, DEFAULT_THREAD_COUNTS
 from .fig67 import SpeedupRow, run_fig6, run_fig7, speedup_table
+from .smoke import SmokeRow, run_smoke, smoke_table
 
 __all__ = [
     "BenchConfig",
     "cached_suite_graph",
     "cached_suite_matrix",
+    "clear_suite_cache",
+    "suite_cache_stats",
+    "Experiment",
+    "ExperimentResult",
+    "SweepMismatchError",
+    "SweepResult",
+    "default_results_dir",
+    "experiment_names",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+    "sweep",
+    "sweep_table",
     "Table1Row", "run_table1", "table1_table",
     "Table2Row", "run_table2", "table2_table",
     "Table3Row", "run_table3", "table3_table", "PAPER_TABLE3",
@@ -36,4 +76,5 @@ __all__ = [
     "Fig3Row", "run_fig3", "fig3_table",
     "ScalingRow", "run_scaling", "scaling_table", "DEFAULT_THREAD_COUNTS",
     "SpeedupRow", "run_fig6", "run_fig7", "speedup_table",
+    "SmokeRow", "run_smoke", "smoke_table",
 ]

@@ -5,171 +5,102 @@ Regenerate any of the paper's tables/figures without pytest::
     python -m repro.bench table1 --scale 0.01
     python -m repro.bench fig2 --matrices ecology2 thermal2
     python -m repro.bench all --scale 0.005
-    python -m repro.bench smoke                  # fast CI sanity check
-    python -m repro.bench table1 --backend chunked
+    python -m repro.bench smoke                        # fast CI sanity check
+    python -m repro.bench table1 --backend chunked --jobs 4
+    python -m repro.bench table2 --json                # persist the JSON record
 
-Each experiment prints the same paper-style table the benchmark harness writes to
-``benchmarks/results/``. ``--backend`` selects the execution backend every
-measurement runs on; the chosen backend is printed with the results and recorded
-on each kernel's traffic counter.
+Every experiment is a registered :class:`repro.bench.experiment.Experiment`
+(plan / map / reduce); the sweep itself executes through
+``ExecutionBackend.map_graphs``, so ``--backend chunked`` shards the per-matrix
+work over a process pool and ``--backend threaded`` over a thread pool.
+
+Flags
+-----
+``--backend``
+    Execution backend every measurement runs on (default: the process default,
+    the NumPy reference). The chosen backend is printed with the results and
+    recorded on each kernel's traffic counter.
+``--jobs``
+    Worker-pool width for the sharded backends' ``map_graphs`` (chunked
+    processes / threaded threads). Serial backends ignore it. Caveat: with a
+    pooled backend the per-matrix *Python wall-clock* columns are measured
+    while sibling matrices run concurrently, so pool contention inflates them;
+    the modelled (traffic-derived) columns and all deterministic counts are
+    unaffected, and the sweep driver's per-backend wall-clock measures the
+    whole sweep, which is exactly what sharding accelerates.
+``--json``
+    Additionally persist each run as a structured
+    ``benchmarks/results/BENCH_<experiment>_<backend>.json`` record
+    (:class:`~repro.bench.experiment.ExperimentResult`), the perf-trajectory
+    feed.
+
+Cross-backend sweep (the paper's Fig. 3 analogue for Python backends)::
+
+    python -m repro.bench sweep table1 --backends numpy,chunked,threaded
+    python -m repro.bench sweep smoke --backends numpy,threaded --json
+
+``sweep`` runs one experiment once per backend, *asserts the deterministic
+measured counts (iterations, set sizes, modelled times) are bit-identical
+across backends*, and prints the per-backend wall-clock/speedup table.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from ..parallel.backends import available_backends, default_backend, set_default_backend
+from ..parallel.backends import available_backends, default_backend
 
-from . import (
+from . import (  # noqa: F401 - importing the modules registers every experiment
     BenchConfig,
-    fig2_table,
-    fig3_table,
-    run_fig2,
-    run_fig3,
-    run_fig6,
-    run_fig7,
-    run_scaling,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_table5,
-    run_table6,
-    scaling_table,
-    speedup_table,
-    table1_table,
-    table2_table,
-    table3_table,
-    table4_table,
-    table5_table,
-    table6_table,
+    default_results_dir,
+    experiment_names,
+    get_experiment,
+    sweep,
+    sweep_table,
 )
+from .experiment import Experiment
 
 __all__ = ["main", "EXPERIMENTS"]
 
-
-def _run_table1(config: BenchConfig) -> str:
-    return table1_table(run_table1(config)).render()
-
-
-def _run_table2(config: BenchConfig) -> str:
-    return table2_table(run_table2(config)).render()
+#: Experiment name -> registered Experiment (populated by the bench module imports).
+EXPERIMENTS: Dict[str, Experiment] = {name: get_experiment(name) for name in experiment_names()}
 
 
-def _run_table3(config: BenchConfig) -> str:
-    return table3_table(run_table3(config)).render()
-
-
-def _run_table4(config: BenchConfig) -> str:
-    return table4_table(run_table4(config)).render()
-
-
-def _run_table5(config: BenchConfig) -> str:
-    return table5_table(run_table5(config)).render()
-
-
-def _run_table6(config: BenchConfig) -> str:
-    return table6_table(run_table6(config)).render()
-
-
-def _run_fig2(config: BenchConfig) -> str:
-    rows = run_fig2(config)
-    return fig2_table(rows, use_model=True).render() + "\n\n" + fig2_table(rows, use_model=False).render()
-
-
-def _run_fig3(config: BenchConfig) -> str:
-    return fig3_table(run_fig3(config)).render()
-
-
-def _run_fig4(config: BenchConfig) -> str:
-    return scaling_table(run_scaling("skylake", config)).render()
-
-
-def _run_fig5(config: BenchConfig) -> str:
-    return scaling_table(run_scaling("tx2", config)).render()
-
-
-def _run_fig6(config: BenchConfig) -> str:
-    return speedup_table(run_fig6(config), "Fig. 6: Algorithm 1 vs CUSP (MIS-2)").render()
-
-
-def _run_fig7(config: BenchConfig) -> str:
-    return speedup_table(run_fig7(config), "Fig. 7: Algorithm 1 + coarsening vs ViennaCL").render()
-
-
-def _run_smoke(config: BenchConfig) -> str:
-    """Fast end-to-end sanity check for CI: exercise every kernel layer once.
-
-    Runs MIS-2, coloring, aggregation and the device cost model on a small
-    stencil graph and verifies the results, in a few seconds. A non-zero exit
-    (an exception here) fails the CI job.
-    """
-    import numpy as np
-
-    from ..coarsen.mis2_agg import mis2_aggregation
-    from ..coloring.greedy import greedy_color
-    from ..coloring.verify import is_valid_coloring
-    from ..graph.generators import laplace3d
-    from ..mis.kk import kk_mis2
-    from ..mis.verify import verify_mis
-    from ..parallel.costmodel import predict_device_time
-
-    graph = laplace3d(10, 10, 10)
-    mis = kk_mis2(graph, seed=config.seed)
-    if not verify_mis(graph, mis.in_set, k=2):
-        raise RuntimeError("smoke check failed: kk_mis2 produced an invalid MIS-2")
-    coloring = greedy_color(graph)
-    if not is_valid_coloring(graph, coloring.colors, distance=1):
-        raise RuntimeError("smoke check failed: greedy_color produced an invalid coloring")
-    agg = mis2_aggregation(graph, mis=mis, seed=config.seed)
-    if not agg.is_complete():
-        raise RuntimeError("smoke check failed: mis2_aggregation left vertices unaggregated")
-    predicted = predict_device_time(mis.traffic, "v100")
-    if not np.isfinite(predicted) or predicted <= 0:
-        raise RuntimeError("smoke check failed: cost model produced a non-positive time")
-    return "\n".join(
-        [
-            "smoke check: OK",
-            f"  backend             : {mis.config.backend}",
-            f"  graph               : laplace3d(10,10,10), {graph.num_vertices} vertices",
-            f"  MIS-2 size          : {mis.in_set.size} ({mis.iterations} iterations)",
-            f"  coloring            : {coloring.num_colors} colors ({coloring.rounds} rounds)",
-            f"  aggregates          : {agg.num_aggregates}",
-            f"  predicted V100 time : {predicted * 1e6:.1f} us",
-        ]
-    )
-
-
-#: Experiment name -> driver returning the rendered table.
-EXPERIMENTS: Dict[str, Callable[[BenchConfig], str]] = {
-    "table1": _run_table1,
-    "table2": _run_table2,
-    "table3": _run_table3,
-    "table4": _run_table4,
-    "table5": _run_table5,
-    "table6": _run_table6,
-    "fig2": _run_fig2,
-    "fig3": _run_fig3,
-    "fig4": _run_fig4,
-    "fig5": _run_fig5,
-    "fig6": _run_fig6,
-    "fig7": _run_fig7,
-    "smoke": _run_smoke,
-}
+def _parse_backends(spec: str) -> List[str]:
+    backends = [b.strip() for b in spec.split(",") if b.strip()]
+    if not backends:
+        raise argparse.ArgumentTypeError("--backends requires at least one backend name")
+    unknown = [b for b in backends if b not in available_backends()]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown backend(s) {unknown}; registered: {available_backends()}"
+        )
+    if len(set(backends)) != len(backends):
+        # Duplicates would collapse in the sweep summary and overwrite each
+        # other's BENCH_*.json records.
+        raise argparse.ArgumentTypeError(f"duplicate backend names in {backends}")
+    return backends
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Parse arguments, run the selected experiment(s), print the tables."""
+    """Parse arguments, run the selected experiment(s) or sweep, print the tables."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate ('all' runs every experiment)",
+        choices=sorted(EXPERIMENTS) + ["all", "sweep"],
+        help="which table/figure to regenerate ('all' runs every experiment; "
+             "'sweep' compares one experiment across backends)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="with 'sweep': the experiment to sweep across backends",
     )
     parser.add_argument("--scale", type=float, default=BenchConfig().scale,
                         help="fraction of the paper's problem sizes for the stand-ins")
@@ -182,7 +113,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--backend", choices=available_backends(), default=None,
                         help="execution backend every measurement runs on "
                              "(default: the process default, the NumPy reference)")
+    parser.add_argument("--backends", type=_parse_backends,
+                        default=None,
+                        help="comma-separated backend list for 'sweep' "
+                             "(default: numpy,chunked,threaded)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="map_graphs worker-pool width for the sharded backends "
+                             "(chunked processes / threaded threads)")
+    parser.add_argument("--json", action="store_true",
+                        help="persist each run as benchmarks/results/BENCH_*.json")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     config = BenchConfig(
         scale=args.scale,
@@ -192,18 +135,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         matrices=tuple(args.matrices) if args.matrices else None,
         backend=args.backend,
     )
+
+    if args.experiment == "sweep":
+        if args.target is None:
+            parser.error("sweep requires an experiment name, e.g. 'sweep table1'")
+        if args.target not in EXPERIMENTS:
+            parser.error(f"unknown experiment {args.target!r} for sweep")
+        if args.backend is not None:
+            parser.error("--backend is not valid with 'sweep'; use --backends")
+        backends = args.backends or ["numpy", "chunked", "threaded"]
+        result = sweep(args.target, backends, config, jobs=args.jobs)
+        print(sweep_table(result).render())
+        if args.json:
+            for res in result.results:
+                print(f"wrote {res.save()}")
+            print(f"wrote {result.save()}")
+        return 0
+
+    if args.target is not None:
+        parser.error("a second experiment name is only valid with 'sweep'")
+    if args.backends is not None:
+        parser.error("--backends is only valid with 'sweep'; use --backend")
+
     # 'all' regenerates the paper's tables/figures; the smoke check is CI-only.
     names = (
         [n for n in sorted(EXPERIMENTS) if n != "smoke"]
         if args.experiment == "all"
         else [args.experiment]
     )
-    with set_default_backend(config.backend or default_backend()):
-        print(f"backend: {default_backend().name}")
+    backend_name = config.backend or default_backend().name
+    print(f"backend: {backend_name}")
+    print()
+    for name in names:
+        result, text = EXPERIMENTS[name].run_and_render(config, jobs=args.jobs)
+        print(text)
+        if args.json:
+            print(f"wrote {result.save()}")
         print()
-        for name in names:
-            print(EXPERIMENTS[name](config))
-            print()
     return 0
 
 

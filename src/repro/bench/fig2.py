@@ -11,8 +11,9 @@ of the figure) and from the Python wall-clock of the vectorised kernels.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..graph.suite import paper_statistics
 from ..mis.variants import OPTIMIZATION_LEVELS, run_optimization_level
@@ -20,8 +21,12 @@ from ..parallel.costmodel import predict_device_time, scale_traffic
 from ..util.tables import Table, geometric_mean
 from ..util.timing import repeat_timed
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["Fig2Row", "run_fig2", "fig2_table", "fig2_geometric_means", "PAPER_FIG2_MEANS"]
+__all__ = [
+    "Fig2Row", "run_fig2", "fig2_table", "fig2_geometric_means", "PAPER_FIG2_MEANS",
+    "FIG2_EXPERIMENT",
+]
 
 #: Geometric-mean cumulative speedups reported by the paper (V100).
 PAPER_FIG2_MEANS: Dict[str, float] = {
@@ -48,8 +53,55 @@ class Fig2Row:
         return source["baseline"] / source[level_key]
 
 
+def fig2_task(
+    name: str, config: BenchConfig, extrapolate_to_paper_size: bool = True
+) -> Fig2Row:
+    """Per-matrix map stage: the four-rung optimization ladder over the Bell baseline."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    factor = 1.0
+    if extrapolate_to_paper_size:
+        factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
+    predicted: Dict[str, float] = {}
+    python_ms: Dict[str, float] = {}
+    for level in OPTIMIZATION_LEVELS:
+        result, stats = repeat_timed(
+            lambda lv=level: run_optimization_level(graph, lv, seed=config.seed),
+            trials=config.trials,
+            warmup=config.warmup,
+        )
+        traffic = scale_traffic(result.traffic, factor) if factor != 1.0 else result.traffic
+        predicted[level.key] = predict_device_time(traffic, "v100") * 1e3
+        python_ms[level.key] = stats.mean * 1e3
+    return Fig2Row(matrix=name, predicted_ms=predicted, python_ms=python_ms)
+
+
+def _render(rows: List[Fig2Row]) -> str:
+    return (
+        fig2_table(rows, use_model=True).render()
+        + "\n\n"
+        + fig2_table(rows, use_model=False).render()
+    )
+
+
+FIG2_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig2",
+        title="Fig. 2: cumulative speedups of the optimization ladder over the Bell baseline",
+        plan=matrix_plan,
+        task=fig2_task,
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("predicted_ms",),
+        warm=warm_suite_graphs,
+    )
+)
+
+
 def run_fig2(
-    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+    config: BenchConfig = BenchConfig(),
+    extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[Fig2Row]:
     """Run the optimization ladder on every suite matrix.
 
@@ -57,25 +109,10 @@ def run_fig2(
     to the paper's problem size before the V100 model is applied, so the modelled
     speedups correspond to the bandwidth-dominated regime Fig. 2 was measured in.
     """
-    rows: List[Fig2Row] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        factor = 1.0
-        if extrapolate_to_paper_size:
-            factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
-        predicted: Dict[str, float] = {}
-        python_ms: Dict[str, float] = {}
-        for level in OPTIMIZATION_LEVELS:
-            result, stats = repeat_timed(
-                lambda lv=level: run_optimization_level(graph, lv, seed=config.seed),
-                trials=config.trials,
-                warmup=config.warmup,
-            )
-            traffic = scale_traffic(result.traffic, factor) if factor != 1.0 else result.traffic
-            predicted[level.key] = predict_device_time(traffic, "v100") * 1e3
-            python_ms[level.key] = stats.mean * 1e3
-        rows.append(Fig2Row(matrix=name, predicted_ms=predicted, python_ms=python_ms))
-    return rows
+    task = None
+    if not extrapolate_to_paper_size:
+        task = functools.partial(fig2_task, extrapolate_to_paper_size=False)
+    return FIG2_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def fig2_geometric_means(rows: List[Fig2Row], use_model: bool = True) -> Dict[str, float]:

@@ -10,8 +10,9 @@ portability in the model, just as launch/latency overheads do on real hardware).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..mis.kk import kk_mis2
 from ..graph.suite import paper_statistics
@@ -19,8 +20,9 @@ from ..parallel.costmodel import bandwidth_efficiency, scale_traffic
 from ..parallel.machine import device_names
 from ..util.tables import Table
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["Fig3Row", "run_fig3", "fig3_table"]
+__all__ = ["Fig3Row", "run_fig3", "fig3_table", "FIG3_EXPERIMENT"]
 
 
 @dataclass(frozen=True)
@@ -40,8 +42,43 @@ class Fig3Row:
         return max(self.efficiency, key=self.efficiency.get)
 
 
+def fig3_task(
+    name: str, config: BenchConfig, extrapolate_to_paper_size: bool = True
+) -> Fig3Row:
+    """Per-matrix map stage: bandwidth efficiency of MIS-2 on each device."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    result = kk_mis2(graph, seed=config.seed)
+    traffic = result.traffic
+    if extrapolate_to_paper_size:
+        record = paper_statistics(name)
+        traffic = scale_traffic(traffic, record.paper_num_vertices / max(1, graph.num_vertices))
+    eff = {key: bandwidth_efficiency(traffic, key) for key in device_names()}
+    return Fig3Row(matrix=name, efficiency=eff)
+
+
+def _render(rows: List[Fig3Row]) -> str:
+    return fig3_table(rows).render()
+
+
+FIG3_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig3",
+        title="Fig. 3: bandwidth-efficiency profiles of the four architectures",
+        plan=matrix_plan,
+        task=fig3_task,
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("efficiency",),
+        warm=warm_suite_graphs,
+    )
+)
+
+
 def run_fig3(
-    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+    config: BenchConfig = BenchConfig(),
+    extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[Fig3Row]:
     """Compute the bandwidth-efficiency profile for every suite matrix.
 
@@ -50,17 +87,10 @@ def run_fig3(
     rather than launch-latency-dominated (which is what happens at the small default
     reproduction scale).
     """
-    rows: List[Fig3Row] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        result = kk_mis2(graph, seed=config.seed)
-        traffic = result.traffic
-        if extrapolate_to_paper_size:
-            record = paper_statistics(name)
-            traffic = scale_traffic(traffic, record.paper_num_vertices / max(1, graph.num_vertices))
-        eff = {key: bandwidth_efficiency(traffic, key) for key in device_names()}
-        rows.append(Fig3Row(matrix=name, efficiency=eff))
-    return rows
+    task = None
+    if not extrapolate_to_paper_size:
+        task = functools.partial(fig3_task, extrapolate_to_paper_size=False)
+    return FIG3_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def fig3_table(rows: List[Fig3Row]) -> Table:

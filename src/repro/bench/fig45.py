@@ -11,8 +11,9 @@ Algorithm 1 — the hardware substitution documented in DESIGN.md.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..mis.kk import kk_mis2
 from ..graph.suite import paper_statistics
@@ -20,8 +21,12 @@ from ..parallel.costmodel import scale_traffic, scaling_efficiency, strong_scali
 from ..parallel.machine import device
 from ..util.tables import Table, geometric_mean
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["ScalingRow", "run_scaling", "scaling_table", "DEFAULT_THREAD_COUNTS"]
+__all__ = [
+    "ScalingRow", "run_scaling", "scaling_table", "DEFAULT_THREAD_COUNTS",
+    "FIG4_EXPERIMENT", "FIG5_EXPERIMENT",
+]
 
 #: Thread counts plotted for each CPU (through 2x the physical cores = all hyperthreads).
 DEFAULT_THREAD_COUNTS: Dict[str, Sequence[int]] = {
@@ -48,37 +53,86 @@ class ScalingRow:
         return self.times[0] / self.times[idx]
 
 
+def scaling_task(
+    name: str,
+    config: BenchConfig,
+    device_key: str = "skylake",
+    thread_counts: Optional[Tuple[int, ...]] = None,
+    extrapolate_to_paper_size: bool = True,
+) -> ScalingRow:
+    """Per-matrix map stage: the modelled strong-scaling curve on one CPU."""
+    spec = device(device_key)
+    counts = tuple(thread_counts or DEFAULT_THREAD_COUNTS[device_key])
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    result = kk_mis2(graph, seed=config.seed)
+    traffic = result.traffic
+    if extrapolate_to_paper_size:
+        record = paper_statistics(name)
+        traffic = scale_traffic(traffic, record.paper_num_vertices / max(1, graph.num_vertices))
+    times = strong_scaling_times(traffic, spec, counts)
+    eff = scaling_efficiency(traffic, spec, counts)
+    return ScalingRow(
+        matrix=name,
+        device_key=device_key,
+        thread_counts=counts,
+        times=tuple(times),
+        efficiency=tuple(eff),
+    )
+
+
+def _render(rows: List[ScalingRow]) -> str:
+    return scaling_table(rows).render()
+
+
+FIG4_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig4",
+        title="Fig. 4: strong-scaling efficiency on the Intel Skylake CPU",
+        plan=matrix_plan,
+        task=functools.partial(scaling_task, device_key="skylake"),
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("thread_counts", "times", "efficiency"),
+        warm=warm_suite_graphs,
+    )
+)
+
+FIG5_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig5",
+        title="Fig. 5: strong-scaling efficiency on the Marvell ThunderX2 CPU",
+        plan=matrix_plan,
+        task=functools.partial(scaling_task, device_key="tx2"),
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("thread_counts", "times", "efficiency"),
+        warm=warm_suite_graphs,
+    )
+)
+
+
 def run_scaling(
     device_key: str,
     config: BenchConfig = BenchConfig(),
-    thread_counts: Sequence[int] | None = None,
+    thread_counts: "Sequence[int] | None" = None,
     extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[ScalingRow]:
     """Compute strong-scaling curves for every suite matrix on ``device_key``."""
     spec = device(device_key)
     if spec.kind != "cpu":
         raise ValueError("scaling figures apply to the CPU devices (skylake, tx2)")
-    counts = tuple(thread_counts or DEFAULT_THREAD_COUNTS[device_key])
-    rows: List[ScalingRow] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        result = kk_mis2(graph, seed=config.seed)
-        traffic = result.traffic
-        if extrapolate_to_paper_size:
-            record = paper_statistics(name)
-            traffic = scale_traffic(traffic, record.paper_num_vertices / max(1, graph.num_vertices))
-        times = strong_scaling_times(traffic, spec, counts)
-        eff = scaling_efficiency(traffic, spec, counts)
-        rows.append(
-            ScalingRow(
-                matrix=name,
-                device_key=device_key,
-                thread_counts=counts,
-                times=tuple(times),
-                efficiency=tuple(eff),
-            )
+    experiment = FIG4_EXPERIMENT if device_key == "skylake" else FIG5_EXPERIMENT
+    task = None
+    if thread_counts is not None or not extrapolate_to_paper_size:
+        task = functools.partial(
+            scaling_task,
+            device_key=device_key,
+            thread_counts=tuple(thread_counts) if thread_counts is not None else None,
+            extrapolate_to_paper_size=extrapolate_to_paper_size,
         )
-    return rows
+    return experiment.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def scaling_table(rows: List[ScalingRow]) -> Table:

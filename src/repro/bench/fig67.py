@@ -10,9 +10,10 @@ model (primary) and as Python wall-clock ratios of the vectorised kernels.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..coarsen.basic import mis2_basic_aggregation
 from ..graph.suite import paper_statistics
@@ -22,8 +23,12 @@ from ..parallel.costmodel import predict_device_time, scale_traffic
 from ..util.tables import Table, geometric_mean
 from ..util.timing import repeat_timed
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["SpeedupRow", "run_fig6", "run_fig7", "speedup_table"]
+__all__ = [
+    "SpeedupRow", "run_fig6", "run_fig7", "speedup_table",
+    "FIG6_EXPERIMENT", "FIG7_EXPERIMENT",
+]
 
 
 @dataclass(frozen=True)
@@ -49,8 +54,109 @@ class SpeedupRow:
         )
 
 
+def fig6_task(
+    name: str, config: BenchConfig, extrapolate_to_paper_size: bool = True
+) -> SpeedupRow:
+    """Per-matrix map stage: Algorithm 1 vs CUSP (Bell's algorithm), MIS-2 alone."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    factor = 1.0
+    if extrapolate_to_paper_size:
+        factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
+    kk_result, kk_stats = repeat_timed(
+        lambda: kk_mis2(graph, seed=config.seed), trials=config.trials, warmup=config.warmup
+    )
+    bell_result, bell_stats = repeat_timed(
+        lambda: bell_mis(graph, k=2, seed=config.seed),
+        trials=config.trials,
+        warmup=config.warmup,
+    )
+    return SpeedupRow(
+        matrix=name,
+        baseline="cusp",
+        kk_model_ms=predict_device_time(scale_traffic(kk_result.traffic, factor), "v100") * 1e3,
+        baseline_model_ms=predict_device_time(
+            scale_traffic(bell_result.traffic, factor), "v100") * 1e3,
+        kk_python_ms=kk_stats.mean * 1e3,
+        baseline_python_ms=bell_stats.mean * 1e3,
+    )
+
+
+def fig7_task(
+    name: str, config: BenchConfig, extrapolate_to_paper_size: bool = True
+) -> SpeedupRow:
+    """Per-matrix map stage: MIS-2 + basic coarsening, Algorithm 1 vs ViennaCL."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    factor = 1.0
+    if extrapolate_to_paper_size:
+        factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
+
+    def kk_pipeline():
+        mis = kk_mis2(graph, seed=config.seed)
+        mis2_basic_aggregation(graph, mis=mis)
+        return mis
+
+    def viennacl_pipeline():
+        mis = bell_mis(graph, k=2, seed=config.seed)
+        mis2_basic_aggregation(graph, mis=mis)
+        return mis
+
+    kk_result, kk_stats = repeat_timed(
+        kk_pipeline, trials=config.trials, warmup=config.warmup
+    )
+    vcl_result, vcl_stats = repeat_timed(
+        viennacl_pipeline, trials=config.trials, warmup=config.warmup
+    )
+    return SpeedupRow(
+        matrix=name,
+        baseline="viennacl",
+        kk_model_ms=predict_device_time(scale_traffic(kk_result.traffic, factor), "v100") * 1e3,
+        baseline_model_ms=predict_device_time(
+            scale_traffic(vcl_result.traffic, factor), "v100") * 1e3,
+        kk_python_ms=kk_stats.mean * 1e3,
+        baseline_python_ms=vcl_stats.mean * 1e3,
+    )
+
+
+def _render_fig6(rows: List[SpeedupRow]) -> str:
+    return speedup_table(rows, "Fig. 6: Algorithm 1 vs CUSP (MIS-2)").render()
+
+
+def _render_fig7(rows: List[SpeedupRow]) -> str:
+    return speedup_table(rows, "Fig. 7: Algorithm 1 + coarsening vs ViennaCL").render()
+
+
+FIG6_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig6",
+        title="Fig. 6: Algorithm 1 vs CUSP (MIS-2)",
+        plan=matrix_plan,
+        task=fig6_task,
+        render=_render_fig6,
+        key_field="matrix",
+        deterministic_fields=("kk_model_ms", "baseline_model_ms"),
+        warm=warm_suite_graphs,
+    )
+)
+
+FIG7_EXPERIMENT = register_experiment(
+    Experiment(
+        name="fig7",
+        title="Fig. 7: Algorithm 1 + coarsening vs ViennaCL",
+        plan=matrix_plan,
+        task=fig7_task,
+        render=_render_fig7,
+        key_field="matrix",
+        deterministic_fields=("kk_model_ms", "baseline_model_ms"),
+        warm=warm_suite_graphs,
+    )
+)
+
+
 def run_fig6(
-    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+    config: BenchConfig = BenchConfig(),
+    extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[SpeedupRow]:
     """Fig. 6: MIS-2 alone, Algorithm 1 vs CUSP (Bell's algorithm).
 
@@ -58,73 +164,23 @@ def run_fig6(
     paper's problem size before the V100 model is applied, putting the comparison in
     the bandwidth-dominated regime of the paper's measurements.
     """
-    rows: List[SpeedupRow] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        factor = 1.0
-        if extrapolate_to_paper_size:
-            factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
-        kk_result, kk_stats = repeat_timed(
-            lambda: kk_mis2(graph, seed=config.seed), trials=config.trials, warmup=config.warmup
-        )
-        bell_result, bell_stats = repeat_timed(
-            lambda: bell_mis(graph, k=2, seed=config.seed),
-            trials=config.trials,
-            warmup=config.warmup,
-        )
-        rows.append(
-            SpeedupRow(
-                matrix=name,
-                baseline="cusp",
-                kk_model_ms=predict_device_time(scale_traffic(kk_result.traffic, factor), "v100") * 1e3,
-                baseline_model_ms=predict_device_time(
-                    scale_traffic(bell_result.traffic, factor), "v100") * 1e3,
-                kk_python_ms=kk_stats.mean * 1e3,
-                baseline_python_ms=bell_stats.mean * 1e3,
-            )
-        )
-    return rows
+    task = None
+    if not extrapolate_to_paper_size:
+        task = functools.partial(fig6_task, extrapolate_to_paper_size=False)
+    return FIG6_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def run_fig7(
-    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+    config: BenchConfig = BenchConfig(),
+    extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[SpeedupRow]:
     """Fig. 7: MIS-2 + Algorithm 2 coarsening, Algorithm 1 vs ViennaCL (Bell + same coarsening)."""
-    rows: List[SpeedupRow] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        factor = 1.0
-        if extrapolate_to_paper_size:
-            factor = paper_statistics(name).paper_num_vertices / max(1, graph.num_vertices)
-
-        def kk_pipeline():
-            mis = kk_mis2(graph, seed=config.seed)
-            mis2_basic_aggregation(graph, mis=mis)
-            return mis
-
-        def viennacl_pipeline():
-            mis = bell_mis(graph, k=2, seed=config.seed)
-            mis2_basic_aggregation(graph, mis=mis)
-            return mis
-
-        kk_result, kk_stats = repeat_timed(
-            kk_pipeline, trials=config.trials, warmup=config.warmup
-        )
-        vcl_result, vcl_stats = repeat_timed(
-            viennacl_pipeline, trials=config.trials, warmup=config.warmup
-        )
-        rows.append(
-            SpeedupRow(
-                matrix=name,
-                baseline="viennacl",
-                kk_model_ms=predict_device_time(scale_traffic(kk_result.traffic, factor), "v100") * 1e3,
-                baseline_model_ms=predict_device_time(
-                    scale_traffic(vcl_result.traffic, factor), "v100") * 1e3,
-                kk_python_ms=kk_stats.mean * 1e3,
-                baseline_python_ms=vcl_stats.mean * 1e3,
-            )
-        )
-    return rows
+    task = None
+    if not extrapolate_to_paper_size:
+        task = functools.partial(fig7_task, extrapolate_to_paper_size=False)
+    return FIG7_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def speedup_table(rows: List[SpeedupRow], figure: str) -> Table:

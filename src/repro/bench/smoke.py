@@ -1,0 +1,139 @@
+"""Smoke experiment: a fast end-to-end sanity check of every kernel layer.
+
+Used by CI (``python -m repro.bench smoke`` and the cross-backend
+``sweep smoke``): each work unit builds a small structured graph, runs MIS-2,
+greedy coloring, MIS-2 aggregation and the device cost model, *verifies* every
+result, and records the deterministic measurables. An invalid result raises,
+failing the CI job; the registered deterministic fields make the smoke
+experiment a meaningful (and cheap) cross-backend determinism probe for the
+sweep driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..util.tables import Table
+from .config import BenchConfig
+from .experiment import Experiment, register_experiment
+
+__all__ = ["SmokeRow", "smoke_task", "smoke_table", "run_smoke", "SMOKE_EXPERIMENT"]
+
+#: Work units: (generator kind, nx, ny, nz) for two small structured graphs.
+SMOKE_UNITS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("laplace3d", 10, 10, 10),
+    ("elasticity3d", 6, 6, 6),
+)
+
+
+@dataclass(frozen=True)
+class SmokeRow:
+    """Verified kernel-stack results for one smoke graph."""
+
+    graph: str
+    num_vertices: int
+    mis2_size: int
+    iterations: int
+    num_colors: int
+    rounds: int
+    num_aggregates: int
+    predicted_v100_us: float
+    backend: str
+
+
+def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int]]:
+    return list(SMOKE_UNITS)
+
+
+def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow:
+    """Run and verify MIS-2 + coloring + aggregation + cost model on one graph."""
+    import numpy as np
+
+    from ..coarsen.mis2_agg import mis2_aggregation
+    from ..coloring.greedy import greedy_color
+    from ..coloring.verify import is_valid_coloring
+    from ..graph.generators import elasticity3d, laplace3d
+    from ..mis.kk import kk_mis2
+    from ..mis.verify import verify_mis
+    from ..parallel.costmodel import predict_device_time
+
+    kind, nx, ny, nz = unit
+    generator = laplace3d if kind == "laplace3d" else elasticity3d
+    graph = generator(nx, ny, nz)
+    label = f"{kind}({nx},{ny},{nz})"
+
+    mis = kk_mis2(graph, seed=config.seed)
+    if not verify_mis(graph, mis.in_set, k=2):
+        raise RuntimeError(f"smoke check failed: kk_mis2 produced an invalid MIS-2 on {label}")
+    coloring = greedy_color(graph)
+    if not is_valid_coloring(graph, coloring.colors, distance=1):
+        raise RuntimeError(
+            f"smoke check failed: greedy_color produced an invalid coloring on {label}"
+        )
+    agg = mis2_aggregation(graph, mis=mis, seed=config.seed)
+    if not agg.is_complete():
+        raise RuntimeError(
+            f"smoke check failed: mis2_aggregation left vertices unaggregated on {label}"
+        )
+    predicted = predict_device_time(mis.traffic, "v100")
+    if not np.isfinite(predicted) or predicted <= 0:
+        raise RuntimeError(
+            f"smoke check failed: cost model produced a non-positive time on {label}"
+        )
+    return SmokeRow(
+        graph=label,
+        num_vertices=graph.num_vertices,
+        mis2_size=int(mis.in_set.size),
+        iterations=mis.iterations,
+        num_colors=coloring.num_colors,
+        rounds=coloring.rounds,
+        num_aggregates=agg.num_aggregates,
+        predicted_v100_us=predicted * 1e6,
+        backend=mis.config.backend,
+    )
+
+
+def smoke_table(rows: List[SmokeRow]) -> Table:
+    """Format the smoke rows as the CI sanity-check table."""
+    table = Table(
+        ["graph", "|V|", "|MIS-2|", "iters", "colors", "rounds", "aggregates",
+         "V100 (us)", "backend"],
+        title="smoke check: OK (all kernel layers verified)",
+    )
+    for row in rows:
+        table.add_row(
+            [row.graph, row.num_vertices, row.mis2_size, row.iterations,
+             row.num_colors, row.rounds, row.num_aggregates,
+             round(row.predicted_v100_us, 1), row.backend]
+        )
+    return table
+
+
+def _render(rows: List[SmokeRow]) -> str:
+    return smoke_table(rows).render()
+
+
+SMOKE_EXPERIMENT = register_experiment(
+    Experiment(
+        name="smoke",
+        title="Smoke: fast end-to-end sanity check of every kernel layer (CI)",
+        plan=_plan,
+        task=smoke_task,
+        render=_render,
+        key_field="graph",
+        deterministic_fields=(
+            "num_vertices", "mis2_size", "iterations", "num_colors", "rounds",
+            "num_aggregates",
+        ),
+    )
+)
+
+
+def run_smoke(
+    config: BenchConfig = BenchConfig(),
+    backend=None,
+    jobs=None,
+) -> List[SmokeRow]:
+    """Run the smoke experiment and return one verified row per smoke graph."""
+    return SMOKE_EXPERIMENT.run(config, backend=backend, jobs=jobs).rows

@@ -9,8 +9,9 @@ attached to every row for direct comparison in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..graph.ops import degree_statistics
 from ..graph.suite import paper_statistics
@@ -20,8 +21,9 @@ from ..parallel.machine import device_names
 from ..util.tables import Table
 from ..util.timing import repeat_timed
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["Table2Row", "run_table2", "table2_table"]
+__all__ = ["Table2Row", "run_table2", "table2_table", "TABLE2_EXPERIMENT"]
 
 
 @dataclass(frozen=True)
@@ -41,8 +43,60 @@ class Table2Row:
     paper_ms: Dict[str, float]
 
 
+def table2_task(
+    name: str, config: BenchConfig, extrapolate_to_paper_size: bool = True
+) -> Table2Row:
+    """Per-matrix map stage: suite statistics plus modelled/measured MIS-2 times."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    result, stats = repeat_timed(
+        lambda: kk_mis2(graph, seed=config.seed),
+        trials=config.trials,
+        warmup=config.warmup,
+    )
+    degs = degree_statistics(graph)
+    traffic = result.traffic
+    if extrapolate_to_paper_size:
+        record = paper_statistics(name)
+        factor = record.paper_num_vertices / max(1, graph.num_vertices)
+        traffic = scale_traffic(traffic, factor)
+    predicted = {
+        key: predict_device_time(traffic, key) * 1e3 for key in device_names()
+    }
+    return Table2Row(
+        matrix=name,
+        num_vertices=degs.num_vertices,
+        num_edge_slots=degs.num_edge_slots,
+        avg_degree=degs.average_degree,
+        max_degree=degs.max_degree,
+        predicted_ms=predicted,
+        python_ms=stats.mean * 1e3,
+        paper_ms=paper_statistics(name).paper_times_ms,
+    )
+
+
+def _render(rows: List[Table2Row]) -> str:
+    return table2_table(rows).render()
+
+
+TABLE2_EXPERIMENT = register_experiment(
+    Experiment(
+        name="table2",
+        title="Table II: suite statistics and modelled MIS-2 times per architecture",
+        plan=matrix_plan,
+        task=table2_task,
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("num_vertices", "num_edge_slots", "max_degree", "predicted_ms"),
+        warm=warm_suite_graphs,
+    )
+)
+
+
 def run_table2(
-    config: BenchConfig = BenchConfig(), extrapolate_to_paper_size: bool = True
+    config: BenchConfig = BenchConfig(),
+    extrapolate_to_paper_size: bool = True,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table2Row]:
     """Run the Table II experiment and return one row per suite matrix.
 
@@ -52,36 +106,10 @@ def run_table2(
     paper's Table II columns; the Python wall-clock column always refers to the
     stand-in actually executed.
     """
-    rows: List[Table2Row] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        result, stats = repeat_timed(
-            lambda: kk_mis2(graph, seed=config.seed),
-            trials=config.trials,
-            warmup=config.warmup,
-        )
-        degs = degree_statistics(graph)
-        traffic = result.traffic
-        if extrapolate_to_paper_size:
-            record = paper_statistics(name)
-            factor = record.paper_num_vertices / max(1, graph.num_vertices)
-            traffic = scale_traffic(traffic, factor)
-        predicted = {
-            key: predict_device_time(traffic, key) * 1e3 for key in device_names()
-        }
-        rows.append(
-            Table2Row(
-                matrix=name,
-                num_vertices=degs.num_vertices,
-                num_edge_slots=degs.num_edge_slots,
-                avg_degree=degs.average_degree,
-                max_degree=degs.max_degree,
-                predicted_ms=predicted,
-                python_ms=stats.mean * 1e3,
-                paper_ms=paper_statistics(name).paper_times_ms,
-            )
-        )
-    return rows
+    task = None
+    if not extrapolate_to_paper_size:
+        task = functools.partial(table2_task, extrapolate_to_paper_size=False)
+    return TABLE2_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def table2_table(rows: List[Table2Row]) -> Table:

@@ -10,14 +10,15 @@ on grids scaled down by a configurable factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..graph.generators import elasticity3d, laplace3d
 from ..mis.kk import kk_mis2
 from ..util.tables import Table
 from .config import BenchConfig
+from .experiment import Experiment, register_experiment
 
-__all__ = ["Table3Row", "run_table3", "table3_table", "PAPER_TABLE3"]
+__all__ = ["Table3Row", "run_table3", "table3_table", "PAPER_TABLE3", "TABLE3_EXPERIMENT"]
 
 #: The paper's Table III reference rows: (problem, |V|, MIS-2 size, iterations).
 PAPER_TABLE3: List[Tuple[str, int, int, int]] = [
@@ -51,38 +52,63 @@ class Table3Row:
     mis2_fraction: float
 
 
+def _units(
+    elasticity_grids: Sequence[Tuple[int, int, int]],
+    laplace_grids: Sequence[Tuple[int, int, int]],
+) -> List[Tuple[str, int, int, int]]:
+    """Work units: one (problem kind, nx, ny, nz) tuple per structured grid."""
+    units = [("Elasticity", nx, ny, nz) for nx, ny, nz in elasticity_grids]
+    units += [("Laplace", nx, ny, nz) for nx, ny, nz in laplace_grids]
+    return units
+
+
+def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int]]:
+    return _units(DEFAULT_ELASTICITY_GRIDS, DEFAULT_LAPLACE_GRIDS)
+
+
+def table3_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> Table3Row:
+    """Per-grid map stage: MIS-2 size/iterations on one structured problem."""
+    kind, nx, ny, nz = unit
+    generator = elasticity3d if kind == "Elasticity" else laplace3d
+    graph = generator(nx, ny, nz)
+    result = kk_mis2(graph, seed=config.seed)
+    return Table3Row(
+        problem=f"{kind} {nx}x{ny}x{nz}",
+        num_vertices=graph.num_vertices,
+        mis2_size=result.size,
+        iterations=result.iterations,
+        mis2_fraction=result.size / max(1, graph.num_vertices),
+    )
+
+
+def _render(rows: List[Table3Row]) -> str:
+    return table3_table(rows).render()
+
+
+TABLE3_EXPERIMENT = register_experiment(
+    Experiment(
+        name="table3",
+        title="Table III: MIS-2 size and iteration count for varying structured problem sizes",
+        plan=_plan,
+        task=table3_task,
+        render=_render,
+        key_field="problem",
+        deterministic_fields=("num_vertices", "mis2_size", "iterations"),
+    )
+)
+
+
 def run_table3(
     config: BenchConfig = BenchConfig(),
     elasticity_grids: Sequence[Tuple[int, int, int]] = tuple(DEFAULT_ELASTICITY_GRIDS),
     laplace_grids: Sequence[Tuple[int, int, int]] = tuple(DEFAULT_LAPLACE_GRIDS),
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table3Row]:
     """Run the Table III sweep on Elasticity3D and Laplace3D grids."""
-    rows: List[Table3Row] = []
-    for nx, ny, nz in elasticity_grids:
-        graph = elasticity3d(nx, ny, nz)
-        result = kk_mis2(graph, seed=config.seed)
-        rows.append(
-            Table3Row(
-                problem=f"Elasticity {nx}x{ny}x{nz}",
-                num_vertices=graph.num_vertices,
-                mis2_size=result.size,
-                iterations=result.iterations,
-                mis2_fraction=result.size / max(1, graph.num_vertices),
-            )
-        )
-    for nx, ny, nz in laplace_grids:
-        graph = laplace3d(nx, ny, nz)
-        result = kk_mis2(graph, seed=config.seed)
-        rows.append(
-            Table3Row(
-                problem=f"Laplace {nx}x{ny}x{nz}",
-                num_vertices=graph.num_vertices,
-                mis2_size=result.size,
-                iterations=result.iterations,
-                mis2_fraction=result.size / max(1, graph.num_vertices),
-            )
-        )
-    return rows
+    return TABLE3_EXPERIMENT.run(
+        config, backend=backend, jobs=jobs, units=_units(elasticity_grids, laplace_grids)
+    ).rows
 
 
 def table3_table(rows: List[Table3Row]) -> Table:

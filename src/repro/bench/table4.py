@@ -12,15 +12,16 @@ cost quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..graph.suite import paper_statistics
 from ..mis.bell import bell_mis
 from ..mis.kk import kk_mis2
 from ..util.tables import Table
 from .config import BenchConfig, cached_suite_graph
+from .experiment import Experiment, matrix_plan, register_experiment, warm_suite_graphs
 
-__all__ = ["Table4Row", "run_table4", "table4_table"]
+__all__ = ["Table4Row", "run_table4", "table4_table", "TABLE4_EXPERIMENT"]
 
 
 @dataclass(frozen=True)
@@ -44,28 +45,50 @@ class Table4Row:
         return (high - low) / max(1, low)
 
 
-def run_table4(config: BenchConfig = BenchConfig()) -> List[Table4Row]:
+def table4_task(name: str, config: BenchConfig) -> Table4Row:
+    """Per-matrix map stage: MIS-2 sizes for the KK, CUSP and ViennaCL schemes."""
+    graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
+    kk = kk_mis2(graph, seed=config.seed)
+    cusp = bell_mis(graph, k=2, seed=config.seed)
+    viennacl = bell_mis(graph, k=2, seed=config.seed + 1)
+    paper = paper_statistics(name).paper_mis2_sizes
+    return Table4Row(
+        matrix=name,
+        kk=kk.size,
+        cusp=cusp.size,
+        viennacl=viennacl.size,
+        num_vertices=graph.num_vertices,
+        paper_kk=paper.get("kk", -1),
+        paper_cusp=paper.get("cusp", -1),
+        paper_viennacl=paper.get("viennacl", -1),
+    )
+
+
+def _render(rows: List[Table4Row]) -> str:
+    return table4_table(rows).render()
+
+
+TABLE4_EXPERIMENT = register_experiment(
+    Experiment(
+        name="table4",
+        title="Table IV: MIS-2 sizes for Kokkos Kernels, CUSP and ViennaCL",
+        plan=matrix_plan,
+        task=table4_task,
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("kk", "cusp", "viennacl", "num_vertices"),
+        warm=warm_suite_graphs,
+    )
+)
+
+
+def run_table4(
+    config: BenchConfig = BenchConfig(),
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> List[Table4Row]:
     """Run the Table IV experiment and return one row per suite matrix."""
-    rows: List[Table4Row] = []
-    for name in config.matrix_names():
-        graph = cached_suite_graph(name, config.scale, config.seed, config.mtx_dir)
-        kk = kk_mis2(graph, seed=config.seed)
-        cusp = bell_mis(graph, k=2, seed=config.seed)
-        viennacl = bell_mis(graph, k=2, seed=config.seed + 1)
-        paper = paper_statistics(name).paper_mis2_sizes
-        rows.append(
-            Table4Row(
-                matrix=name,
-                kk=kk.size,
-                cusp=cusp.size,
-                viennacl=viennacl.size,
-                num_vertices=graph.num_vertices,
-                paper_kk=paper.get("kk", -1),
-                paper_cusp=paper.get("cusp", -1),
-                paper_viennacl=paper.get("viennacl", -1),
-            )
-        )
-    return rows
+    return TABLE4_EXPERIMENT.run(config, backend=backend, jobs=jobs).rows
 
 
 def table4_table(rows: List[Table4Row]) -> Table:

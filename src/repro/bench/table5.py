@@ -22,6 +22,7 @@ scheme's; and it is deterministic.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -39,8 +40,15 @@ from ..graph.generators import laplace3d_matrix
 from ..solvers.multigrid import build_hierarchy
 from ..util.tables import Table
 from .config import BenchConfig
+from .experiment import Experiment, register_experiment
 
-__all__ = ["Table5Row", "run_table5", "table5_table", "PAPER_TABLE5", "AGGREGATION_SCHEMES"]
+__all__ = [
+    "Table5Row", "run_table5", "table5_table", "PAPER_TABLE5", "AGGREGATION_SCHEMES",
+    "TABLE5_EXPERIMENT",
+]
+
+#: Default Laplace3D grid for the reproduction (the paper uses 100^3).
+DEFAULT_TABLE5_GRID: Tuple[int, int, int] = (30, 30, 30)
 
 #: Paper reference rows: name -> (iterations, agg seconds, setup seconds, solve seconds, deterministic).
 PAPER_TABLE5: Dict[str, Tuple[float, float, float, float, bool]] = {
@@ -89,36 +97,73 @@ class Table5Row:
     paper_solve_seconds: float
 
 
-def run_table5(
-    config: BenchConfig = BenchConfig(),
-    grid: Tuple[int, int, int] = (30, 30, 30),
+def _plan(config: BenchConfig) -> List[str]:
+    return list(AGGREGATION_SCHEMES)
+
+
+def table5_task(
+    scheme: str,
+    config: BenchConfig,
+    grid: Tuple[int, int, int] = DEFAULT_TABLE5_GRID,
     tol: float = 1e-12,
-) -> List[Table5Row]:
-    """Run the Table V experiment on a Laplace3D grid (30^3 by default)."""
+) -> Table5Row:
+    """Per-scheme map stage: SA-AMG setup/solve with one aggregation scheme.
+
+    The scheme is carried across the ``map_graphs`` seam by *name* and resolved
+    against :data:`AGGREGATION_SCHEMES` here, so the task stays picklable even
+    though the schemes themselves are functions.
+    """
+    fn, _paper_det = AGGREGATION_SCHEMES[scheme]
     A = laplace3d_matrix(*grid)
     b = np.ones(A.shape[0])
-    rows: List[Table5Row] = []
-    for name, (fn, _paper_det) in AGGREGATION_SCHEMES.items():
-        hierarchy = build_hierarchy(A, aggregation_fn=fn, aggregation_name=name)
-        result = hierarchy.solve(b, tol=tol)
-        paper = PAPER_TABLE5[name]
-        rows.append(
-            Table5Row(
-                scheme=name,
-                iterations=result.iterations,
-                aggregation_seconds=hierarchy.aggregation_seconds,
-                setup_seconds=hierarchy.setup_seconds,
-                solve_seconds=result.solve_seconds or 0.0,
-                deterministic=True,  # every scheme in this reproduction is deterministic
-                converged=result.converged,
-                levels=tuple(hierarchy.level_sizes()),
-                paper_iterations=paper[0],
-                paper_agg_seconds=paper[1],
-                paper_setup_seconds=paper[2],
-                paper_solve_seconds=paper[3],
-            )
-        )
-    return rows
+    hierarchy = build_hierarchy(A, aggregation_fn=fn, aggregation_name=scheme)
+    result = hierarchy.solve(b, tol=tol)
+    paper = PAPER_TABLE5[scheme]
+    return Table5Row(
+        scheme=scheme,
+        iterations=result.iterations,
+        aggregation_seconds=hierarchy.aggregation_seconds,
+        setup_seconds=hierarchy.setup_seconds,
+        solve_seconds=result.solve_seconds or 0.0,
+        deterministic=True,  # every scheme in this reproduction is deterministic
+        converged=result.converged,
+        levels=tuple(hierarchy.level_sizes()),
+        paper_iterations=paper[0],
+        paper_agg_seconds=paper[1],
+        paper_setup_seconds=paper[2],
+        paper_solve_seconds=paper[3],
+    )
+
+
+def _render(rows: List[Table5Row]) -> str:
+    return table5_table(rows).render()
+
+
+TABLE5_EXPERIMENT = register_experiment(
+    Experiment(
+        name="table5",
+        title="Table V: SA-AMG preconditioned CG with different aggregation schemes",
+        plan=_plan,
+        task=table5_task,
+        render=_render,
+        key_field="scheme",
+        deterministic_fields=("iterations", "converged", "levels"),
+    )
+)
+
+
+def run_table5(
+    config: BenchConfig = BenchConfig(),
+    grid: Tuple[int, int, int] = DEFAULT_TABLE5_GRID,
+    tol: float = 1e-12,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> List[Table5Row]:
+    """Run the Table V experiment on a Laplace3D grid (30^3 by default)."""
+    task = None
+    if (tuple(grid), tol) != (DEFAULT_TABLE5_GRID, 1e-12):
+        task = functools.partial(table5_task, grid=tuple(grid), tol=tol)
+    return TABLE5_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def table5_table(rows: List[Table5Row]) -> Table:

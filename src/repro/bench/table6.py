@@ -12,9 +12,10 @@ geometric mean).
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,8 +25,12 @@ from ..gs.cluster import ClusterMulticolorGaussSeidel
 from ..gs.multicolor import MulticolorGaussSeidel
 from ..util.tables import Table
 from .config import BenchConfig, cached_suite_matrix
+from .experiment import Experiment, register_experiment, warm_suite_matrices
 
-__all__ = ["Table6Row", "run_table6", "table6_table", "PAPER_TABLE6", "TABLE6_MATRICES"]
+__all__ = [
+    "Table6Row", "run_table6", "table6_table", "PAPER_TABLE6", "TABLE6_MATRICES",
+    "TABLE6_EXPERIMENT",
+]
 
 #: Matrices used in the paper's Table VI.
 TABLE6_MATRICES: Tuple[str, ...] = (
@@ -59,42 +64,70 @@ class Table6Row:
     paper: Tuple[float, float, float, float, float, float]
 
 
+def _plan(config: BenchConfig) -> List[str]:
+    return list(config.matrices if config.matrices is not None else TABLE6_MATRICES)
+
+
+def table6_task(
+    name: str, config: BenchConfig, tol: float = 1e-8, maxiter: int = 800
+) -> Table6Row:
+    """Per-matrix map stage: point vs cluster multicolor SGS preconditioning GMRES."""
+    A = cached_suite_matrix(name, config.scale, config.seed, config.mtx_dir)
+    b = np.ones(A.shape[0])
+    point = MulticolorGaussSeidel(A, sweeps=1, symmetric=True)
+    cluster = ClusterMulticolorGaussSeidel(A, sweeps=1, symmetric=True)
+
+    start = time.perf_counter()
+    point_result = gmres(A, b, M=point.as_preconditioner(), tol=tol, maxiter=maxiter)
+    point_apply = time.perf_counter() - start
+    start = time.perf_counter()
+    cluster_result = gmres(A, b, M=cluster.as_preconditioner(), tol=tol, maxiter=maxiter)
+    cluster_apply = time.perf_counter() - start
+
+    return Table6Row(
+        matrix=name,
+        point_setup_seconds=point.setup_seconds,
+        cluster_setup_seconds=cluster.setup_seconds,
+        point_apply_seconds=point_apply,
+        cluster_apply_seconds=cluster_apply,
+        point_iterations=point_result.iterations,
+        cluster_iterations=cluster_result.iterations,
+        point_converged=point_result.converged,
+        cluster_converged=cluster_result.converged,
+        paper=PAPER_TABLE6.get(name, (float("nan"),) * 6),
+    )
+
+
+def _render(rows: List[Table6Row]) -> str:
+    return table6_table(rows).render()
+
+
+TABLE6_EXPERIMENT = register_experiment(
+    Experiment(
+        name="table6",
+        title="Table VI: point vs cluster multicolor SGS preconditioning GMRES",
+        plan=_plan,
+        task=table6_task,
+        render=_render,
+        key_field="matrix",
+        deterministic_fields=("point_iterations", "cluster_iterations"),
+        warm=warm_suite_matrices,
+    )
+)
+
+
 def run_table6(
     config: BenchConfig = BenchConfig(),
     tol: float = 1e-8,
     maxiter: int = 800,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> List[Table6Row]:
     """Run the Table VI experiment on the five stand-in systems."""
-    rows: List[Table6Row] = []
-    names = config.matrices if config.matrices is not None else TABLE6_MATRICES
-    for name in names:
-        A = cached_suite_matrix(name, config.scale, config.seed, config.mtx_dir)
-        b = np.ones(A.shape[0])
-        point = MulticolorGaussSeidel(A, sweeps=1, symmetric=True)
-        cluster = ClusterMulticolorGaussSeidel(A, sweeps=1, symmetric=True)
-
-        start = time.perf_counter()
-        point_result = gmres(A, b, M=point.as_preconditioner(), tol=tol, maxiter=maxiter)
-        point_apply = time.perf_counter() - start
-        start = time.perf_counter()
-        cluster_result = gmres(A, b, M=cluster.as_preconditioner(), tol=tol, maxiter=maxiter)
-        cluster_apply = time.perf_counter() - start
-
-        rows.append(
-            Table6Row(
-                matrix=name,
-                point_setup_seconds=point.setup_seconds,
-                cluster_setup_seconds=cluster.setup_seconds,
-                point_apply_seconds=point_apply,
-                cluster_apply_seconds=cluster_apply,
-                point_iterations=point_result.iterations,
-                cluster_iterations=cluster_result.iterations,
-                point_converged=point_result.converged,
-                cluster_converged=cluster_result.converged,
-                paper=PAPER_TABLE6.get(name, (float("nan"),) * 6),
-            )
-        )
-    return rows
+    task = None
+    if (tol, maxiter) != (1e-8, 800):
+        task = functools.partial(table6_task, tol=tol, maxiter=maxiter)
+    return TABLE6_EXPERIMENT.run(config, backend=backend, jobs=jobs, task=task).rows
 
 
 def table6_table(rows: List[Table6Row]) -> Table:

@@ -13,9 +13,10 @@ analogue used by the reproduction:
   stream compaction).
 * :mod:`~repro.parallel.backends` — the pluggable :class:`ExecutionBackend` seam
   through which every kernel invokes those primitives: the ``numpy`` reference, the
-  cache-blocked/process-pool ``chunked`` backend and the optional ``numba`` JIT
-  backend (graceful NumPy fallback). Select per call (``backend="chunked"``) or
-  process-wide with :class:`set_default_backend`.
+  cache-blocked/process-pool ``chunked`` backend, the shared-memory ``threaded``
+  backend and the optional ``numba`` JIT backend (graceful NumPy fallback). Select
+  per call (``backend="chunked"``) or process-wide with
+  :class:`set_default_backend`.
 * :mod:`~repro.parallel.machine` — device catalogue (V100, MI100, Skylake, ThunderX2)
   with the published memory bandwidths the paper's Fig. 3 uses.
 * :mod:`~repro.parallel.costmodel` — roofline-style traffic/latency model converting
@@ -48,6 +49,7 @@ from .backends import (
     ExecutionBackend,
     NumpyBackend,
     ChunkedBackend,
+    ThreadedBackend,
     NumbaBackend,
     register_backend,
     get_backend,
@@ -87,6 +89,7 @@ __all__ = [
     "ExecutionBackend",
     "NumpyBackend",
     "ChunkedBackend",
+    "ThreadedBackend",
     "NumbaBackend",
     "register_backend",
     "get_backend",

@@ -10,7 +10,7 @@ of importing the NumPy implementations directly, so a backend can be swapped
 per-call (``backend="chunked"``) or process-wide
 (:class:`set_default_backend`).
 
-Three backends ship with the package:
+Four backends ship with the package:
 
 ``numpy`` (:class:`NumpyBackend`)
     The reference: whole-worklist vectorised NumPy, delegating to
@@ -23,6 +23,13 @@ Three backends ship with the package:
     reference. Also fans batches of independent graphs out over a process pool
     (:meth:`ExecutionBackend.map_graphs`), the sharding hook for multi-graph
     benchmark sweeps.
+
+``threaded`` (:class:`ThreadedBackend`)
+    Shared-memory parallelism: the per-graph primitives are the NumPy
+    reference, but :meth:`ExecutionBackend.map_graphs` fans the batch out over
+    a :class:`~concurrent.futures.ThreadPoolExecutor`. No pickling of tasks or
+    graphs is needed, so it shards the benchmark sweeps with zero start-up
+    cost (NumPy releases the GIL inside the large array kernels).
 
 ``numba`` (:class:`NumbaBackend`)
     JIT-compiled per-segment loops when :mod:`numba` is importable; degrades
@@ -39,7 +46,7 @@ chunked backend precisely to preserve this guarantee.)
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -50,6 +57,7 @@ __all__ = [
     "ExecutionBackend",
     "NumpyBackend",
     "ChunkedBackend",
+    "ThreadedBackend",
     "NumbaBackend",
     "register_backend",
     "get_backend",
@@ -59,6 +67,20 @@ __all__ = [
     "set_default_backend",
     "numba_available",
 ]
+
+
+def _pool_map(executor_cls, width: Optional[int], fn: Callable, items: Sequence) -> List:
+    """Order-preserving pooled map shared by the chunked/threaded backends.
+
+    ``width`` of ``None`` means the CPU count; a one-worker pool or a
+    single-item batch executes inline.
+    """
+    workers = width if width is not None else max(1, os.cpu_count() or 1)
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with executor_cls(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 def numba_available() -> bool:
@@ -155,6 +177,15 @@ class ExecutionBackend:
         independent of the execution strategy.
         """
         return [fn(item) for item in items]
+
+    def with_jobs(self, jobs: Optional[int]) -> "ExecutionBackend":
+        """A backend equivalent to this one with ``jobs`` ``map_graphs`` workers.
+
+        Serial backends ignore the request and return themselves; pooled
+        backends return a reconfigured clone (the registered instance is never
+        mutated). ``None`` means "backend default".
+        """
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -362,12 +393,53 @@ class ChunkedBackend(ExecutionBackend):
         configuration. ``fn`` and the items must be picklable; order is
         preserved, so results are deterministic regardless of pool width.
         """
-        workers = self.processes if self.processes is not None else max(1, os.cpu_count() or 1)
-        items = list(items)
-        if workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+        return _pool_map(ProcessPoolExecutor, self.processes, fn, items)
+
+    def with_jobs(self, jobs: Optional[int]) -> "ChunkedBackend":
+        if jobs is None:
+            return self
+        return ChunkedBackend(block_elements=self.block_elements, processes=jobs)
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Shared-memory threaded backend.
+
+    The per-graph primitives are the NumPy reference (so per-graph results are
+    trivially bit-identical), while :meth:`map_graphs` fans a batch of
+    independent per-graph computations over a
+    :class:`~concurrent.futures.ThreadPoolExecutor`. Unlike the chunked
+    backend's process pool this needs no pickling: tasks share the caller's
+    address space (and its graph caches), which makes it the cheapest way to
+    shard a multi-graph benchmark sweep. NumPy releases the GIL inside the
+    large array kernels, so independent graphs genuinely overlap.
+
+    Parameters
+    ----------
+    threads:
+        Worker-pool width for :meth:`map_graphs`. ``None`` uses the CPU count;
+        1 executes inline.
+    """
+
+    name = "threaded"
+
+    def __init__(self, threads: Optional[int] = None) -> None:
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+
+    def map_graphs(self, fn: Callable, items: Sequence) -> List:
+        """Fan a batch of independent per-graph computations over a thread pool.
+
+        Order is preserved (results are deterministic regardless of pool
+        width); single-item batches and one-thread configurations execute
+        inline.
+        """
+        return _pool_map(ThreadPoolExecutor, self.threads, fn, items)
+
+    def with_jobs(self, jobs: Optional[int]) -> "ThreadedBackend":
+        if jobs is None:
+            return self
+        return ThreadedBackend(threads=jobs)
 
 
 class NumbaBackend(NumpyBackend):
@@ -385,6 +457,14 @@ class NumbaBackend(NumpyBackend):
     def __init__(self) -> None:
         self._available: Optional[bool] = None
         self._kernels: Optional[Dict[str, Callable]] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Compiled numba dispatchers don't pickle reliably; drop them so the
+        # backend can cross a process-pool boundary — workers recompile lazily.
+        return {"_available": self._available, "_kernels": None}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     @property
     def available(self) -> bool:
@@ -497,6 +577,7 @@ def available_backends() -> List[str]:
 
 register_backend(NumpyBackend())
 register_backend(ChunkedBackend())
+register_backend(ThreadedBackend())
 register_backend(NumbaBackend())
 
 _DEFAULT: ExecutionBackend = _REGISTRY["numpy"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["Table", "format_float", "geometric_mean"]
+__all__ = ["Table", "format_float", "format_seconds", "geometric_mean"]
 
 
 def format_float(value: float, sig: int = 3) -> str:
@@ -27,6 +27,24 @@ def format_float(value: float, sig: int = 3) -> str:
     if value == 0:
         return "0"
     return f"{value:.{sig}g}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a wall-clock duration with a unit suited to its magnitude.
+
+    Sub-millisecond durations render in microseconds, sub-second in
+    milliseconds, everything else in seconds — the scales the paper's tables
+    mix freely.
+    """
+    if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
+        return "-"
+    if seconds < 0:
+        raise ValueError("durations cannot be negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -1,7 +1,10 @@
 """Tests for the `python -m repro.bench` command-line interface."""
 
+import json
+
 import pytest
 
+from repro.bench import experiment_names
 from repro.bench.__main__ import EXPERIMENTS, main
 
 
@@ -10,6 +13,7 @@ def test_every_experiment_is_registered():
         "table1", "table2", "table3", "table4", "table5", "table6",
         "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "smoke",
     }
+    assert set(EXPERIMENTS) == set(experiment_names())
 
 
 def test_cli_smoke_check(capsys):
@@ -54,3 +58,82 @@ def test_cli_scaling_figures(capsys):
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["table99"])
+
+
+def test_cli_jobs_flag(capsys):
+    code = main(["table1", "--scale", "0.002", "--matrices", "ecology2", "tmt_sym",
+                 "--backend", "threaded", "--jobs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "backend: threaded" in out and "Table I" in out
+
+
+def test_cli_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--jobs", "0"])
+
+
+def test_cli_json_writes_record(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["table1", "--scale", "0.002", "--matrices", "ecology2", "--json"])
+    assert code == 0
+    path = tmp_path / "BENCH_table1_numpy.json"
+    assert path.exists()
+    record = json.loads(path.read_text())
+    assert record["experiment"] == "table1"
+    assert record["rows"][0]["matrix"] == "ecology2"
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_sweep(capsys):
+    code = main(["sweep", "table1", "--backends", "numpy,threaded",
+                 "--scale", "0.002", "--matrices", "ecology2", "tmt_sym", "--jobs", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep: table1" in out
+    assert "identical" in out
+    assert "numpy" in out and "threaded" in out
+
+
+def test_cli_sweep_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["sweep", "smoke", "--backends", "numpy,threaded", "--json"])
+    assert code == 0
+    assert (tmp_path / "BENCH_smoke_numpy.json").exists()
+    assert (tmp_path / "BENCH_smoke_threaded.json").exists()
+    assert (tmp_path / "BENCH_sweep_smoke.json").exists()
+
+
+def test_cli_sweep_requires_target():
+    with pytest.raises(SystemExit):
+        main(["sweep"])
+
+
+def test_cli_sweep_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        main(["sweep", "table99"])
+
+
+def test_cli_sweep_rejects_unknown_backends():
+    with pytest.raises(SystemExit):
+        main(["sweep", "smoke", "--backends", "numpy,cuda"])
+
+
+def test_cli_sweep_rejects_duplicate_backends():
+    with pytest.raises(SystemExit):
+        main(["sweep", "smoke", "--backends", "numpy,numpy"])
+
+
+def test_cli_sweep_rejects_backend_flag():
+    with pytest.raises(SystemExit):
+        main(["sweep", "smoke", "--backend", "chunked"])
+
+
+def test_cli_rejects_backends_without_sweep():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--backends", "numpy,threaded"])
+
+
+def test_cli_rejects_stray_target():
+    with pytest.raises(SystemExit):
+        main(["table1", "table2"])

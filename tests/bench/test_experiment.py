@@ -1,0 +1,218 @@
+"""Tests for the Experiment framework: registry, JSON persistence, sweep driver."""
+
+import pickle
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    ExperimentResult,
+    SweepMismatchError,
+    clear_suite_cache,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+    suite_cache_stats,
+    sweep,
+    sweep_table,
+)
+from repro.bench.__main__ import EXPERIMENTS
+from repro.bench.experiment import SweepResult, _TaskInvocation
+from repro.bench.table1 import Table1Row
+
+#: The paper's twelve experiments plus the CI smoke check.
+PAPER_EXPERIMENTS = {
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+}
+
+#: Two tiny matrices keep every run in this module to a fraction of a second.
+TINY = BenchConfig(scale=0.002, trials=1, warmup=0, matrices=("ecology2", "tmt_sym"))
+
+
+class TestRegistry:
+    def test_all_twelve_paper_experiments_registered(self):
+        assert PAPER_EXPERIMENTS | {"smoke"} == set(experiment_names())
+
+    def test_registry_names_match_cli(self):
+        assert set(EXPERIMENTS) == set(experiment_names())
+        for name, experiment in EXPERIMENTS.items():
+            assert experiment.name == name
+
+    def test_get_experiment_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_every_experiment_plans_units(self):
+        for name in experiment_names():
+            units = get_experiment(name).units(TINY)
+            assert len(units) >= 1, name
+
+    def test_every_experiment_declares_determinism(self):
+        for name in experiment_names():
+            experiment = get_experiment(name)
+            assert experiment.deterministic_fields, name
+            assert experiment.key_field
+
+    def test_task_invocations_are_picklable(self):
+        """No lambdas on the map_graphs seam: every task must cross a process pool,
+        with every registered backend instance (including a configured chunked
+        clone and the numba backend after its lazy JIT probe) riding along."""
+        from repro.parallel import ChunkedBackend, available_backends, get_backend
+
+        backends = [get_backend(b) for b in available_backends()]
+        backends.append(ChunkedBackend(block_elements=8))
+        for name in experiment_names():
+            experiment = get_experiment(name)
+            for backend in backends:
+                invocation = _TaskInvocation(experiment.task, TINY, backend)
+                restored = pickle.loads(pickle.dumps(invocation))
+                assert restored.backend.name == backend.name
+                assert restored.config == TINY
+        # The configured clone keeps its configuration across the boundary.
+        clone = pickle.loads(
+            pickle.dumps(_TaskInvocation(get_experiment("table1").task, TINY,
+                                         ChunkedBackend(block_elements=8)))
+        ).backend
+        assert clone.block_elements == 8
+
+
+class TestExperimentRun:
+    def test_run_returns_structured_result(self):
+        result = run_experiment("table1", TINY)
+        assert result.experiment == "table1"
+        assert result.backend == "numpy"
+        assert result.units == 2
+        assert result.elapsed_seconds > 0
+        assert [r.matrix for r in result.rows] == list(TINY.matrices)
+        assert all(isinstance(r, Table1Row) for r in result.rows)
+        assert result.counts["ecology2/xorstar"] >= 1
+
+    def test_rows_preserve_plan_order_across_backends(self):
+        for backend in ("chunked", "threaded"):
+            result = run_experiment("table1", TINY, backend=backend, jobs=2)
+            assert [r.matrix for r in result.rows] == list(TINY.matrices)
+            assert result.backend == backend
+            assert result.jobs == 2
+
+    def test_config_backend_is_honoured(self):
+        config = BenchConfig(
+            scale=0.002, trials=1, warmup=0, matrices=("ecology2",), backend="threaded"
+        )
+        assert run_experiment("table1", config).backend == "threaded"
+
+
+class TestJsonRoundTrip:
+    def test_result_round_trips_through_json(self):
+        result = run_experiment("table1", TINY)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment == result.experiment
+        assert restored.backend == result.backend
+        assert restored.counts == result.counts
+        assert restored.to_dict() == result.to_dict()
+
+    def test_save_writes_bench_json(self, tmp_path):
+        result = run_experiment("table1", TINY)
+        path = result.save(tmp_path)
+        assert path.name == "BENCH_table1_numpy.json"
+        restored = ExperimentResult.from_json(path.read_text())
+        assert restored.to_dict() == result.to_dict()
+
+    def test_non_finite_floats_become_null(self):
+        # table6 rows carry paper=(nan,)*6 for non-paper matrices; strict JSON
+        # consumers (jq, JSON.parse) reject the NaN token json.dumps would emit.
+        result = ExperimentResult(
+            experiment="x", backend="numpy", jobs=None, scale=1.0, seed=0,
+            trials=1, units=1, elapsed_seconds=0.1,
+            counts={"a/nan": float("nan")},
+            rows=[{"paper": (float("nan"), float("inf"))}],
+        )
+        text = result.to_json()
+        assert "NaN" not in text and "Infinity" not in text
+        import json
+
+        parsed = json.loads(text)
+        assert parsed["counts"]["a/nan"] is None
+        assert parsed["rows"][0]["paper"] == [None, None]
+
+    def test_rows_are_json_safe(self):
+        # table5 rows carry tuples and bools; fig3 rows carry float dicts.
+        import json
+
+        result = run_experiment("fig3", TINY)
+        parsed = json.loads(result.to_json())
+        assert parsed["rows"][0]["matrix"] == "ecology2"
+        assert set(parsed["rows"][0]["efficiency"]) == {"v100", "mi100", "skylake", "tx2"}
+
+
+class TestSweep:
+    def test_smoke_sweep_across_backends(self):
+        """The acceptance smoke sweep: 2 tiny matrices, serial + threaded."""
+        result = sweep("table1", ["numpy", "threaded"], TINY, jobs=2)
+        assert [r.backend for r in result.results] == ["numpy", "threaded"]
+        assert result.reference.backend == "numpy"
+        # Identical measured iteration counts across backends — the paper's claim.
+        assert result.results[0].counts == result.results[1].counts
+        assert result.speedup(result.reference) == pytest.approx(1.0)
+        text = sweep_table(result).render()
+        assert "numpy" in text and "threaded" in text and "identical" in text
+
+    def test_sweep_requires_backends(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            sweep("table1", [], TINY)
+
+    def test_sweep_detects_count_mismatch(self):
+        good = run_experiment("table1", TINY)
+        bad = ExperimentResult.from_dict(good.to_dict())
+        bad.backend = "threaded"
+        bad.counts = dict(bad.counts)
+        bad.counts["ecology2/xorstar"] = -99
+        from repro.bench.experiment import _check_counts
+
+        with pytest.raises(SweepMismatchError, match="ecology2/xorstar"):
+            _check_counts("table1", [good, bad])
+
+    def test_sweep_summary_round_trip(self, tmp_path):
+        result = sweep("smoke", ["numpy", "threaded"], TINY)
+        path = result.save(tmp_path)
+        assert path.name == "BENCH_sweep_smoke.json"
+        import json
+
+        summary = json.loads(path.read_text())
+        assert summary["experiment"] == "smoke"
+        assert summary["backends"] == ["numpy", "threaded"]
+        assert summary["speedups"]["numpy"] == pytest.approx(1.0)
+
+    def test_sweep_result_mismatch_renders_in_table(self):
+        good = run_experiment("smoke", TINY)
+        bad = ExperimentResult.from_dict(good.to_dict())
+        bad.backend = "chunked"
+        bad.counts = dict(bad.counts, extra=1)
+        text = sweep_table(SweepResult(experiment="smoke", results=[good, bad])).render()
+        assert "MISMATCH" in text
+
+
+class TestSuiteCache:
+    def test_cache_keyed_and_clearable(self):
+        from repro.bench import cached_suite_graph
+
+        clear_suite_cache()
+        assert suite_cache_stats() == {"graphs": 0, "matrices": 0}
+        g1 = cached_suite_graph("ecology2", 0.002, 0, None)
+        assert cached_suite_graph("ecology2", 0.002, 0, None) is g1
+        # A different (name, scale, seed, mtx_dir) key is a different entry.
+        g2 = cached_suite_graph("ecology2", 0.002, 1, None)
+        assert g2 is not g1
+        assert suite_cache_stats()["graphs"] == 2
+        clear_suite_cache()
+        assert suite_cache_stats() == {"graphs": 0, "matrices": 0}
+
+    def test_cache_capacity_bounded(self):
+        from repro.bench import cached_suite_graph
+        from repro.bench.config import _CACHE_CAPACITY
+
+        clear_suite_cache()
+        for seed in range(_CACHE_CAPACITY + 5):
+            cached_suite_graph("ecology2", 0.001, seed, None)
+        assert suite_cache_stats()["graphs"] <= _CACHE_CAPACITY
+        clear_suite_cache()

@@ -1,16 +1,19 @@
 """Backend-equivalence suite: the paper's determinism guarantee, enforced.
 
-Every registered execution backend must produce *bit-identical* results to the
-vectorised-NumPy reference for the full kernel stack — MIS-2 (Algorithm 1 and
-the Bell/Luby baselines), greedy and distance-2 coloring, both aggregation
-schemes, and the cluster multicolor Gauss-Seidel setup/apply. A tiny block size
-is used for the chunked backend so that even the small fixture graphs are
-actually split into many blocks.
+Every registered execution backend (numpy, chunked, threaded, numba, …) must
+produce *bit-identical* results to the vectorised-NumPy reference for the full
+kernel stack — MIS-2 (Algorithm 1 and the Bell/Luby baselines), greedy and
+distance-2 coloring, both aggregation schemes, and the cluster multicolor
+Gauss-Seidel setup/apply. A tiny block size is used for the chunked backend so
+that even the small fixture graphs are actually split into many blocks, and the
+``map_graphs``-driven Experiment path is asserted to yield identical rows
+regardless of backend and pool width.
 """
 
 import numpy as np
 import pytest
 
+from repro.bench import BenchConfig, get_experiment
 from repro.coarsen import d2c_aggregation, mis2_aggregation
 from repro.coloring import distance2_color, greedy_color
 from repro.graph import laplace3d_matrix, random_gnp
@@ -124,3 +127,32 @@ def test_larger_random_graph_bit_identical(backend):
     assert np.array_equal(
         mis2_aggregation(g).labels, mis2_aggregation(g, backend=backend).labels
     )
+
+
+#: Tiny configuration for the Experiment-path equivalence checks below.
+_EXPERIMENT_CONFIG = BenchConfig(
+    scale=0.002, trials=1, warmup=0, matrices=("ecology2", "tmt_sym", "apache2")
+)
+
+
+def test_experiment_map_graphs_rows_identical(backend):
+    """The sharded suite-sweep path must yield the reference rows, bit for bit.
+
+    ``table1`` rows contain no wall-clock fields, so full row equality holds —
+    the same matrices through ``map_graphs`` on any backend at any pool width
+    produce exactly the rows the serial NumPy reference produces.
+    """
+    experiment = get_experiment("table1")
+    reference = experiment.run(_EXPERIMENT_CONFIG, backend="numpy").rows
+    for jobs in (None, 1, 2):
+        result = experiment.run(_EXPERIMENT_CONFIG, backend=backend, jobs=jobs)
+        assert result.rows == reference
+        assert result.counts == experiment.counts(reference)
+
+
+def test_experiment_counts_identical_across_all_backends():
+    """Deterministic counts of the smoke experiment agree on every backend."""
+    experiment = get_experiment("smoke")
+    reference = experiment.run(_EXPERIMENT_CONFIG, backend="numpy")
+    for name in available_backends():
+        assert experiment.run(_EXPERIMENT_CONFIG, backend=name, jobs=2).counts == reference.counts

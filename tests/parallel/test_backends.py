@@ -10,6 +10,7 @@ from repro.parallel import (
     ExecutionBackend,
     NumbaBackend,
     NumpyBackend,
+    ThreadedBackend,
     available_backends,
     default_backend,
     exclusive_scan,
@@ -29,7 +30,7 @@ def _graph_mis_size(graph):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ["numpy", "chunked", "numba"]
+        assert available_backends() == ["numpy", "chunked", "threaded", "numba"]
 
     def test_get_backend_by_name_and_instance(self):
         np_backend = get_backend("numpy")
@@ -155,6 +156,53 @@ class TestChunkedBackend:
             B.exclusive_scan(np.zeros((2, 2)))
         with pytest.raises(ValueError):
             B.segmented_lexmin([], np.array([0]), [])
+
+
+class TestThreadedBackend:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ThreadedBackend(threads=0)
+
+    def test_map_graphs_thread_pool_preserves_order(self):
+        graphs = [random_gnp(40, 0.1, seed=s) for s in range(4)]
+        serial = NumpyBackend().map_graphs(_graph_mis_size, graphs)
+        pooled = ThreadedBackend(threads=3).map_graphs(_graph_mis_size, graphs)
+        inline = ThreadedBackend(threads=1).map_graphs(_graph_mis_size, graphs)
+        assert pooled == serial == inline
+
+    def test_primitives_are_the_reference(self):
+        # The threaded backend accelerates only map_graphs; per-graph primitives
+        # delegate to the NumPy reference, so equivalence is structural.
+        B = ThreadedBackend()
+        vals = np.arange(20)
+        assert np.array_equal(B.exclusive_scan(vals), exclusive_scan(vals))
+
+    def test_requestable_by_name(self):
+        result = kk_mis2(path_graph(8), backend="threaded")
+        assert result.config.backend == "threaded"
+
+
+class TestWithJobs:
+    def test_serial_backends_ignore_jobs(self):
+        B = NumpyBackend()
+        assert B.with_jobs(4) is B
+        assert B.with_jobs(None) is B
+
+    def test_chunked_clone_keeps_block_size(self):
+        B = ChunkedBackend(block_elements=512)
+        clone = B.with_jobs(3)
+        assert clone is not B
+        assert clone.processes == 3
+        assert clone.block_elements == 512
+        assert B.processes is None  # registered instance untouched
+        assert B.with_jobs(None) is B
+
+    def test_threaded_clone(self):
+        B = ThreadedBackend()
+        clone = B.with_jobs(2)
+        assert clone is not B
+        assert clone.threads == 2
+        assert B.threads is None
 
 
 class TestNumbaBackend:
