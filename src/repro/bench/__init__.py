@@ -37,6 +37,7 @@ from .experiment import (
     sweep,
     sweep_table,
 )
+from .compare import ComparisonReport, compare_files, compare_results
 from .table1 import Table1Row, run_table1, table1_table
 from .table2 import Table2Row, run_table2, table2_table
 from .table3 import Table3Row, run_table3, table3_table, PAPER_TABLE3
@@ -66,6 +67,7 @@ __all__ = [
     "run_experiment",
     "sweep",
     "sweep_table",
+    "ComparisonReport", "compare_files", "compare_results",
     "Table1Row", "run_table1", "table1_table",
     "Table2Row", "run_table2", "table2_table",
     "Table3Row", "run_table3", "table3_table", "PAPER_TABLE3",

@@ -42,11 +42,31 @@ Cross-backend sweep (the paper's Fig. 3 analogue for Python backends)::
 ``sweep`` runs one experiment once per backend, *asserts the deterministic
 measured counts (iterations, set sizes, modelled times) are bit-identical
 across backends*, and prints the per-backend wall-clock/speedup table.
+
+Partition-parallel mode (intra-graph sharding)::
+
+    python -m repro.bench partitioned smoke --parts 4
+    python -m repro.bench sweep smoke --parts 4 --backends numpy,chunked,threaded
+
+``partitioned <exp> --parts k`` (and ``--parts`` on any run or sweep) splits
+every graph of a parts-aware experiment into ``k`` parts, runs the MIS /
+coloring / aggregation kernels through the partition-parallel drivers, and
+*verifies bit-identicality against the unpartitioned reference*; boundary and
+ghost-exchange stats land in the rows and deterministic counts.
+
+Regression gate over persisted records::
+
+    python -m repro.bench compare BENCH_smoke_numpy.json BENCH_smoke_threaded.json
+
+``compare`` fails (exit 1) on any deterministic-count drift between the two
+records and warns when the candidate's wall-clock regressed by more than
+``--tolerance`` (default 25%).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Dict, List, Optional
 
@@ -92,15 +112,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "sweep"],
+        choices=sorted(EXPERIMENTS) + ["all", "sweep", "partitioned", "compare"],
         help="which table/figure to regenerate ('all' runs every experiment; "
-             "'sweep' compares one experiment across backends)",
+             "'sweep' compares one experiment across backends; 'partitioned' "
+             "runs one experiment with intra-graph sharding; 'compare' diffs "
+             "two BENCH_*.json records)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="with 'sweep': the experiment to sweep across backends",
+        help="with 'sweep'/'partitioned': the experiment to run; "
+             "with 'compare': the baseline BENCH_*.json path",
+    )
+    parser.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="with 'compare': the candidate BENCH_*.json path",
     )
     parser.add_argument("--scale", type=float, default=BenchConfig().scale,
                         help="fraction of the paper's problem sizes for the stand-ins")
@@ -120,12 +149,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="map_graphs worker-pool width for the sharded backends "
                              "(chunked processes / threaded threads)")
+    parser.add_argument("--parts", type=int, default=None,
+                        help="intra-graph partition count for parts-aware experiments "
+                             "(partition-parallel runs are verified bit-identical to "
+                             "the unpartitioned reference; 'partitioned' defaults to 4)")
     parser.add_argument("--json", action="store_true",
                         help="persist each run as benchmarks/results/BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="with 'compare': allowed elapsed_seconds regression "
+                             "fraction before the warning fires (default 0.25)")
+    parser.add_argument("--strict-elapsed", action="store_true",
+                        help="with 'compare': fail (exit 1) on elapsed regression "
+                             "instead of warning")
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.parts is not None and args.parts < 1:
+        parser.error("--parts must be >= 1")
+    if args.candidate is not None and args.experiment != "compare":
+        parser.error("a third positional argument is only valid with 'compare'")
+
+    def _require_parts_aware(name: str) -> None:
+        """--parts only makes sense for experiments whose task honours it —
+        anything else would run unpartitioned while stamping parts=k."""
+        if args.parts is not None or args.experiment == "partitioned":
+            if not EXPERIMENTS[name].parts_aware:
+                aware = sorted(n for n, e in EXPERIMENTS.items() if e.parts_aware)
+                parser.error(
+                    f"experiment {name!r} does not support --parts "
+                    f"(parts-aware experiments: {aware})"
+                )
+
+    if args.experiment == "compare":
+        if args.target is None or args.candidate is None:
+            parser.error(
+                "compare requires two BENCH_*.json paths, e.g. "
+                "'compare benchmarks/results/BENCH_smoke_numpy.json "
+                "benchmarks/results/BENCH_smoke_threaded.json'"
+            )
+        if args.tolerance < 0:
+            parser.error("--tolerance must be >= 0")
+        from .compare import compare_files
+
+        return compare_files(
+            args.target,
+            args.candidate,
+            elapsed_tolerance=args.tolerance,
+            strict_elapsed=args.strict_elapsed,
+        )
 
     config = BenchConfig(
         scale=args.scale,
@@ -134,6 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         mtx_dir=args.mtx_dir,
         matrices=tuple(args.matrices) if args.matrices else None,
         backend=args.backend,
+        parts=args.parts,
     )
 
     if args.experiment == "sweep":
@@ -143,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown experiment {args.target!r} for sweep")
         if args.backend is not None:
             parser.error("--backend is not valid with 'sweep'; use --backends")
+        _require_parts_aware(args.target)
         backends = args.backends or ["numpy", "chunked", "threaded"]
         result = sweep(args.target, backends, config, jobs=args.jobs)
         print(sweep_table(result).render())
@@ -152,19 +226,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {result.save()}")
         return 0
 
-    if args.target is not None:
-        parser.error("a second experiment name is only valid with 'sweep'")
+    if args.experiment == "partitioned":
+        if args.target is None:
+            parser.error(
+                "partitioned requires an experiment name, e.g. 'partitioned smoke'"
+            )
+        if args.target not in EXPERIMENTS:
+            parser.error(f"unknown experiment {args.target!r} for partitioned")
+        _require_parts_aware(args.target)
+        if config.parts is None:
+            config = dataclasses.replace(config, parts=4)
+        names = [args.target]
+    else:
+        if args.target is not None:
+            parser.error("a second experiment name is only valid with 'sweep'/'partitioned'")
+        # 'all' regenerates the paper's tables/figures; the smoke check is CI-only.
+        names = (
+            [n for n in sorted(EXPERIMENTS) if n != "smoke"]
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        for name in names:
+            _require_parts_aware(name)
     if args.backends is not None:
         parser.error("--backends is only valid with 'sweep'; use --backend")
 
-    # 'all' regenerates the paper's tables/figures; the smoke check is CI-only.
-    names = (
-        [n for n in sorted(EXPERIMENTS) if n != "smoke"]
-        if args.experiment == "all"
-        else [args.experiment]
-    )
     backend_name = config.backend or default_backend().name
     print(f"backend: {backend_name}")
+    if config.parts is not None:
+        print(f"parts: {config.parts} (partition-parallel, verified vs reference)")
     print()
     for name in names:
         result, text = EXPERIMENTS[name].run_and_render(config, jobs=args.jobs)

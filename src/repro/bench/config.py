@@ -52,6 +52,11 @@ class BenchConfig:
     #: The drivers install it as the default backend for the run, so every kernel's
     #: traffic counter records it.
     backend: Optional[str] = None
+    #: Intra-graph partition count for the experiments that support
+    #: partition-parallel execution (None = unpartitioned). Partitioned runs
+    #: additionally *verify* bit-identicality against the unpartitioned kernels
+    #: and record boundary/ghost-exchange stats.
+    parts: Optional[int] = None
 
     def matrix_names(self) -> List[str]:
         """Names of the matrices this configuration covers, in Table II order."""

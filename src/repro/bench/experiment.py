@@ -125,6 +125,8 @@ class ExperimentResult:
     elapsed_seconds: float
     counts: Dict[str, Any]
     rows: List[Any] = field(default_factory=list)
+    #: Intra-graph partition count the run used (None = unpartitioned).
+    parts: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         rows = [
@@ -139,6 +141,7 @@ class ExperimentResult:
             "seed": self.seed,
             "trials": self.trials,
             "units": self.units,
+            "parts": self.parts,
             "elapsed_seconds": self.elapsed_seconds,
             "counts": _jsonable(self.counts),
             "rows": rows,
@@ -160,6 +163,7 @@ class ExperimentResult:
             elapsed_seconds=data["elapsed_seconds"],
             counts=dict(data["counts"]),
             rows=list(data["rows"]),
+            parts=data.get("parts"),
         )
 
     @classmethod
@@ -168,8 +172,13 @@ class ExperimentResult:
 
     @property
     def filename(self) -> str:
-        """The ``BENCH_*`` perf-trajectory filename this result persists under."""
-        return f"BENCH_{self.experiment}_{self.backend}.json"
+        """The ``BENCH_*`` perf-trajectory filename this result persists under.
+
+        Partitioned runs get a ``_p<k>`` infix so they never clobber the
+        unpartitioned trajectory records.
+        """
+        infix = f"_p{self.parts}" if self.parts else ""
+        return f"BENCH_{self.experiment}{infix}_{self.backend}.json"
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
         """Write the JSON record under ``directory`` (default: ``benchmarks/results/``)."""
@@ -233,6 +242,11 @@ class Experiment:
     #: that generate graphs inside the task — table3, table5, smoke) means there
     #: is nothing to warm.
     warm: Optional[Callable[[Sequence[Any], BenchConfig], None]] = None
+    #: Whether the task honours ``BenchConfig.parts`` (partition-parallel
+    #: execution). Experiments that don't are rejected when ``parts`` is set —
+    #: silently running unpartitioned while stamping ``parts=k`` on the record
+    #: would corrupt the perf trajectory.
+    parts_aware: bool = False
 
     def units(self, config: Optional[BenchConfig] = None) -> List[Any]:
         """The work units the plan stage produces for ``config``."""
@@ -272,6 +286,12 @@ class Experiment:
             must still be picklable for the process-pool path.
         """
         config = config if config is not None else BenchConfig()
+        if config.parts is not None and not self.parts_aware:
+            raise ValueError(
+                f"experiment {self.name!r} does not support partition-parallel "
+                f"execution (parts={config.parts}); parts-aware experiments: "
+                f"{sorted(n for n, e in _EXPERIMENTS.items() if e.parts_aware)}"
+            )
         resolved = resolve_backend(backend if backend is not None else config.backend)
         mapper = resolved.with_jobs(jobs)
         work = list(units) if units is not None else list(self.plan(config))
@@ -291,6 +311,7 @@ class Experiment:
             elapsed_seconds=elapsed,
             counts=self.counts(rows),
             rows=list(rows),
+            parts=config.parts,
         )
 
     def run_and_render(
@@ -370,15 +391,17 @@ class SweepResult:
         return {
             "experiment": self.experiment,
             "backends": [r.backend for r in self.results],
+            "parts": self.reference.parts,
             "elapsed_seconds": {r.backend: r.elapsed_seconds for r in self.results},
             "speedups": _jsonable({r.backend: self.speedup(r) for r in self.results}),
         }
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
-        """Persist the sweep summary as ``BENCH_sweep_<exp>.json``."""
+        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>].json``."""
         directory = Path(directory) if directory is not None else default_results_dir()
         directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"BENCH_sweep_{self.experiment}.json"
+        infix = f"_p{self.reference.parts}" if self.reference.parts else ""
+        path = directory / f"BENCH_sweep_{self.experiment}{infix}.json"
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
         return path
 
@@ -442,12 +465,15 @@ def sweep(
 def sweep_table(result: SweepResult) -> Table:
     """Format a sweep as the paper-style per-backend wall-clock/speedup table."""
     experiment = get_experiment(result.experiment)
+    partitioned = (
+        f"; {result.reference.parts} parts/graph" if result.reference.parts else ""
+    )
     table = Table(
         ["backend", "jobs", "units", "wall-clock", "speedup", "counts"],
         title=(
             f"Sweep: {experiment.name} across execution backends "
-            f"({result.reference.units} units; speedup vs {result.reference.backend}; "
-            "Fig. 3 analogue)"
+            f"({result.reference.units} units{partitioned}; "
+            f"speedup vs {result.reference.backend}; Fig. 3 analogue)"
         ),
     )
     for res in result.results:

@@ -40,6 +40,12 @@ class SmokeRow:
     num_aggregates: int
     predicted_v100_us: float
     backend: str
+    #: Intra-graph partition count (1 = unpartitioned run).
+    parts: int = 1
+    #: Vertices adjacent to another part in the partition layout.
+    boundary_vertices: int = 0
+    #: Ghost-exchange supersteps executed by the partitioned MIS + coloring runs.
+    ghost_supersteps: int = 0
 
 
 def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int]]:
@@ -81,6 +87,44 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         raise RuntimeError(
             f"smoke check failed: cost model produced a non-positive time on {label}"
         )
+    boundary_vertices = 0
+    ghost_supersteps = 0
+    if config.parts is not None:
+        # Partition-parallel runs must be bit-identical to the unpartitioned
+        # results computed above — the intra-graph sharding contract. One
+        # layout serves all three kernels (multilevel partitioning is itself
+        # MIS-2 coarsening, so rebuilding it per kernel would triple the cost).
+        from ..parallel.partitioned import build_partition_layout
+
+        layout = build_partition_layout(graph, config.parts)
+        pmis = kk_mis2(graph, seed=config.seed, partitions=layout)
+        if not (np.array_equal(pmis.in_set, mis.in_set) and pmis.iterations == mis.iterations):
+            raise RuntimeError(
+                f"smoke check failed: partitioned MIS-2 diverged from the reference on {label}"
+            )
+        pcoloring = greedy_color(graph, partitions=layout)
+        if not (
+            np.array_equal(pcoloring.colors, coloring.colors)
+            and pcoloring.rounds == coloring.rounds
+        ):
+            raise RuntimeError(
+                f"smoke check failed: partitioned coloring diverged from the reference on {label}"
+            )
+        # pmis is already verified identical to mis, so reuse it for phase 1
+        # (as the unpartitioned path reuses mis) — only the phase-2 sub-MIS
+        # still runs partitioned.
+        pagg = mis2_aggregation(graph, mis=pmis, seed=config.seed, partitions=layout)
+        if not (
+            np.array_equal(pagg.labels, agg.labels)
+            and pagg.num_aggregates == agg.num_aggregates
+        ):
+            raise RuntimeError(
+                f"smoke check failed: partitioned aggregation diverged from the reference on {label}"
+            )
+        boundary_vertices = pmis.partition_stats.boundary_vertices
+        ghost_supersteps = (
+            pmis.partition_stats.supersteps + pcoloring.partition_stats.supersteps
+        )
     return SmokeRow(
         graph=label,
         num_vertices=graph.num_vertices,
@@ -91,22 +135,29 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         num_aggregates=agg.num_aggregates,
         predicted_v100_us=predicted * 1e6,
         backend=mis.config.backend,
+        parts=config.parts if config.parts is not None else 1,
+        boundary_vertices=boundary_vertices,
+        ghost_supersteps=ghost_supersteps,
     )
 
 
 def smoke_table(rows: List[SmokeRow]) -> Table:
     """Format the smoke rows as the CI sanity-check table."""
-    table = Table(
-        ["graph", "|V|", "|MIS-2|", "iters", "colors", "rounds", "aggregates",
-         "V100 (us)", "backend"],
-        title="smoke check: OK (all kernel layers verified)",
-    )
+    partitioned = any(row.parts > 1 for row in rows)
+    columns = ["graph", "|V|", "|MIS-2|", "iters", "colors", "rounds", "aggregates",
+               "V100 (us)", "backend"]
+    if partitioned:
+        columns += ["parts", "boundary", "exchanges"]
+    title = "smoke check: OK (all kernel layers verified"
+    title += "; partitioned runs bit-identical)" if partitioned else ")"
+    table = Table(columns, title=title)
     for row in rows:
-        table.add_row(
-            [row.graph, row.num_vertices, row.mis2_size, row.iterations,
-             row.num_colors, row.rounds, row.num_aggregates,
-             round(row.predicted_v100_us, 1), row.backend]
-        )
+        cells = [row.graph, row.num_vertices, row.mis2_size, row.iterations,
+                 row.num_colors, row.rounds, row.num_aggregates,
+                 round(row.predicted_v100_us, 1), row.backend]
+        if partitioned:
+            cells += [row.parts, row.boundary_vertices, row.ghost_supersteps]
+        table.add_row(cells)
     return table
 
 
@@ -124,8 +175,9 @@ SMOKE_EXPERIMENT = register_experiment(
         key_field="graph",
         deterministic_fields=(
             "num_vertices", "mis2_size", "iterations", "num_colors", "rounds",
-            "num_aggregates",
+            "num_aggregates", "parts", "boundary_vertices", "ghost_supersteps",
         ),
+        parts_aware=True,
     )
 )
 

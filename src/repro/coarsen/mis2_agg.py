@@ -40,6 +40,7 @@ def mis2_aggregation(
     min_secondary_neighbors: int = 2,
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
+    partitions=None,
 ) -> Aggregation:
     """Coarsen ``graph`` with Algorithm 3 (the paper's "MIS2 Agg" scheme).
 
@@ -58,11 +59,22 @@ def mis2_aggregation(
         Execution backend (name or instance) used for the aggregation's own
         primitives and forwarded to the MIS-2 computations; ``None`` uses the
         default.
+    partitions:
+        When not ``None``, run both MIS-2 computations partition-parallel
+        (part count, label array or layout); the phase-2 sub-MIS inherits the
+        labels restricted to the unaggregated subgraph. Because the
+        partitioned MIS driver is bit-identical to the unpartitioned kernel,
+        the aggregation is too.
     """
     B = resolve_backend(backend)
     n = graph.num_vertices
+    layout = None
+    if partitions is not None:
+        from ..parallel.partitioned import build_partition_layout
+
+        layout = build_partition_layout(graph, partitions)
     if mis is None:
-        mis = kk_mis2(graph, seed=seed, backend=B)
+        mis = kk_mis2(graph, seed=seed, backend=B, partitions=layout)
     roots = np.asarray(mis.in_set, dtype=np.int64)
     labels = -np.ones(n, dtype=np.int64)
     if n == 0:
@@ -83,7 +95,12 @@ def mis2_aggregation(
     secondary_roots = np.zeros(0, dtype=np.int64)
     if unagg.size:
         sub, mapping = induced_subgraph(graph, unagg)
-        sub_mis = kk_mis2(sub, seed=seed, backend=B)
+        sub_mis = kk_mis2(
+            sub,
+            seed=seed,
+            backend=B,
+            partitions=None if layout is None else layout.labels[mapping],
+        )
         candidates = mapping[sub_mis.in_set]
         # Count each candidate root's unaggregated neighbours against the phase-1
         # labels. Phase-2 roots are pairwise at distance > 2 in the induced subgraph,

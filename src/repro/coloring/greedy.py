@@ -11,13 +11,16 @@ identical across execution backends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.costmodel import TrafficCounter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (partitioned imports us)
+    from ..parallel.partitioned import PartitionStats
 
 __all__ = ["greedy_color", "ColoringResult"]
 
@@ -38,6 +41,10 @@ class ColoringResult:
     distance: int = 1
     #: Name of the execution backend that ran the kernels.
     backend: str = "numpy"
+    #: Number of intra-graph partitions the run was sharded into (1 = unpartitioned).
+    partitions: int = 1
+    #: Partitioning measurables when the partition-parallel driver ran.
+    partition_stats: "Optional[PartitionStats]" = None
 
     def color_classes(self) -> List[np.ndarray]:
         """Vertices grouped by color, ordered by color id."""
@@ -75,6 +82,7 @@ def greedy_color(
     graph: CSRGraph,
     max_rounds: Optional[int] = None,
     backend: "Optional[str | ExecutionBackend]" = None,
+    partitions=None,
 ) -> ColoringResult:
     """Distance-1 greedy coloring of ``graph``.
 
@@ -88,12 +96,22 @@ def greedy_color(
     backend:
         Execution backend (name or instance); ``None`` uses the default. All
         backends produce bit-identical colorings.
+    partitions:
+        When not ``None``, shard the run within the graph (part count, label
+        array or layout); the partition-parallel driver is bit-identical to
+        the unpartitioned kernel.
 
     Returns
     -------
     :class:`ColoringResult` with a proper distance-1 coloring: adjacent vertices never
     share a color.
     """
+    if partitions is not None:
+        from ..parallel.partitioned import partitioned_greedy_color
+
+        return partitioned_greedy_color(
+            graph, partitions, max_rounds=max_rounds, backend=backend
+        )
     B = resolve_backend(backend)
     n = graph.num_vertices
     traffic = TrafficCounter(backend=B.name)

@@ -75,6 +75,7 @@ def kk_mis2(
     word_bits: int = 64,
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
+    partitions=None,
 ) -> MISResult:
     """Compute a distance-2 maximal independent set with Algorithm 1.
 
@@ -105,12 +106,32 @@ def kk_mis2(
         Execution backend (name or instance) running the data-parallel primitives;
         ``None`` uses :func:`repro.parallel.default_backend`. All backends produce
         bit-identical results.
+    partitions:
+        When not ``None``, shard the run *within* the graph: a part count, a
+        per-vertex label array, or a
+        :class:`~repro.parallel.partitioned.PartitionLayout`. The
+        partition-parallel driver is bit-identical to the unpartitioned kernel
+        for any value (and any backend); ``result.partition_stats`` records the
+        layout and ghost-exchange counts.
 
     Returns
     -------
     :class:`~repro.mis.result.MISResult`
         The MIS-2, iteration count, worklist history and traffic counters.
     """
+    if partitions is not None:
+        from ..parallel.partitioned import partitioned_kk_mis2
+
+        return partitioned_kk_mis2(
+            graph,
+            partitions,
+            priority_scheme=priority_scheme,
+            use_worklists=use_worklists,
+            simd=simd,
+            word_bits=word_bits,
+            seed=seed,
+            backend=backend,
+        )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)
     n = graph.num_vertices

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..parallel.costmodel import TrafficCounter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (partitioned imports us)
+    from ..parallel.partitioned import PartitionStats
 
 __all__ = ["MISResult", "MISConfig"]
 
@@ -35,6 +38,9 @@ class MISConfig:
     #: Name of the execution backend that ran the kernels (``numpy`` reference,
     #: ``chunked``, ``numba`` …).
     backend: str = "numpy"
+    #: Number of intra-graph partitions the run was sharded into (1 = the
+    #: unpartitioned kernel; >1 means the partition-parallel driver ran it).
+    partitions: int = 1
 
 
 @dataclass
@@ -68,6 +74,9 @@ class MISResult:
     config: Optional[MISConfig] = None
     #: Optional wall-clock seconds of the run (filled by the benchmark harness).
     elapsed_seconds: Optional[float] = None
+    #: Partitioning measurables when the partition-parallel driver ran
+    #: (:class:`~repro.parallel.partitioned.PartitionStats`); None otherwise.
+    partition_stats: "Optional[PartitionStats]" = None
 
     @property
     def size(self) -> int:

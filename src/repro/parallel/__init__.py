@@ -58,6 +58,7 @@ from .backends import (
     resolve_backend,
     set_default_backend,
     numba_available,
+    shutdown_partition_pools,
 )
 from .machine import DeviceSpec, DEVICES, device, device_names
 from .costmodel import (
@@ -68,6 +69,19 @@ from .costmodel import (
     bandwidth_efficiency,
     strong_scaling_times,
     scaling_efficiency,
+)
+
+# Imported last: the partitioned drivers lazily reach back into repro.mis /
+# repro.coloring at call time, and their module depends on .backends above.
+from .partitioned import (
+    GraphPart,
+    PartitionLayout,
+    PartitionStats,
+    build_partition_layout,
+    partition_vertices,
+    partitioned_greedy_color,
+    partitioned_kk_mis2,
+    partitioned_luby_mis1,
 )
 
 __all__ = [
@@ -98,6 +112,15 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "numba_available",
+    "shutdown_partition_pools",
+    "GraphPart",
+    "PartitionLayout",
+    "PartitionStats",
+    "build_partition_layout",
+    "partition_vertices",
+    "partitioned_greedy_color",
+    "partitioned_kk_mis2",
+    "partitioned_luby_mis1",
     "DeviceSpec",
     "DEVICES",
     "device",

@@ -45,8 +45,11 @@ chunked backend precisely to preserve this guarantee.)
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,6 +69,7 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "numba_available",
+    "shutdown_partition_pools",
 ]
 
 
@@ -81,6 +85,86 @@ def _pool_map(executor_cls, width: Optional[int], fn: Callable, items: Sequence)
         return [fn(item) for item in items]
     with executor_cls(max_workers=min(workers, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+# Persistent process pools for ``map_partitions``: partitioned kernels dispatch
+# one small batch of per-part tasks per superstep phase, many times per run, so
+# paying a fresh ProcessPoolExecutor spin-up on every phase would dominate the
+# wall clock. Pools are keyed by width, created lazily, shared by every
+# ChunkedBackend instance in the process and torn down at interpreter exit.
+_PARTITION_POOLS: "Dict[int, ProcessPoolExecutor]" = {}
+_PARTITION_POOL_LOCK = threading.Lock()
+
+
+def _in_worker_process() -> bool:
+    """True when this process is itself a multiprocessing pool worker.
+
+    A partitioned kernel running inside a ``map_graphs`` process-pool worker
+    must not nest another process pool (cpu² oversubscription, and re-pickling
+    every snapshot); its parts execute inline instead — the outer pool already
+    provides the parallelism.
+    """
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+# The threaded backend gets the same persistence: supersteps are just as
+# frequent there, and while thread spin-up is far cheaper than a process pool,
+# paying it 3x per kernel iteration is still pointless.
+_PARTITION_THREAD_POOLS: "Dict[int, ThreadPoolExecutor]" = {}
+
+
+def _partition_thread_pool(workers: int) -> ThreadPoolExecutor:
+    with _PARTITION_POOL_LOCK:
+        pool = _PARTITION_THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(max_workers=workers)
+            _PARTITION_THREAD_POOLS[workers] = pool
+        return pool
+
+
+def _drop_inherited_partition_pools() -> None:
+    # Fork-started children inherit the parent's executor objects, whose worker
+    # processes/threads and queues belong to the parent (threads don't survive
+    # a fork at all); drop the references so a child that does reach the pool
+    # path builds its own.
+    _PARTITION_POOLS.clear()
+    _PARTITION_THREAD_POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_drop_inherited_partition_pools)
+
+
+def _partition_pool(workers: int) -> ProcessPoolExecutor:
+    with _PARTITION_POOL_LOCK:
+        pool = _PARTITION_POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _PARTITION_POOLS[workers] = pool
+        return pool
+
+
+def _evict_partition_pool(workers: int, pool: ProcessPoolExecutor) -> None:
+    """Drop a broken pool from the cache so the next call builds a fresh one."""
+    with _PARTITION_POOL_LOCK:
+        if _PARTITION_POOLS.get(workers) is pool:
+            del _PARTITION_POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_partition_pools() -> None:
+    """Shut down every persistent ``map_partitions`` pool (idempotent)."""
+    with _PARTITION_POOL_LOCK:
+        pools = list(_PARTITION_POOLS.values()) + list(_PARTITION_THREAD_POOLS.values())
+        _PARTITION_POOLS.clear()
+        _PARTITION_THREAD_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_partition_pools)
 
 
 def numba_available() -> bool:
@@ -175,6 +259,22 @@ class ExecutionBackend:
         The reference executes serially; sharded backends may fan the batch out
         over a worker pool. ``fn`` must be a pure function so results are
         independent of the execution strategy.
+        """
+        return [fn(item) for item in items]
+
+    def map_partitions(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every per-partition task of one superstep, in order.
+
+        This is the intra-graph sharding hook (:mod:`repro.parallel.partitioned`
+        drives it): ``items`` are the per-part tasks of one bulk-synchronous
+        superstep phase. The contract every backend must honour is the
+        determinism rule of the partitioned kernels — each task is a *pure*
+        function of a consistent pre-superstep snapshot of the shared state and
+        computes values only for vertices its part owns, so tasks within one
+        call are independent and any execution order or interleaving yields
+        bit-identical results. The reference executes serially; pooled backends
+        fan the batch out (a distributed backend would pin parts to ranks and
+        implement the surrounding gather/scatter as halo messages).
         """
         return [fn(item) for item in items]
 
@@ -395,6 +495,37 @@ class ChunkedBackend(ExecutionBackend):
         """
         return _pool_map(ProcessPoolExecutor, self.processes, fn, items)
 
+    def map_partitions(self, fn: Callable, items: Sequence) -> List:
+        """Fan one superstep's per-part tasks over a *persistent* process pool.
+
+        Unlike :meth:`map_graphs` (one pool per sweep-sized batch), partitioned
+        kernels call this several times per iteration, so the pool is created
+        once per width and reused for the life of the process
+        (:func:`shutdown_partition_pools` tears it down). Single-task batches,
+        one-worker configurations and calls made from inside a pool worker
+        (a partitioned kernel nested under ``map_graphs`` sharding) execute
+        inline.
+        """
+        items = list(items)
+        workers = self.processes if self.processes is not None else max(1, os.cpu_count() or 1)
+        if workers <= 1 or len(items) <= 1 or _in_worker_process():
+            return [fn(item) for item in items]
+        pool = _partition_pool(workers)
+        try:
+            return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            # A worker died (OOM-kill, native crash). A broken executor never
+            # recovers — evict it so this run and every later one get a fresh
+            # pool instead of inheriting a permanently failing one.
+            _evict_partition_pool(workers, pool)
+            fresh = _partition_pool(workers)
+            try:
+                return list(fresh.map(fn, items))
+            except BrokenProcessPool:
+                # The tasks themselves kill workers; don't cache the casualty.
+                _evict_partition_pool(workers, fresh)
+                raise
+
     def with_jobs(self, jobs: Optional[int]) -> "ChunkedBackend":
         if jobs is None:
             return self
@@ -435,6 +566,22 @@ class ThreadedBackend(ExecutionBackend):
         inline.
         """
         return _pool_map(ThreadPoolExecutor, self.threads, fn, items)
+
+    def map_partitions(self, fn: Callable, items: Sequence) -> List:
+        """Fan one superstep's per-part tasks over a *persistent* thread pool.
+
+        Parts share the caller's address space, so the gathered snapshot arrays
+        are passed by reference and no pickling happens — the cheapest way to
+        shard the supersteps of a partitioned kernel on one host. Like the
+        chunked backend, the pool is reused across supersteps rather than
+        respawned per phase; single-task batches and one-thread configurations
+        execute inline.
+        """
+        items = list(items)
+        workers = self.threads if self.threads is not None else max(1, os.cpu_count() or 1)
+        if workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(_partition_thread_pool(workers).map(fn, items))
 
     def with_jobs(self, jobs: Optional[int]) -> "ThreadedBackend":
         if jobs is None:

@@ -1,0 +1,802 @@
+"""Partition-parallel execution: shard the graph kernels *within* one graph.
+
+PR 1/2 shard only *across* graphs (``ExecutionBackend.map_graphs`` fans a batch
+of independent graphs over a pool). This module shards *one* graph: the vertex
+set is split into ``k`` parts (with :func:`repro.partition.multilevel_kway` by
+default), each part owns its vertices plus read-only *ghost* copies of the
+neighbours it can see in other parts, and every iteration of the randomized
+MIS / coloring kernels runs as a bulk-synchronous superstep:
+
+1. every part computes the iteration's phase for the vertices it owns — an
+   **interior** vertex (all neighbours owned) needs purely local data, a
+   **boundary** vertex additionally reads the ghost values refreshed by the
+   previous exchange;
+2. a deterministic **ghost exchange** scatters the owned results back into the
+   shared state and re-gathers each part's halo before the next phase.
+
+The determinism rule that makes this work: each phase task is a *pure function
+of the pre-superstep snapshot* and writes only part-owned vertices, and the
+per-vertex update applied is exactly the unpartitioned kernel's update.
+Boundary vertices are therefore resolved by the same fixup recurrence the
+serial kernel applies, just evaluated shard-wise — so the final MIS / coloring
+is **bit-identical to the unpartitioned NumPy reference for any part count,
+any part labelling and any execution backend** (the partition-equivalence test
+matrix enforces exactly this). Part quality (edge cut, boundary size) affects
+only the exchange volume, never the result.
+
+``ExecutionBackend.map_partitions`` is the seam the supersteps run through:
+serial on the reference, a persistent process pool on the chunked backend, a
+thread pool on the threaded backend. A future distributed backend implements
+the same method by pinning parts to ranks and turning the gather/scatter into
+halo messages — the drivers here don't change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..hashing.packing import TuplePacking
+from ..hashing.priorities import PriorityScheme
+from . import primitives as _ref
+from .backends import ExecutionBackend, resolve_backend
+from .costmodel import TrafficCounter
+
+__all__ = [
+    "GraphPart",
+    "PartitionLayout",
+    "PartitionStats",
+    "build_partition_layout",
+    "partition_vertices",
+    "partitioned_greedy_color",
+    "partitioned_kk_mis2",
+    "partitioned_luby_mis1",
+]
+
+#: Accepted ``partitions=`` specifications: a part count, an explicit per-vertex
+#: label array, or a prebuilt layout.
+PartitionSpec = Union[int, np.integer, np.ndarray, Sequence[int], "PartitionLayout"]
+
+#: How far a layout's part count may exceed its vertex count before it is
+#: rejected as a sparse (non-part-id) labelling.
+_MAX_EMPTY_PART_SLACK = 1024
+
+
+# --------------------------------------------------------------------- layout
+@dataclass(frozen=True)
+class GraphPart:
+    """One shard of a partitioned graph: owned vertices, ghosts, local CSR.
+
+    The local vertex space is ``ids`` (sorted global ids of owned + halo
+    vertices); ``rowmap``/``entries`` store the adjacency of the *owned* rows
+    in that local space (halo rows are empty — ghosts are read, never
+    expanded). ``owned_local[i]`` is the local index of ``owned[i]``.
+    """
+
+    part_id: int
+    #: Sorted global ids owned by this part.
+    owned: np.ndarray
+    #: Sorted global ids of ghost vertices (neighbours owned by other parts).
+    halo: np.ndarray
+    #: Sorted global ids of the local vertex space (owned ∪ halo).
+    ids: np.ndarray
+    #: Local indices of the owned vertices within ``ids``.
+    owned_local: np.ndarray
+    #: Per-owned-vertex mask: True when every neighbour is owned by this part.
+    interior_mask: np.ndarray
+    #: Local CSR rowmap over ``ids`` (halo rows empty).
+    rowmap: np.ndarray
+    #: Local CSR entries (indices into ``ids``).
+    entries: np.ndarray
+
+    @property
+    def num_owned(self) -> int:
+        return int(self.owned.size)
+
+    @property
+    def num_halo(self) -> int:
+        return int(self.halo.size)
+
+    @property
+    def num_interior(self) -> int:
+        return int(np.count_nonzero(self.interior_mask))
+
+    @property
+    def num_boundary(self) -> int:
+        return self.num_owned - self.num_interior
+
+    def interior(self) -> np.ndarray:
+        """Global ids of the owned vertices with no foreign neighbour."""
+        return self.owned[self.interior_mask]
+
+    def boundary(self) -> np.ndarray:
+        """Global ids of the owned vertices adjacent to another part."""
+        return self.owned[~self.interior_mask]
+
+    def local(self, vertices: np.ndarray) -> np.ndarray:
+        """Local indices of ``vertices`` (global ids that must lie in ``ids``)."""
+        return np.searchsorted(self.ids, np.asarray(vertices, dtype=np.int64))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphPart(part_id={self.part_id}, owned={self.num_owned}, "
+            f"halo={self.num_halo}, boundary={self.num_boundary})"
+        )
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Deterministic partitioning measurables recorded on partitioned results."""
+
+    #: Number of parts in the layout (including empty ones).
+    num_parts: int
+    #: Vertices whose whole neighbourhood is part-local.
+    interior_vertices: int
+    #: Vertices with at least one neighbour in another part.
+    boundary_vertices: int
+    #: Total ghost copies held across parts (communication footprint).
+    halo_vertices: int
+    #: Undirected edges crossing parts.
+    cut_edges: int
+    #: Ghost-exchange rounds (superstep phases) the driver executed.
+    supersteps: int
+
+    def to_dict(self) -> dict:
+        return {
+            "num_parts": self.num_parts,
+            "interior_vertices": self.interior_vertices,
+            "boundary_vertices": self.boundary_vertices,
+            "halo_vertices": self.halo_vertices,
+            "cut_edges": self.cut_edges,
+            "supersteps": self.supersteps,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionLayout:
+    """A k-way split of one graph into :class:`GraphPart` shards."""
+
+    #: Per-vertex part labels on the original graph.
+    labels: np.ndarray
+    #: Number of parts (some may be empty).
+    num_parts: int
+    #: The shards, indexed by part id.
+    parts: Tuple[GraphPart, ...]
+    #: Undirected edges whose endpoints lie in different parts.
+    cut_edges: int
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.labels.size)
+
+    @property
+    def interior_vertices(self) -> int:
+        return sum(p.num_interior for p in self.parts)
+
+    @property
+    def boundary_vertices(self) -> int:
+        return sum(p.num_boundary for p in self.parts)
+
+    @property
+    def halo_vertices(self) -> int:
+        return sum(p.num_halo for p in self.parts)
+
+    def stats(self, supersteps: int) -> PartitionStats:
+        """Snapshot of the layout's measurables after a ``supersteps``-long run."""
+        return PartitionStats(
+            num_parts=self.num_parts,
+            interior_vertices=self.interior_vertices,
+            boundary_vertices=self.boundary_vertices,
+            halo_vertices=self.halo_vertices,
+            cut_edges=self.cut_edges,
+            supersteps=int(supersteps),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionLayout(num_parts={self.num_parts}, "
+            f"vertices={self.num_vertices}, boundary={self.boundary_vertices}, "
+            f"cut={self.cut_edges})"
+        )
+
+
+def partition_vertices(graph: CSRGraph, num_parts: int) -> np.ndarray:
+    """Deterministic per-vertex part labels splitting ``graph`` into ``num_parts``.
+
+    Power-of-two counts use the multilevel recursive-bisection partitioner
+    (:func:`repro.partition.multilevel_kway`, MIS-2 coarsening inside); other
+    counts fall back to balanced contiguous vertex blocks. The choice affects
+    only boundary sizes — partitioned kernel results are label-independent.
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = graph.num_vertices
+    if num_parts == 1 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    if num_parts & (num_parts - 1) == 0:
+        from ..partition.multilevel import multilevel_kway
+
+        return np.asarray(multilevel_kway(graph, num_parts).parts, dtype=np.int64)
+    return (np.arange(n, dtype=np.int64) * num_parts) // n
+
+
+def _build_part(graph: CSRGraph, labels: np.ndarray, part_id: int) -> GraphPart:
+    owned = np.nonzero(labels == part_id)[0].astype(np.int64)
+    slots, seg = _ref.expand_rows(graph.rowmap, owned)
+    nbrs = graph.entries[slots].astype(np.int64)
+    foreign = labels[nbrs] != part_id if nbrs.size else np.zeros(0, dtype=bool)
+    halo = np.unique(nbrs[foreign])
+    ids = np.union1d(owned, halo)
+    owned_local = np.searchsorted(ids, owned)
+    lens = np.diff(seg)
+    has_foreign = np.zeros(owned.size, dtype=bool)
+    has_foreign[np.repeat(np.arange(owned.size), lens)[foreign]] = True
+    # Owned rows keep their adjacency (remapped into the local space); halo
+    # rows stay empty — ghosts are only ever read.
+    rowmap = np.zeros(ids.size + 1, dtype=np.int64)
+    rowmap[owned_local + 1] = lens
+    np.cumsum(rowmap, out=rowmap)
+    entries = np.searchsorted(ids, nbrs)
+    return GraphPart(
+        part_id=int(part_id),
+        owned=owned,
+        halo=halo,
+        ids=ids,
+        owned_local=owned_local,
+        interior_mask=~has_foreign,
+        rowmap=rowmap,
+        entries=entries,
+    )
+
+
+def build_partition_layout(graph: CSRGraph, partitions: PartitionSpec) -> PartitionLayout:
+    """Resolve a ``partitions=`` specification into a :class:`PartitionLayout`.
+
+    ``partitions`` may be a part count (labels come from
+    :func:`partition_vertices`), an explicit per-vertex label array (labels in
+    ``[0, max+1)``; empty parts are allowed), or an existing layout (returned
+    unchanged).
+    """
+    if isinstance(partitions, PartitionLayout):
+        return partitions
+    n = graph.num_vertices
+    if isinstance(partitions, (int, np.integer)):
+        num_parts = int(partitions)
+        labels = partition_vertices(graph, num_parts)
+    else:
+        labels = np.asarray(partitions, dtype=np.int64)
+        if labels.shape != (n,):
+            raise ValueError(
+                f"partition labels must have one entry per vertex "
+                f"(got shape {labels.shape} for {n} vertices)"
+            )
+        if n and labels.min() < 0:
+            raise ValueError("partition labels must be non-negative")
+        num_parts = int(labels.max()) + 1 if n else 1
+    # One shard is materialised per part id, so a sparse labelling (hashes,
+    # component ids) would silently allocate max(label)+1 mostly-empty shards.
+    # Parts may legitimately exceed |V| slightly (restricted labels on a small
+    # subgraph keep the original part ids), hence the generous slack.
+    if num_parts > n + _MAX_EMPTY_PART_SLACK:
+        raise ValueError(
+            f"{num_parts} parts for a {n}-vertex graph — partition labels must "
+            f"be (near-)dense part ids, not arbitrary keys"
+        )
+    parts = tuple(_build_part(graph, labels, p) for p in range(num_parts))
+    from ..partition.metrics import edge_cut
+
+    return PartitionLayout(
+        labels=labels,
+        num_parts=num_parts,
+        parts=parts,
+        cut_edges=edge_cut(graph, labels),
+    )
+
+
+# ------------------------------------------------- superstep task functions
+#
+# Module-level and fed by plain tuples of arrays so they pickle across the
+# chunked backend's persistent process pool. Every task is a pure function of
+# its snapshot inputs and computes values only for part-owned vertices; the
+# per-vertex arithmetic is copied verbatim from the unpartitioned kernels,
+# which is what makes the drivers bit-identical to them. Tasks run the NumPy
+# reference primitives — parts are already cache-sized shards, so the backend's
+# contribution is the ``map_partitions`` fan-out, exactly as ``ThreadedBackend``
+# treats ``map_graphs``.
+
+
+def _kk_refresh_row_task(task):
+    vertices, iteration, scheme_name, seed, n, word_bits = task
+    from ..mis.kk import _priorities_for
+
+    scheme = PriorityScheme.coerce(scheme_name)
+    packer = TuplePacking(n, word_bits=word_bits)
+    prios = _priorities_for(scheme, iteration, vertices, n, seed)
+    return packer.pack(prios.astype(packer.dtype), vertices)
+
+
+def _kk_refresh_column_task(task):
+    rowmap, entries, T_local, w2_local, n, word_bits = task
+    packer = TuplePacking(n, word_bits=word_bits)
+    IN, OUT = packer.in_value, packer.out_value
+    slots, seg = _ref.expand_rows(rowmap, w2_local)
+    min_nbr = _ref.segmented_min(T_local[entries[slots]], seg, identity=OUT)
+    Mv = np.minimum(min_nbr, T_local[w2_local])
+    return np.where(Mv == IN, OUT, Mv)
+
+
+def _kk_decide_task(task):
+    rowmap, entries, T_local, M_local, w1_local, n, word_bits = task
+    packer = TuplePacking(n, word_bits=word_bits)
+    IN, OUT = packer.in_value, packer.out_value
+    slots, seg = _ref.expand_rows(rowmap, w1_local)
+    nbr_M = M_local[entries[slots]]
+    Tw = T_local[w1_local]
+    Mw = M_local[w1_local]
+    any_out = _ref.segmented_any_equal(nbr_M, OUT, seg) | (Mw == OUT)
+    all_match = _ref.segmented_all_equal(nbr_M, Tw, seg) & (Mw == Tw)
+    undecided = packer.is_undecided(Tw)
+    to_out = any_out & undecided
+    to_in = all_match & undecided & ~to_out
+    newT = Tw.copy()
+    newT[to_out] = OUT
+    newT[to_in] = IN
+    return newT
+
+
+def _luby_priorities_task(task):
+    vertices, rounds, scheme_name, seed, n = task
+    from ..hashing.priorities import fixed_priorities
+    from ..hashing.xorshift import hash_iter_vertex
+
+    scheme = PriorityScheme.coerce(scheme_name)
+    if scheme is PriorityScheme.FIXED:
+        return fixed_priorities(n, seed=seed)[vertices]
+    return hash_iter_vertex(rounds, vertices, star=(scheme is PriorityScheme.XORSTAR))
+
+
+def _luby_select_task(task):
+    rowmap, entries, ids, status_local, prio_local, cand_local, cand_global, undecided_value = task
+    prio_max = np.uint64(np.iinfo(np.uint64).max)
+    id_max = np.int64(np.iinfo(np.int64).max)
+    slots, seg = _ref.expand_rows(rowmap, cand_local)
+    nbr = entries[slots]
+    nbr_undecided = status_local[nbr] == undecided_value
+    nbr_prio = np.where(nbr_undecided, prio_local[nbr], prio_max)
+    nbr_id = np.where(nbr_undecided, ids[nbr], id_max)
+    min_p, min_i = _ref.segmented_lexmin([nbr_prio, nbr_id], seg, [prio_max, id_max])
+    own = prio_local[cand_local]
+    own_better = (own < min_p) | ((own == min_p) & (cand_global < min_i))
+    return cand_global[own_better]
+
+
+def _luby_remove_task(task):
+    rowmap, entries, status_local, targets_local, in_value = task
+    slots, seg = _ref.expand_rows(rowmap, targets_local)
+    return np.asarray(
+        _ref.segmented_any_equal(status_local[entries[slots]], in_value, seg), dtype=bool
+    )
+
+
+def _color_assign_task(task):
+    rowmap, entries, colors_local, wl_local, max_colors = task
+    slots, seg = _ref.expand_rows(rowmap, wl_local)
+    nbr_colors = colors_local[entries[slots]]
+    owner = np.repeat(np.arange(wl_local.size), np.diff(seg))
+    forbidden = np.zeros((wl_local.size, max_colors + 1), dtype=bool)
+    valid = nbr_colors >= 0
+    forbidden[owner[valid], np.minimum(nbr_colors[valid], max_colors)] = True
+    return np.argmin(forbidden, axis=1).astype(np.int64)
+
+
+def _color_conflict_task(task):
+    rowmap, entries, ids, colors_local, wl_local, wl_global = task
+    slots, seg = _ref.expand_rows(rowmap, wl_local)
+    nbr = entries[slots]
+    lens = np.diff(seg)
+    owners_global = np.repeat(wl_global, lens)
+    conflict = (np.repeat(colors_local[wl_local], lens) == colors_local[nbr]) & (
+        owners_global > ids[nbr]
+    )
+    return np.unique(owners_global[conflict])
+
+
+# ------------------------------------------------------------------- drivers
+def _live(worklists: List[np.ndarray]) -> List[int]:
+    """Indices of the parts with a non-empty worklist (no-op parts are skipped)."""
+    return [i for i, w in enumerate(worklists) if w.size]
+
+
+def _exchange_traffic(traffic: TrafficCounter, layout: PartitionLayout, value_bytes: int) -> None:
+    """Account one ghost exchange: every part re-reads its halo values."""
+    traffic.add(
+        "ghost_exchange",
+        bytes_read=value_bytes * layout.halo_vertices,
+        bytes_written=value_bytes * layout.halo_vertices,
+    )
+
+
+def partitioned_kk_mis2(
+    graph: CSRGraph,
+    partitions: PartitionSpec,
+    priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
+    use_worklists: bool = True,
+    simd: Optional[bool] = None,
+    word_bits: int = 64,
+    seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
+):
+    """Algorithm 1 executed partition-parallel; bit-identical to :func:`kk_mis2`.
+
+    Each main-loop iteration runs as three supersteps (Refresh Row, Refresh
+    Column, Decide) fanned over the parts through
+    :meth:`ExecutionBackend.map_partitions`, with a ghost exchange between
+    phases; worklist compaction is owner-local. See the module docstring for
+    the determinism argument.
+    """
+    from ..mis.kk import SIMD_DEGREE_THRESHOLD, _max_iterations
+    from ..mis.result import MISConfig, MISResult
+
+    scheme = PriorityScheme.coerce(priority_scheme)
+    if not use_worklists:
+        raise ValueError(
+            "partitioned execution always maintains per-part worklists; "
+            "use partitions=None for the use_worklists=False ablation"
+        )
+    B = resolve_backend(backend)
+    layout = build_partition_layout(graph, partitions)
+    n = graph.num_vertices
+    if simd is None:
+        simd = graph.average_degree() >= SIMD_DEGREE_THRESHOLD
+    config = MISConfig(
+        algorithm="kk",
+        k=2,
+        priority_scheme=scheme.value,
+        use_worklists=True,
+        packed_tuples=True,
+        simd=bool(simd),
+        word_bits=word_bits,
+        seed=seed,
+        backend=B.name,
+        partitions=layout.num_parts,
+    )
+    traffic = TrafficCounter(backend=B.name)
+    if n == 0:
+        return MISResult(
+            in_set=np.zeros(0, dtype=np.int64),
+            in_mask=np.zeros(0, dtype=bool),
+            iterations=0,
+            traffic=traffic,
+            config=config,
+            partition_stats=layout.stats(0),
+        )
+
+    packer = TuplePacking(n, word_bits=word_bits)
+    OUT = packer.out_value
+    word_bytes = packer.dtype.itemsize
+    T = packer.pack(np.zeros(n, dtype=packer.dtype), np.arange(n, dtype=np.int64))
+    M = np.full(n, OUT, dtype=packer.dtype)
+    members = layout.parts
+    w1 = [p.owned for p in members]
+    w2 = [p.owned for p in members]
+    worklist_sizes: List[Tuple[int, int]] = []
+    iteration = 0
+    supersteps = 0
+    max_iter = _max_iterations(n)
+
+    while True:
+        total1 = sum(w.size for w in w1)
+        if total1 == 0:
+            break
+        if iteration >= max_iter:
+            raise RuntimeError(
+                f"partitioned MIS-2 did not converge within {max_iter} iterations; "
+                "this indicates a bug in the priority scheme or the graph structure"
+            )
+        worklist_sizes.append((int(total1), int(sum(w.size for w in w2))))
+
+        # ------------------------------------------------ Refresh Row (owner-local)
+        live1 = _live(w1)
+        outs = B.map_partitions(
+            _kk_refresh_row_task,
+            [(w1[i], iteration, scheme.value, seed, n, word_bits) for i in live1],
+        )
+        for i, out in zip(live1, outs):
+            T[w1[i]] = out
+        supersteps += 1
+        _exchange_traffic(traffic, layout, word_bytes)
+
+        # --------------------------------------- Refresh Column (reads ghost T)
+        live2 = _live(w2)
+        outs = B.map_partitions(
+            _kk_refresh_column_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    T[members[i].ids],
+                    members[i].local(w2[i]),
+                    n,
+                    word_bits,
+                )
+                for i in live2
+            ],
+        )
+        for i, out in zip(live2, outs):
+            M[w2[i]] = out
+        supersteps += 1
+        _exchange_traffic(traffic, layout, word_bytes)
+
+        # ------------------------------------------------ Decide (reads ghost M)
+        outs = B.map_partitions(
+            _kk_decide_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    T[members[i].ids],
+                    M[members[i].ids],
+                    members[i].local(w1[i]),
+                    n,
+                    word_bits,
+                )
+                for i in live1
+            ],
+        )
+        for i, out in zip(live1, outs):
+            T[w1[i]] = out
+        supersteps += 1
+
+        # ------------------------------------------- Compaction (owner-local)
+        for i in live1:
+            w1[i] = w1[i][packer.is_undecided(T[w1[i]])]
+        for i in live2:
+            w2[i] = w2[i][M[w2[i]] != OUT]
+        iteration += 1
+
+    in_mask = packer.is_in(T)
+    return MISResult(
+        in_set=np.nonzero(in_mask)[0].astype(np.int64),
+        in_mask=in_mask,
+        iterations=iteration,
+        worklist_sizes=worklist_sizes,
+        traffic=traffic,
+        config=config,
+        partition_stats=layout.stats(supersteps),
+    )
+
+
+def partitioned_luby_mis1(
+    graph: CSRGraph,
+    partitions: PartitionSpec,
+    priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
+    seed: int = 0,
+    backend: "Optional[str | ExecutionBackend]" = None,
+):
+    """Luby's Algorithm A executed partition-parallel; bit-identical to
+    :func:`luby_mis1`.
+
+    Each round runs three supersteps: priority refresh (owner-local), winner
+    selection (reads ghost priorities/statuses) and neighbour removal
+    (owner-computes: an undecided owned vertex goes OUT when any neighbour —
+    local or ghost — just joined the set).
+    """
+    import math
+
+    from ..mis.luby import _IN, _OUT, _UNDECIDED
+    from ..mis.result import MISConfig, MISResult
+
+    scheme = PriorityScheme.coerce(priority_scheme)
+    B = resolve_backend(backend)
+    layout = build_partition_layout(graph, partitions)
+    n = graph.num_vertices
+    config = MISConfig(
+        algorithm="luby",
+        k=1,
+        priority_scheme=scheme.value,
+        use_worklists=True,
+        packed_tuples=False,
+        simd=False,
+        seed=seed,
+        backend=B.name,
+        partitions=layout.num_parts,
+    )
+    traffic = TrafficCounter(backend=B.name)
+    if n == 0:
+        return MISResult(
+            in_set=np.zeros(0, dtype=np.int64),
+            in_mask=np.zeros(0, dtype=bool),
+            iterations=0,
+            traffic=traffic,
+            config=config,
+            partition_stats=layout.stats(0),
+        )
+
+    members = layout.parts
+    status = np.full(n, _UNDECIDED, dtype=np.uint8)
+    priority = np.zeros(n, dtype=np.uint64)
+    rounds = 0
+    supersteps = 0
+    max_rounds = 20 * max(4, int(math.log2(n + 2))) + 64
+
+    while np.any(status == _UNDECIDED):
+        if rounds >= max_rounds:
+            raise RuntimeError(
+                f"partitioned Luby MIS-1 did not converge within {max_rounds} rounds"
+            )
+        cand = [p.owned[status[p.owned] == _UNDECIDED] for p in members]
+        live = _live(cand)
+
+        # ------------------------------------------ priorities (owner-local)
+        outs = B.map_partitions(
+            _luby_priorities_task,
+            [(cand[i], rounds, scheme.value, seed, n) for i in live],
+        )
+        for i, out in zip(live, outs):
+            priority[cand[i]] = out
+        supersteps += 1
+        _exchange_traffic(traffic, layout, 8)
+
+        # --------------------------------- selection (reads ghost priorities)
+        outs = B.map_partitions(
+            _luby_select_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    members[i].ids,
+                    status[members[i].ids],
+                    priority[members[i].ids],
+                    members[i].local(cand[i]),
+                    cand[i],
+                    _UNDECIDED,
+                )
+                for i in live
+            ],
+        )
+        for i, winners in zip(live, outs):
+            status[winners] = _IN
+        supersteps += 1
+        _exchange_traffic(traffic, layout, 1)
+
+        # ------------------------------------ removal (reads ghost statuses)
+        remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
+        live_r = [i for i in live if remaining[i].size]
+        outs = B.map_partitions(
+            _luby_remove_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    status[members[i].ids],
+                    members[i].local(remaining[i]),
+                    _IN,
+                )
+                for i in live_r
+            ],
+        )
+        for i, losers in zip(live_r, outs):
+            status[remaining[i][losers]] = _OUT
+        supersteps += 1
+        # The removal phase's OUT statuses are re-ghosted for the next round's
+        # selection snapshot — account that exchange like the others.
+        _exchange_traffic(traffic, layout, 1)
+        rounds += 1
+
+    in_mask = status == _IN
+    return MISResult(
+        in_set=np.nonzero(in_mask)[0].astype(np.int64),
+        in_mask=in_mask,
+        iterations=rounds,
+        traffic=traffic,
+        config=config,
+        partition_stats=layout.stats(supersteps),
+    )
+
+
+def partitioned_greedy_color(
+    graph: CSRGraph,
+    partitions: PartitionSpec,
+    max_rounds: Optional[int] = None,
+    backend: "Optional[str | ExecutionBackend]" = None,
+):
+    """Speculative greedy coloring executed partition-parallel; bit-identical to
+    :func:`greedy_color`.
+
+    Each round runs two supersteps: speculative assignment (reads ghost
+    colors) and conflict resolution (the higher-global-id endpoint of a
+    same-color edge is uncolored by its owning part — the same deterministic
+    tie-break as the unpartitioned kernel).
+    """
+    from ..coloring.greedy import ColoringResult
+
+    B = resolve_backend(backend)
+    layout = build_partition_layout(graph, partitions)
+    n = graph.num_vertices
+    traffic = TrafficCounter(backend=B.name)
+    if n == 0:
+        return ColoringResult(
+            np.zeros(0, dtype=np.int64),
+            0,
+            0,
+            traffic,
+            backend=B.name,
+            partitions=layout.num_parts,
+            partition_stats=layout.stats(0),
+        )
+
+    members = layout.parts
+    colors = -np.ones(n, dtype=np.int64)
+    worklists = [p.owned for p in members]
+    max_colors = graph.max_degree() + 1
+    cap = max_rounds if max_rounds is not None else n + 2
+    rounds = 0
+    supersteps = 0
+
+    while sum(w.size for w in worklists) > 0:
+        if rounds >= cap:
+            raise RuntimeError("partitioned greedy coloring did not converge (conflict loop)")
+        live = _live(worklists)
+
+        # ------------------------------------- speculation (reads ghost colors)
+        outs = B.map_partitions(
+            _color_assign_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    colors[members[i].ids],
+                    members[i].local(worklists[i]),
+                    max_colors,
+                )
+                for i in live
+            ],
+        )
+        for i, out in zip(live, outs):
+            colors[worklists[i]] = out
+        supersteps += 1
+        _exchange_traffic(traffic, layout, 8)
+
+        # ------------------------------- conflicts (reads freshly ghosted colors)
+        outs = B.map_partitions(
+            _color_conflict_task,
+            [
+                (
+                    members[i].rowmap,
+                    members[i].entries,
+                    members[i].ids,
+                    colors[members[i].ids],
+                    members[i].local(worklists[i]),
+                    worklists[i],
+                )
+                for i in live
+            ],
+        )
+        new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
+        for i, losers in zip(live, outs):
+            colors[losers] = -1
+            new_worklists[i] = losers
+        worklists = new_worklists
+        supersteps += 1
+        # The conflict phase's -1 resets are re-ghosted for the next round's
+        # speculation snapshot, so this round carries two exchanges like the
+        # other kernels' ghost-reading phase pairs.
+        _exchange_traffic(traffic, layout, 8)
+        rounds += 1
+
+    used = np.unique(colors)
+    remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
+    remap[used] = np.arange(used.size)
+    return ColoringResult(
+        remap[colors],
+        int(used.size),
+        rounds,
+        traffic,
+        distance=1,
+        backend=B.name,
+        partitions=layout.num_parts,
+        partition_stats=layout.stats(supersteps),
+    )

@@ -137,3 +137,130 @@ def test_cli_rejects_backends_without_sweep():
 def test_cli_rejects_stray_target():
     with pytest.raises(SystemExit):
         main(["table1", "table2"])
+
+
+def test_cli_partitioned_mode_defaults_to_four_parts(capsys):
+    code = main(["partitioned", "smoke"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "parts: 4" in out
+    assert "partitioned runs bit-identical" in out
+
+
+def test_cli_parts_flag_on_plain_run(capsys):
+    code = main(["smoke", "--parts", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "parts: 2" in out and "smoke check: OK" in out
+
+
+def test_cli_sweep_with_parts_writes_partitioned_records(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["sweep", "smoke", "--parts", "2", "--backends", "numpy,threaded", "--json"])
+    assert code == 0
+    assert (tmp_path / "BENCH_smoke_p2_numpy.json").exists()
+    assert (tmp_path / "BENCH_smoke_p2_threaded.json").exists()
+    assert (tmp_path / "BENCH_sweep_smoke_p2.json").exists()
+    assert "2 parts/graph" in capsys.readouterr().out
+
+
+def test_cli_partitioned_requires_known_target():
+    with pytest.raises(SystemExit):
+        main(["partitioned"])
+    with pytest.raises(SystemExit):
+        main(["partitioned", "table99"])
+
+
+def test_cli_rejects_bad_parts():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--parts", "0"])
+
+
+def test_cli_rejects_parts_on_unaware_experiment():
+    # table1's task ignores config.parts; accepting --parts would stamp
+    # parts=k on a record of an unpartitioned run.
+    with pytest.raises(SystemExit):
+        main(["table1", "--parts", "4", "--scale", "0.002", "--matrices", "ecology2"])
+    with pytest.raises(SystemExit):
+        main(["partitioned", "table1", "--scale", "0.002", "--matrices", "ecology2"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "table1", "--parts", "4", "--backends", "numpy,threaded"])
+
+
+def test_run_rejects_parts_on_unaware_experiment():
+    import dataclasses
+
+    from repro.bench import BenchConfig, run_experiment
+
+    config = dataclasses.replace(
+        BenchConfig(scale=0.002, trials=1, warmup=0, matrices=("ecology2",)), parts=2
+    )
+    with pytest.raises(ValueError, match="does not support partition-parallel"):
+        run_experiment("table1", config)
+
+
+def _write_record(tmp_path, monkeypatch, name="a"):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    assert main(["smoke", "--json"]) == 0
+    path = tmp_path / "BENCH_smoke_numpy.json"
+    renamed = tmp_path / f"BENCH_{name}.json"
+    path.rename(renamed)
+    return renamed
+
+
+def test_cli_compare_identical_records(capsys, tmp_path, monkeypatch):
+    a = _write_record(tmp_path, monkeypatch, "a")
+    b = _write_record(tmp_path, monkeypatch, "b")
+    assert main(["compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "deterministic counts: identical" in out
+
+
+def test_cli_compare_fails_on_count_drift(capsys, tmp_path, monkeypatch):
+    a = _write_record(tmp_path, monkeypatch, "a")
+    b = tmp_path / "BENCH_drift.json"
+    record = json.loads(a.read_text())
+    key = sorted(record["counts"])[0]
+    record["counts"][key] = -12345
+    b.write_text(json.dumps(record))
+    assert main(["compare", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and key in out
+
+
+def test_cli_compare_warns_on_elapsed_regression(capsys, tmp_path, monkeypatch):
+    a = _write_record(tmp_path, monkeypatch, "a")
+    b = tmp_path / "BENCH_slow.json"
+    record = json.loads(a.read_text())
+    record["elapsed_seconds"] = record["elapsed_seconds"] * 10
+    b.write_text(json.dumps(record))
+    assert main(["compare", str(a), str(b)]) == 0
+    assert "WARNING" in capsys.readouterr().out
+    # --strict-elapsed promotes the warning to a failure.
+    assert main(["compare", str(a), str(b), "--strict-elapsed"]) == 1
+
+
+def test_cli_compare_requires_two_paths():
+    with pytest.raises(SystemExit):
+        main(["compare"])
+    with pytest.raises(SystemExit):
+        main(["compare", "only-one.json"])
+
+
+def test_cli_compare_clean_errors_on_bad_records(capsys, tmp_path, monkeypatch):
+    a = _write_record(tmp_path, monkeypatch, "a")
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["compare", str(a), str(tmp_path / "missing.json")])
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text(a.read_text()[:40])
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["compare", str(a), str(truncated)])
+    not_a_record = tmp_path / "other.json"
+    not_a_record.write_text('{"hello": 1}')
+    with pytest.raises(SystemExit, match="not an ExperimentResult record"):
+        main(["compare", str(a), str(not_a_record)])
+
+
+def test_cli_rejects_candidate_without_compare():
+    with pytest.raises(SystemExit):
+        main(["sweep", "smoke", "extra.json"])

@@ -144,6 +144,35 @@ class TestJsonRoundTrip:
         assert parsed["rows"][0]["matrix"] == "ecology2"
         assert set(parsed["rows"][0]["efficiency"]) == {"v100", "mi100", "skylake", "tx2"}
 
+    def test_parts_round_trip_and_filename(self, tmp_path):
+        import dataclasses
+
+        config = dataclasses.replace(TINY, parts=2)
+        result = run_experiment("smoke", config)
+        assert result.parts == 2
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.parts == 2
+        path = result.save(tmp_path)
+        assert path.name == "BENCH_smoke_p2_numpy.json"
+        # Legacy records without a parts key load as unpartitioned.
+        legacy = result.to_dict()
+        del legacy["parts"]
+        assert ExperimentResult.from_dict(legacy).parts is None
+        assert ExperimentResult.from_dict(legacy).filename == "BENCH_smoke_numpy.json"
+
+    def test_partitioned_smoke_rows_record_boundary_stats(self):
+        import dataclasses
+
+        config = dataclasses.replace(TINY, parts=3)
+        result = run_experiment("smoke", config)
+        for row in result.rows:
+            assert row.parts == 3
+            assert row.boundary_vertices >= 0
+            assert row.ghost_supersteps > 0
+        plain = run_experiment("smoke", TINY)
+        for row in plain.rows:
+            assert row.parts == 1 and row.ghost_supersteps == 0
+
 
 class TestSweep:
     def test_smoke_sweep_across_backends(self):

@@ -156,3 +156,105 @@ def test_experiment_counts_identical_across_all_backends():
     reference = experiment.run(_EXPERIMENT_CONFIG, backend="numpy")
     for name in available_backends():
         assert experiment.run(_EXPERIMENT_CONFIG, backend=name, jobs=2).counts == reference.counts
+
+
+# --------------------------------------------------------------------------
+# Partition-equivalence matrix: every registered backend × k ∈ {1, 2, 4, 7} ×
+# {kk, luby, greedy coloring, mis2_agg} must produce output bit-identical to
+# the *unpartitioned* NumPy reference — the intra-graph sharding contract of
+# repro.parallel.partitioned. Pooled backends run with a two-wide pool so the
+# map_partitions fan-out genuinely executes (chunked: persistent process pool;
+# threaded: thread pool).
+
+#: One instance per registered backend name (including the numpy reference —
+#: here it is the *execution* under test, not the baseline).
+PARTITION_BACKENDS = {name: get_backend(name).with_jobs(2) for name in available_backends()}
+
+PARTITION_KS = (1, 2, 4, 7)
+
+#: Structured + irregular + disconnected coverage without blowing up runtime.
+PARTITION_GRAPHS = ("grid5x7", "gnp60", "disconnected")
+
+
+@pytest.fixture(params=sorted(PARTITION_BACKENDS), ids=sorted(PARTITION_BACKENDS))
+def partition_backend(request):
+    return PARTITION_BACKENDS[request.param]
+
+
+@pytest.mark.parametrize("k", PARTITION_KS)
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_partitioned_kk_mis2_bit_identical(partition_backend, graph_name, k):
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = kk_mis2(g)
+    out = kk_mis2(g, partitions=k, backend=partition_backend)
+    assert np.array_equal(ref.in_set, out.in_set)
+    assert np.array_equal(ref.in_mask, out.in_mask)
+    assert ref.iterations == out.iterations
+    assert ref.worklist_sizes == out.worklist_sizes
+    assert out.config.backend == partition_backend.name
+    assert out.config.partitions == k
+    stats = out.partition_stats
+    assert stats is not None and stats.num_parts == k
+    assert stats.interior_vertices + stats.boundary_vertices == g.num_vertices
+
+
+@pytest.mark.parametrize("k", PARTITION_KS)
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_partitioned_luby_mis1_bit_identical(partition_backend, graph_name, k):
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = luby_mis1(g)
+    out = luby_mis1(g, partitions=k, backend=partition_backend)
+    assert np.array_equal(ref.in_set, out.in_set)
+    assert np.array_equal(ref.in_mask, out.in_mask)
+    assert ref.iterations == out.iterations
+    assert out.config.partitions == k
+
+
+@pytest.mark.parametrize("k", PARTITION_KS)
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_partitioned_greedy_coloring_bit_identical(partition_backend, graph_name, k):
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = greedy_color(g)
+    out = greedy_color(g, partitions=k, backend=partition_backend)
+    assert np.array_equal(ref.colors, out.colors)
+    assert ref.num_colors == out.num_colors
+    assert ref.rounds == out.rounds
+    assert out.partitions == k
+    assert out.partition_stats is not None
+
+
+@pytest.mark.parametrize("k", PARTITION_KS)
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_partitioned_mis2_aggregation_bit_identical(partition_backend, graph_name, k):
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = mis2_aggregation(g)
+    out = mis2_aggregation(g, partitions=k, backend=partition_backend)
+    assert np.array_equal(ref.labels, out.labels)
+    assert ref.num_aggregates == out.num_aggregates
+    assert np.array_equal(ref.roots, out.roots)
+
+
+@pytest.mark.parametrize("k", (1, 2, 3, 4, 5, 7, 8))
+@pytest.mark.parametrize("graph_name", sorted(SMALL_GRAPH_CASES))
+def test_partitioned_kk_every_small_graph_numpy(graph_name, k):
+    """Exhaustive graph coverage (incl. empty/isolated/complete) on the reference."""
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = kk_mis2(g)
+    out = kk_mis2(g, partitions=k)
+    assert np.array_equal(ref.in_set, out.in_set)
+    assert ref.iterations == out.iterations
+    assert ref.worklist_sizes == out.worklist_sizes
+
+
+def test_partitioned_smoke_sweep_counts_identical():
+    """The partitioned smoke sweep (CI's intra-graph sharding gate) passes and
+    records identical deterministic counts on every backend."""
+    from repro.bench import BenchConfig as _BC
+    from repro.bench import sweep
+
+    config = _BC(parts=2)
+    result = sweep("smoke", ["numpy", "threaded"], config, jobs=2)
+    assert result.reference.parts == 2
+    for res in result.results:
+        assert res.counts == result.reference.counts
+        assert any(key.endswith("/boundary_vertices") for key in res.counts)

@@ -1,0 +1,215 @@
+"""Unit tests for :mod:`repro.parallel.partitioned` (layout + drivers + seam)."""
+
+import numpy as np
+import pytest
+
+from repro.coloring import greedy_color
+from repro.graph import empty_graph, grid2d, path_graph, random_gnp
+from repro.mis import kk_mis2, luby_mis1
+from repro.parallel import (
+    ChunkedBackend,
+    NumpyBackend,
+    build_partition_layout,
+    get_backend,
+    partition_vertices,
+    partitioned_kk_mis2,
+)
+from repro.parallel.backends import _PARTITION_POOLS, shutdown_partition_pools
+
+
+class TestPartitionVertices:
+    def test_single_part(self):
+        g = path_graph(6)
+        assert np.array_equal(partition_vertices(g, 1), np.zeros(6, dtype=np.int64))
+
+    def test_power_of_two_uses_multilevel(self):
+        g = grid2d(6, 6)
+        labels = partition_vertices(g, 4)
+        assert labels.shape == (36,)
+        assert set(np.unique(labels)) <= {0, 1, 2, 3}
+
+    def test_non_power_of_two_blocks_are_balanced(self):
+        g = empty_graph(10)
+        labels = partition_vertices(g, 3)
+        sizes = np.bincount(labels, minlength=3)
+        assert sizes.sum() == 10
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            partition_vertices(path_graph(4), 0)
+
+    def test_empty_graph(self):
+        assert partition_vertices(empty_graph(0), 5).size == 0
+
+
+class TestBuildLayout:
+    def test_path_split_in_half(self):
+        g = path_graph(6)
+        layout = build_partition_layout(g, np.array([0, 0, 0, 1, 1, 1]))
+        assert layout.num_parts == 2
+        assert layout.cut_edges == 1
+        left, right = layout.parts
+        assert np.array_equal(left.owned, [0, 1, 2])
+        assert np.array_equal(left.halo, [3])
+        assert np.array_equal(left.boundary(), [2])
+        assert np.array_equal(left.interior(), [0, 1])
+        assert np.array_equal(right.halo, [2])
+        assert np.array_equal(right.boundary(), [3])
+        # Local CSR: owned rows carry adjacency, halo rows are empty.
+        assert left.rowmap.size == left.ids.size + 1
+        halo_local = left.local(left.halo)
+        for h in halo_local:
+            assert left.rowmap[h] == left.rowmap[h + 1]
+        # Local entries resolve back to the global neighbours.
+        v_local = int(left.local(np.array([2]))[0])
+        nbrs = left.entries[left.rowmap[v_local]: left.rowmap[v_local + 1]]
+        assert set(left.ids[nbrs].tolist()) == {1, 3}
+
+    def test_layout_passthrough(self):
+        g = path_graph(4)
+        layout = build_partition_layout(g, 2)
+        assert build_partition_layout(g, layout) is layout
+
+    def test_rejects_bad_labels(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            build_partition_layout(g, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            build_partition_layout(g, np.array([0, -1, 0, 1]))
+
+    def test_empty_parts_allowed(self):
+        g = path_graph(4)
+        layout = build_partition_layout(g, np.array([0, 0, 3, 3]))
+        assert layout.num_parts == 4
+        assert layout.parts[1].num_owned == 0
+        assert layout.parts[1].num_halo == 0
+
+    def test_sparse_labels_rejected(self):
+        # Hash-like labels would materialise max(label)+1 shards; refuse early.
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="dense part ids"):
+            build_partition_layout(g, np.array([0, 10**8, 0, 1]))
+
+    def test_stats_accounting(self):
+        g = grid2d(4, 4)
+        layout = build_partition_layout(g, 4)
+        stats = layout.stats(supersteps=9)
+        assert stats.num_parts == 4
+        assert stats.supersteps == 9
+        assert stats.interior_vertices + stats.boundary_vertices == 16
+        assert stats.cut_edges == layout.cut_edges
+        assert stats.to_dict()["halo_vertices"] == layout.halo_vertices
+
+
+class TestDrivers:
+    def test_single_part_degenerates_to_reference(self):
+        g = random_gnp(40, 0.1, seed=5)
+        ref = kk_mis2(g)
+        out = kk_mis2(g, partitions=1)
+        assert np.array_equal(ref.in_set, out.in_set)
+        assert out.partition_stats.boundary_vertices == 0
+        assert out.partition_stats.cut_edges == 0
+
+    def test_empty_graph_all_drivers(self):
+        g = empty_graph(0)
+        assert kk_mis2(g, partitions=3).in_set.size == 0
+        assert luby_mis1(g, partitions=3).in_set.size == 0
+        assert greedy_color(g, partitions=3).num_colors == 0
+
+    def test_worklist_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            kk_mis2(path_graph(4), partitions=2, use_worklists=False)
+
+    def test_partitioned_driver_direct_call(self):
+        g = grid2d(5, 5)
+        out = partitioned_kk_mis2(g, 4, backend="numpy")
+        assert np.array_equal(out.in_set, kk_mis2(g).in_set)
+        assert out.config.partitions == 4
+
+    def test_config_and_stats_recorded(self):
+        g = grid2d(5, 5)
+        out = kk_mis2(g, partitions=2, backend="threaded")
+        assert out.config.backend == "threaded"
+        assert out.config.partitions == 2
+        assert out.partition_stats.supersteps == 3 * out.iterations
+        coloring = greedy_color(g, partitions=2)
+        assert coloring.partitions == 2
+        assert coloring.partition_stats.supersteps == 2 * coloring.rounds
+
+    def test_unpartitioned_results_have_default_fields(self):
+        g = path_graph(5)
+        mis = kk_mis2(g)
+        assert mis.config.partitions == 1
+        assert mis.partition_stats is None
+        coloring = greedy_color(g)
+        assert coloring.partitions == 1
+        assert coloring.partition_stats is None
+
+
+class TestMapPartitionsSeam:
+    def test_base_backend_is_serial_and_ordered(self):
+        backend = NumpyBackend()
+        assert backend.map_partitions(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_chunked_uses_persistent_pool(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        assert backend.map_partitions(_double, [1, 2, 3]) == [2, 4, 6]
+        assert list(_PARTITION_POOLS) == [2]
+        pool = _PARTITION_POOLS[2]
+        assert backend.map_partitions(_double, [4, 5, 6]) == [8, 10, 12]
+        assert _PARTITION_POOLS[2] is pool  # reused, not respawned
+        shutdown_partition_pools()
+        assert not _PARTITION_POOLS
+
+    def test_chunked_single_worker_runs_inline(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=1)
+        assert backend.map_partitions(_double, [1, 2, 3]) == [2, 4, 6]
+        assert not _PARTITION_POOLS
+
+    def test_threaded_map_partitions(self):
+        backend = get_backend("threaded").with_jobs(2)
+        assert backend.map_partitions(_double, list(range(8))) == [2 * i for i in range(8)]
+
+    def test_nested_inside_pool_worker_runs_inline(self):
+        # A partitioned kernel inside a map_graphs process-pool worker must not
+        # nest a second process pool (cpu^2 oversubscription); parts go inline.
+        backend = ChunkedBackend(processes=2)
+        results = backend.map_graphs(_nested_map_partitions, [1, 2])
+        assert results == [[2, 4, 6], [2, 4, 6]]
+        for pools in backend.map_graphs(_worker_partition_pools, [None, None]):
+            assert pools == []
+
+
+    def test_broken_pool_is_evicted_not_cached(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        with pytest.raises(BrokenProcessPool):
+            backend.map_partitions(_kill_worker, [1, 2, 3])
+        # The casualties were evicted, so the next run gets a healthy pool.
+        assert not _PARTITION_POOLS
+        assert backend.map_partitions(_double, [1, 2, 3]) == [2, 4, 6]
+        shutdown_partition_pools()
+
+
+def _nested_map_partitions(_):
+    return ChunkedBackend(processes=4).map_partitions(_double, [1, 2, 3])
+
+
+def _kill_worker(_):
+    import os
+
+    os._exit(1)
+
+
+def _worker_partition_pools(_):
+    _nested_map_partitions(None)
+    return list(_PARTITION_POOLS)
+
+
+def _double(x):
+    return x * 2

@@ -1,0 +1,91 @@
+"""Edge-case tests for :mod:`repro.partition.metrics`.
+
+Covers the degenerate inputs the partition-parallel layer now feeds these
+metrics: empty graphs, singletons, disconnected components, empty parts and
+malformed label arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import empty_graph, from_edges, path_graph, star_graph
+from repro.partition import edge_cut, is_valid_partition, partition_balance
+
+
+class TestIsValidPartition:
+    def test_empty_graph_is_valid(self):
+        assert is_valid_partition(empty_graph(0), np.zeros(0, dtype=np.int64), 1)
+        assert is_valid_partition(empty_graph(0), np.zeros(0, dtype=np.int64), 4)
+
+    def test_singleton_graph(self):
+        g = empty_graph(1)
+        assert is_valid_partition(g, np.array([0]), 1)
+        assert is_valid_partition(g, np.array([2]), 3)
+        assert not is_valid_partition(g, np.array([3]), 3)
+        assert not is_valid_partition(g, np.array([-1]), 3)
+
+    def test_wrong_shape_is_invalid(self):
+        g = path_graph(3)
+        assert not is_valid_partition(g, np.array([0, 1]), 2)
+        assert not is_valid_partition(g, np.array([[0], [1], [0]]), 2)
+        assert not is_valid_partition(g, np.array([0, 1, 0, 1]), 2)
+
+    def test_empty_parts_are_allowed(self):
+        # Labels never touching part 1 of 3 are still a valid 3-way partition.
+        g = path_graph(4)
+        assert is_valid_partition(g, np.array([0, 0, 2, 2]), 3)
+
+
+class TestEdgeCut:
+    def test_empty_graph(self):
+        assert edge_cut(empty_graph(0), np.zeros(0, dtype=np.int64)) == 0
+
+    def test_singleton_graph(self):
+        assert edge_cut(empty_graph(1), np.array([0])) == 0
+
+    def test_isolated_vertices_have_no_cut(self):
+        g = empty_graph(5)
+        assert edge_cut(g, np.array([0, 1, 2, 3, 4])) == 0
+
+    def test_disconnected_components_split_cleanly(self):
+        # Triangle + path, split along the component boundary: zero cut.
+        g = from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6)])
+        assert edge_cut(g, np.array([0, 0, 0, 1, 1, 1, 1])) == 0
+        # Splitting inside the path cuts exactly one undirected edge.
+        assert edge_cut(g, np.array([0, 0, 0, 1, 1, 2, 2])) == 1
+
+    def test_star_center_isolated_cuts_every_edge(self):
+        g = star_graph(6)  # center 0 plus 6 leaves
+        parts = np.zeros(7, dtype=np.int64)
+        parts[0] = 1
+        assert edge_cut(g, parts) == 6
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            edge_cut(path_graph(3), np.array([0, 1]))
+
+    def test_empty_part_does_not_change_cut(self):
+        g = path_graph(4)
+        assert edge_cut(g, np.array([0, 0, 2, 2])) == 1
+
+
+class TestPartitionBalance:
+    def test_empty_labels(self):
+        assert partition_balance(np.zeros(0, dtype=np.int64), 2) == 1.0
+
+    def test_singleton(self):
+        assert partition_balance(np.array([0]), 1) == pytest.approx(1.0)
+
+    def test_empty_part_inflates_imbalance(self):
+        # Two vertices both in part 0 of a 2-way split: max 2 vs ideal 1.
+        assert partition_balance(np.array([0, 0]), 2) == pytest.approx(2.0)
+
+    def test_trailing_empty_parts_counted(self):
+        # bincount must pad to num_parts even when high part ids never occur.
+        assert partition_balance(np.array([0, 1]), 4) == pytest.approx(2.0)
+
+    def test_perfectly_balanced(self):
+        assert partition_balance(np.array([0, 1, 2, 0, 1, 2]), 3) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert partition_balance(np.array([0, 0, 0, 1]), 2) == pytest.approx(1.5)
