@@ -153,6 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="intra-graph partition count for parts-aware experiments "
                              "(partition-parallel runs are verified bit-identical to "
                              "the unpartitioned reference; 'partitioned' defaults to 4)")
+    parser.add_argument("--no-resident", action="store_true",
+                        help="with --parts: run the non-resident baseline that "
+                             "re-ships each part every superstep instead of the "
+                             "rank-resident path (bit-identical results; records "
+                             "persist with a _p<k>nr infix so the shipped-bytes "
+                             "win is comparable)")
     parser.add_argument("--json", action="store_true",
                         help="persist each run as benchmarks/results/BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
@@ -167,6 +173,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.parts is not None and args.parts < 1:
         parser.error("--parts must be >= 1")
+    if args.no_resident and args.parts is None and args.experiment != "partitioned":
+        parser.error("--no-resident is only meaningful with --parts / 'partitioned'")
     if args.candidate is not None and args.experiment != "compare":
         parser.error("a third positional argument is only valid with 'compare'")
 
@@ -207,6 +215,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         matrices=tuple(args.matrices) if args.matrices else None,
         backend=args.backend,
         parts=args.parts,
+        resident=not args.no_resident,
     )
 
     if args.experiment == "sweep":
@@ -254,7 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     backend_name = config.backend or default_backend().name
     print(f"backend: {backend_name}")
     if config.parts is not None:
-        print(f"parts: {config.parts} (partition-parallel, verified vs reference)")
+        mode = "rank-resident" if config.resident else "non-resident baseline"
+        print(
+            f"parts: {config.parts} (partition-parallel, {mode}, "
+            f"verified vs reference)"
+        )
     print()
     for name in names:
         result, text = EXPERIMENTS[name].run_and_render(config, jobs=args.jobs)

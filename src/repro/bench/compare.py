@@ -7,10 +7,23 @@
 * **deterministic-count drift is a failure** (exit code 1) — the counts are
   the paper's portability guarantee, identical across backends, pool widths
   and partition counts, so any difference means an algorithmic change;
+* **shipped-bytes counts are gated directionally across execution
+  configurations** — keys ending in ``_bytes`` measure communication volume,
+  not algorithmic output, so when the records differ in resident mode or
+  partition count a *smaller* candidate value is reported as an improvement
+  (this is how the resident execution path's win over the non-resident
+  baseline is gated in CI) while a *larger* one still fails like any other
+  drift. Between records of the *same* configuration the counts must be
+  bit-identical — a smaller value there is under-accounting and fails;
 * **wall-clock regression is a warning** — ``elapsed_seconds`` of a small CI
   run is noisy, so a candidate slower than ``1 + tolerance`` times the
   baseline (default 25%) is reported loudly but does not fail the gate
   (``--strict-elapsed`` promotes it to a failure for curated trajectories).
+
+Records whose run context differs (``backend``, ``parts`` or ``resident``
+mode) are still comparable — the counts must match regardless — but the
+mismatch is called out explicitly in the rendered output so a
+wrong-pair comparison never gates silently.
 """
 
 from __future__ import annotations
@@ -36,6 +49,13 @@ class ComparisonReport:
     candidate: ExperimentResult
     #: Human-readable description of every deterministic-count difference.
     count_drift: List[str] = field(default_factory=list)
+    #: ``_bytes`` counts where the candidate ships *less* than the baseline
+    #: (reported, never a failure — shrinking communication is the goal).
+    bytes_improved: List[str] = field(default_factory=list)
+    #: Run-context fields (backend, parts, resident) that differ between the
+    #: records. Informational: counts must match regardless, but the mismatch
+    #: is rendered so a wrong-pair comparison never gates silently.
+    context_mismatch: List[str] = field(default_factory=list)
     #: ``candidate.elapsed_seconds / baseline.elapsed_seconds`` (None when the
     #: baseline recorded a non-positive duration).
     elapsed_ratio: Optional[float] = None
@@ -58,9 +78,13 @@ class ComparisonReport:
 
         def label(result: ExperimentResult) -> str:
             parts = f", {result.parts} parts" if result.parts else ""
+            if result.parts and not result.resident:
+                parts += ", non-resident"
             return f"{result.experiment} ({result.backend}{parts})"
 
         lines = [f"bench compare: {label(self.baseline)} vs {label(self.candidate)}"]
+        for entry in self.context_mismatch:
+            lines.append(f"note: {entry}")
         if self.counts_identical:
             lines.append(
                 f"deterministic counts: identical ({len(self.baseline.counts)} keys)"
@@ -72,6 +96,13 @@ class ComparisonReport:
             lines.extend(f"  {entry}" for entry in self.count_drift[:20])
             if len(self.count_drift) > 20:
                 lines.append(f"  ... and {len(self.count_drift) - 20} more")
+        if self.bytes_improved:
+            lines.append(
+                f"shipped bytes: improved on {len(self.bytes_improved)} count(s)"
+            )
+            lines.extend(f"  {entry}" for entry in self.bytes_improved[:20])
+            if len(self.bytes_improved) > 20:
+                lines.append(f"  ... and {len(self.bytes_improved) - 20} more")
         base_s = self.baseline.elapsed_seconds
         cand_s = self.candidate.elapsed_seconds
         if self.elapsed_ratio is None:
@@ -90,6 +121,11 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
+def _is_bytes_key(key: str) -> bool:
+    """Whether a counts key measures shipped bytes (gated directionally)."""
+    return key.rsplit("/", 1)[-1].endswith("_bytes")
+
+
 def compare_results(
     baseline: ExperimentResult,
     candidate: ExperimentResult,
@@ -97,14 +133,48 @@ def compare_results(
 ) -> ComparisonReport:
     """Diff ``candidate`` against ``baseline`` and return the structured report."""
     drift: List[str] = []
+    improved: List[str] = []
+    context: List[str] = []
     if baseline.experiment != candidate.experiment:
         drift.append(
             f"experiment: {baseline.experiment!r} != {candidate.experiment!r}"
         )
+    # Differing run context is legitimate (that is what cross-backend and
+    # resident-vs-baseline gates compare) but must be visible, not silent.
+    if baseline.backend != candidate.backend:
+        context.append(f"backends differ: {baseline.backend!r} vs {candidate.backend!r}")
+    if baseline.parts != candidate.parts:
+        context.append(f"partition counts differ: {baseline.parts!r} vs {candidate.parts!r}")
+    if baseline.resident != candidate.resident:
+        context.append(
+            f"execution paths differ: "
+            f"{'resident' if baseline.resident else 'non-resident'} vs "
+            f"{'resident' if candidate.resident else 'non-resident'}"
+        )
+    # The directional bytes exemption applies only across *different*
+    # execution configurations (resident vs non-resident, different part
+    # counts), where shipping less is the improvement being gated. Two
+    # records of the *same* configuration must agree on every byte count —
+    # there a smaller value is under-accounting, i.e. ordinary drift.
+    modes_differ = (
+        baseline.resident != candidate.resident or baseline.parts != candidate.parts
+    )
     for key in sorted(set(baseline.counts) | set(candidate.counts)):
         a, b = baseline.counts.get(key), candidate.counts.get(key)
-        if a != b:
-            drift.append(f"counts[{key}]: {a!r} != {b!r}")
+        if a == b:
+            continue
+        if (
+            modes_differ
+            and _is_bytes_key(key)
+            and isinstance(a, (int, float))
+            and isinstance(b, (int, float))
+            and b < a
+        ):
+            # Shipping less than the baseline is the point of the resident
+            # path — an improvement, not drift. (More is still a failure.)
+            improved.append(f"counts[{key}]: {a!r} -> {b!r}")
+            continue
+        drift.append(f"counts[{key}]: {a!r} != {b!r}")
     ratio = (
         candidate.elapsed_seconds / baseline.elapsed_seconds
         if baseline.elapsed_seconds and baseline.elapsed_seconds > 0
@@ -114,6 +184,8 @@ def compare_results(
         baseline=baseline,
         candidate=candidate,
         count_drift=drift,
+        bytes_improved=improved,
+        context_mismatch=context,
         elapsed_ratio=ratio,
         elapsed_tolerance=elapsed_tolerance,
     )

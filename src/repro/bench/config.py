@@ -55,8 +55,15 @@ class BenchConfig:
     #: Intra-graph partition count for the experiments that support
     #: partition-parallel execution (None = unpartitioned). Partitioned runs
     #: additionally *verify* bit-identicality against the unpartitioned kernels
-    #: and record boundary/ghost-exchange stats.
+    #: and record boundary/ghost-exchange/shipped-bytes stats.
     parts: Optional[int] = None
+    #: Partitioned execution path: rank-resident (default — each part's CSR
+    #: ships to its pinned worker once, supersteps exchange halo deltas) or
+    #: the non-resident baseline (``False`` — every superstep re-ships each
+    #: part whole). Results are bit-identical either way; only the recorded
+    #: shipped-bytes counts (and the wall clock) differ. Ignored when
+    #: ``parts`` is None.
+    resident: bool = True
 
     def matrix_names(self) -> List[str]:
         """Names of the matrices this configuration covers, in Table II order."""

@@ -127,6 +127,10 @@ class ExperimentResult:
     rows: List[Any] = field(default_factory=list)
     #: Intra-graph partition count the run used (None = unpartitioned).
     parts: Optional[int] = None
+    #: Whether a partitioned run used the rank-resident execution path
+    #: (True, the default) or the re-ship-everything baseline. Always True
+    #: for unpartitioned runs.
+    resident: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         rows = [
@@ -142,6 +146,7 @@ class ExperimentResult:
             "trials": self.trials,
             "units": self.units,
             "parts": self.parts,
+            "resident": self.resident,
             "elapsed_seconds": self.elapsed_seconds,
             "counts": _jsonable(self.counts),
             "rows": rows,
@@ -164,6 +169,7 @@ class ExperimentResult:
             counts=dict(data["counts"]),
             rows=list(data["rows"]),
             parts=data.get("parts"),
+            resident=data.get("resident", True),
         )
 
     @classmethod
@@ -174,10 +180,13 @@ class ExperimentResult:
     def filename(self) -> str:
         """The ``BENCH_*`` perf-trajectory filename this result persists under.
 
-        Partitioned runs get a ``_p<k>`` infix so they never clobber the
-        unpartitioned trajectory records.
+        Partitioned runs get a ``_p<k>`` infix (``_p<k>nr`` on the
+        non-resident baseline path) so they never clobber the unpartitioned —
+        or each other's — trajectory records.
         """
         infix = f"_p{self.parts}" if self.parts else ""
+        if self.parts and not self.resident:
+            infix += "nr"
         return f"BENCH_{self.experiment}{infix}_{self.backend}.json"
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
@@ -312,6 +321,7 @@ class Experiment:
             counts=self.counts(rows),
             rows=list(rows),
             parts=config.parts,
+            resident=config.resident if config.parts is not None else True,
         )
 
     def run_and_render(
@@ -392,15 +402,18 @@ class SweepResult:
             "experiment": self.experiment,
             "backends": [r.backend for r in self.results],
             "parts": self.reference.parts,
+            "resident": self.reference.resident,
             "elapsed_seconds": {r.backend: r.elapsed_seconds for r in self.results},
             "speedups": _jsonable({r.backend: self.speedup(r) for r in self.results}),
         }
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
-        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>].json``."""
+        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>[nr]].json``."""
         directory = Path(directory) if directory is not None else default_results_dir()
         directory.mkdir(parents=True, exist_ok=True)
         infix = f"_p{self.reference.parts}" if self.reference.parts else ""
+        if self.reference.parts and not self.reference.resident:
+            infix += "nr"
         path = directory / f"BENCH_sweep_{self.experiment}{infix}.json"
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
         return path
@@ -468,6 +481,8 @@ def sweep_table(result: SweepResult) -> Table:
     partitioned = (
         f"; {result.reference.parts} parts/graph" if result.reference.parts else ""
     )
+    if result.reference.parts and not result.reference.resident:
+        partitioned += " (non-resident)"
     table = Table(
         ["backend", "jobs", "units", "wall-clock", "speedup", "counts"],
         title=(

@@ -46,6 +46,23 @@ class SmokeRow:
     boundary_vertices: int = 0
     #: Ghost-exchange supersteps executed by the partitioned MIS + coloring runs.
     ghost_supersteps: int = 0
+    #: Logical bytes shipped once at session open by the partitioned MIS +
+    #: coloring runs (per-part CSR + index maps + initial state); 0 on the
+    #: non-resident baseline, where everything re-ships every superstep.
+    resident_bytes: int = 0
+    #: Logical bytes shipped across all supersteps (halo deltas on the
+    #: resident path; whole parts + deltas on the non-resident baseline).
+    superstep_bytes: int = 0
+    #: Largest single-superstep shipment across the partitioned runs — the
+    #: O(halo)-after-superstep-1 acceptance gate for the resident path.
+    max_superstep_bytes: int = 0
+    #: ``resident_bytes + superstep_bytes`` — everything the run shipped. This
+    #: (with ``max_superstep_bytes``) is the gated deterministic count: the
+    #: resident path must ship strictly less in total than the non-resident
+    #: baseline, while the one-time/per-superstep breakdown above stays a
+    #: row-level detail (a one-time cost is not comparable *per key* across
+    #: execution paths).
+    total_shipped_bytes: int = 0
 
 
 def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int]]:
@@ -89,6 +106,9 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         )
     boundary_vertices = 0
     ghost_supersteps = 0
+    resident_bytes = 0
+    superstep_bytes = 0
+    max_superstep_bytes = 0
     if config.parts is not None:
         # Partition-parallel runs must be bit-identical to the unpartitioned
         # results computed above — the intra-graph sharding contract. One
@@ -97,12 +117,14 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         from ..parallel.partitioned import build_partition_layout
 
         layout = build_partition_layout(graph, config.parts)
-        pmis = kk_mis2(graph, seed=config.seed, partitions=layout)
+        pmis = kk_mis2(
+            graph, seed=config.seed, partitions=layout, resident=config.resident
+        )
         if not (np.array_equal(pmis.in_set, mis.in_set) and pmis.iterations == mis.iterations):
             raise RuntimeError(
                 f"smoke check failed: partitioned MIS-2 diverged from the reference on {label}"
             )
-        pcoloring = greedy_color(graph, partitions=layout)
+        pcoloring = greedy_color(graph, partitions=layout, resident=config.resident)
         if not (
             np.array_equal(pcoloring.colors, coloring.colors)
             and pcoloring.rounds == coloring.rounds
@@ -113,7 +135,9 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         # pmis is already verified identical to mis, so reuse it for phase 1
         # (as the unpartitioned path reuses mis) — only the phase-2 sub-MIS
         # still runs partitioned.
-        pagg = mis2_aggregation(graph, mis=pmis, seed=config.seed, partitions=layout)
+        pagg = mis2_aggregation(
+            graph, mis=pmis, seed=config.seed, partitions=layout, resident=config.resident
+        )
         if not (
             np.array_equal(pagg.labels, agg.labels)
             and pagg.num_aggregates == agg.num_aggregates
@@ -122,9 +146,11 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
                 f"smoke check failed: partitioned aggregation diverged from the reference on {label}"
             )
         boundary_vertices = pmis.partition_stats.boundary_vertices
-        ghost_supersteps = (
-            pmis.partition_stats.supersteps + pcoloring.partition_stats.supersteps
-        )
+        pstats = (pmis.partition_stats, pcoloring.partition_stats)
+        ghost_supersteps = sum(s.supersteps for s in pstats)
+        resident_bytes = sum(s.resident_bytes for s in pstats)
+        superstep_bytes = sum(s.superstep_bytes for s in pstats)
+        max_superstep_bytes = max(s.max_superstep_bytes for s in pstats)
     return SmokeRow(
         graph=label,
         num_vertices=graph.num_vertices,
@@ -138,6 +164,10 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         parts=config.parts if config.parts is not None else 1,
         boundary_vertices=boundary_vertices,
         ghost_supersteps=ghost_supersteps,
+        resident_bytes=resident_bytes,
+        superstep_bytes=superstep_bytes,
+        max_superstep_bytes=max_superstep_bytes,
+        total_shipped_bytes=resident_bytes + superstep_bytes,
     )
 
 
@@ -147,7 +177,7 @@ def smoke_table(rows: List[SmokeRow]) -> Table:
     columns = ["graph", "|V|", "|MIS-2|", "iters", "colors", "rounds", "aggregates",
                "V100 (us)", "backend"]
     if partitioned:
-        columns += ["parts", "boundary", "exchanges"]
+        columns += ["parts", "boundary", "exchanges", "resident B", "step B", "max step B"]
     title = "smoke check: OK (all kernel layers verified"
     title += "; partitioned runs bit-identical)" if partitioned else ")"
     table = Table(columns, title=title)
@@ -156,7 +186,8 @@ def smoke_table(rows: List[SmokeRow]) -> Table:
                  row.num_colors, row.rounds, row.num_aggregates,
                  round(row.predicted_v100_us, 1), row.backend]
         if partitioned:
-            cells += [row.parts, row.boundary_vertices, row.ghost_supersteps]
+            cells += [row.parts, row.boundary_vertices, row.ghost_supersteps,
+                      row.resident_bytes, row.superstep_bytes, row.max_superstep_bytes]
         table.add_row(cells)
     return table
 
@@ -176,6 +207,7 @@ SMOKE_EXPERIMENT = register_experiment(
         deterministic_fields=(
             "num_vertices", "mis2_size", "iterations", "num_colors", "rounds",
             "num_aggregates", "parts", "boundary_vertices", "ghost_supersteps",
+            "total_shipped_bytes", "max_superstep_bytes",
         ),
         parts_aware=True,
     )

@@ -41,6 +41,7 @@ def mis2_aggregation(
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
+    resident: bool = True,
 ) -> Aggregation:
     """Coarsen ``graph`` with Algorithm 3 (the paper's "MIS2 Agg" scheme).
 
@@ -65,6 +66,10 @@ def mis2_aggregation(
         labels restricted to the unaggregated subgraph. Because the
         partitioned MIS driver is bit-identical to the unpartitioned kernel,
         the aggregation is too.
+    resident:
+        Only meaningful with ``partitions``: forwarded to the partitioned
+        MIS-2 computations (rank-resident execution by default; the
+        re-ship-everything baseline with ``False``).
     """
     B = resolve_backend(backend)
     n = graph.num_vertices
@@ -74,7 +79,7 @@ def mis2_aggregation(
 
         layout = build_partition_layout(graph, partitions)
     if mis is None:
-        mis = kk_mis2(graph, seed=seed, backend=B, partitions=layout)
+        mis = kk_mis2(graph, seed=seed, backend=B, partitions=layout, resident=resident)
     roots = np.asarray(mis.in_set, dtype=np.int64)
     labels = -np.ones(n, dtype=np.int64)
     if n == 0:
@@ -100,6 +105,7 @@ def mis2_aggregation(
             seed=seed,
             backend=B,
             partitions=None if layout is None else layout.labels[mapping],
+            resident=resident,
         )
         candidates = mapping[sub_mis.in_set]
         # Count each candidate root's unaggregated neighbours against the phase-1

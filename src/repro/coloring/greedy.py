@@ -83,6 +83,7 @@ def greedy_color(
     max_rounds: Optional[int] = None,
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
+    resident: bool = True,
 ) -> ColoringResult:
     """Distance-1 greedy coloring of ``graph``.
 
@@ -100,6 +101,10 @@ def greedy_color(
         When not ``None``, shard the run within the graph (part count, label
         array or layout); the partition-parallel driver is bit-identical to
         the unpartitioned kernel.
+    resident:
+        Only meaningful with ``partitions``: rank-resident execution
+        (default) vs the re-ship-everything baseline; results are
+        bit-identical either way.
 
     Returns
     -------
@@ -110,7 +115,7 @@ def greedy_color(
         from ..parallel.partitioned import partitioned_greedy_color
 
         return partitioned_greedy_color(
-            graph, partitions, max_rounds=max_rounds, backend=backend
+            graph, partitions, max_rounds=max_rounds, backend=backend, resident=resident
         )
     B = resolve_backend(backend)
     n = graph.num_vertices

@@ -76,6 +76,7 @@ def kk_mis2(
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
+    resident: bool = True,
 ) -> MISResult:
     """Compute a distance-2 maximal independent set with Algorithm 1.
 
@@ -112,7 +113,13 @@ def kk_mis2(
         :class:`~repro.parallel.partitioned.PartitionLayout`. The
         partition-parallel driver is bit-identical to the unpartitioned kernel
         for any value (and any backend); ``result.partition_stats`` records the
-        layout and ghost-exchange counts.
+        layout, ghost-exchange and shipped-bytes counts.
+    resident:
+        Only meaningful with ``partitions``: ``True`` (default) runs the
+        rank-resident execution path (each part's CSR ships to its pinned
+        worker once, supersteps exchange only halo deltas); ``False`` runs
+        the non-resident baseline that re-ships every part each superstep.
+        Results are bit-identical either way.
 
     Returns
     -------
@@ -131,6 +138,7 @@ def kk_mis2(
             word_bits=word_bits,
             seed=seed,
             backend=backend,
+            resident=resident,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

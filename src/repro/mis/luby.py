@@ -37,6 +37,7 @@ def luby_mis1(
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
+    resident: bool = True,
 ) -> MISResult:
     """Compute a distance-1 maximal independent set with Luby's Algorithm A.
 
@@ -56,6 +57,10 @@ def luby_mis1(
         When not ``None``, shard the run within the graph (part count, label
         array or layout); the partition-parallel driver is bit-identical to
         the unpartitioned kernel.
+    resident:
+        Only meaningful with ``partitions``: rank-resident execution
+        (default) vs the re-ship-everything baseline; results are
+        bit-identical either way.
     """
     if partitions is not None:
         from ..parallel.partitioned import partitioned_luby_mis1
@@ -66,6 +71,7 @@ def luby_mis1(
             priority_scheme=priority_scheme,
             seed=seed,
             backend=backend,
+            resident=resident,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

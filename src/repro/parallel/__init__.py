@@ -51,6 +51,7 @@ from .backends import (
     ChunkedBackend,
     ThreadedBackend,
     NumbaBackend,
+    ResidentSession,
     register_backend,
     get_backend,
     available_backends,
@@ -58,6 +59,7 @@ from .backends import (
     resolve_backend,
     set_default_backend,
     numba_available,
+    shipped_nbytes,
     shutdown_partition_pools,
 )
 from .machine import DeviceSpec, DEVICES, device, device_names
@@ -105,6 +107,7 @@ __all__ = [
     "ChunkedBackend",
     "ThreadedBackend",
     "NumbaBackend",
+    "ResidentSession",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -112,6 +115,7 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "numba_available",
+    "shipped_nbytes",
     "shutdown_partition_pools",
     "GraphPart",
     "PartitionLayout",

@@ -46,11 +46,13 @@ chunked backend precisely to preserve this guarantee.)
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import threading
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +64,7 @@ __all__ = [
     "ChunkedBackend",
     "ThreadedBackend",
     "NumbaBackend",
+    "ResidentSession",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -69,6 +72,7 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "numba_available",
+    "shipped_nbytes",
     "shutdown_partition_pools",
 ]
 
@@ -128,9 +132,12 @@ def _drop_inherited_partition_pools() -> None:
     # Fork-started children inherit the parent's executor objects, whose worker
     # processes/threads and queues belong to the parent (threads don't survive
     # a fork at all); drop the references so a child that does reach the pool
-    # path builds its own.
+    # path builds its own. Resident slot pools (and the coordinator's view of
+    # what their workers hold) go the same way.
     _PARTITION_POOLS.clear()
     _PARTITION_THREAD_POOLS.clear()
+    _RESIDENT_SLOT_POOLS.clear()
+    _RESIDENT_SLOT_HAS.clear()
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
@@ -155,16 +162,418 @@ def _evict_partition_pool(workers: int, pool: ProcessPoolExecutor) -> None:
 
 
 def shutdown_partition_pools() -> None:
-    """Shut down every persistent ``map_partitions`` pool (idempotent)."""
+    """Shut down every persistent ``map_partitions``/resident pool (idempotent)."""
     with _PARTITION_POOL_LOCK:
-        pools = list(_PARTITION_POOLS.values()) + list(_PARTITION_THREAD_POOLS.values())
+        pools = (
+            list(_PARTITION_POOLS.values())
+            + list(_PARTITION_THREAD_POOLS.values())
+            + list(_RESIDENT_SLOT_POOLS.values())
+        )
         _PARTITION_POOLS.clear()
         _PARTITION_THREAD_POOLS.clear()
+        _RESIDENT_SLOT_POOLS.clear()
+        _RESIDENT_SLOT_HAS.clear()
     for pool in pools:
         pool.shutdown(wait=True, cancel_futures=True)
 
 
 atexit.register(shutdown_partition_pools)
+
+
+# ------------------------------------------------------------ resident sessions
+#
+# ``map_partitions`` ships every per-part task whole, which re-pickles the
+# loop-invariant per-part CSR on every superstep of a partitioned kernel. The
+# resident seam fixes that: a kernel run opens a *session* that ships each
+# part's immutable payload (local CSR, index maps, static parameters) and its
+# initial mutable state exactly once, pins part ``i`` to worker ``i % width``
+# for the life of the run, and afterwards ships only the per-superstep deltas
+# (halo values, worklist indices, phase scalars). This is the same execution
+# model a distributed backend needs — parts resident on ranks, supersteps
+# exchanging halo messages — expressed over a local process pool.
+
+
+def shipped_nbytes(obj: Any) -> int:
+    """Logical byte size of a resident payload / superstep delta.
+
+    Counts NumPy array payloads (``nbytes``) plus one 8-byte word per numeric
+    scalar, recursing through tuples/lists/dicts. The measure is *logical* —
+    what the data costs to move, independent of how (or whether) a particular
+    backend actually serialises it — so the shipped-bytes accounting recorded
+    on partitioned results is bit-identical across backends and gateable by
+    ``repro.bench compare``.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, dict):
+        return sum(shipped_nbytes(v) for v in obj.values())
+    if isinstance(obj, (list, tuple)):
+        return sum(shipped_nbytes(v) for v in obj)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating, np.bool_)):
+        return 8
+    return 0
+
+
+class ResidentSession:
+    """One partitioned kernel run's part-pinned execution handle.
+
+    Created by :meth:`ExecutionBackend.resident_session` with the per-part
+    immutable ``payloads`` and initial mutable ``states``; the driver then
+    calls :meth:`run` once per superstep phase with ``(part_index, delta)``
+    tasks. Every task function is ``fn(payload, state, delta) -> result`` —
+    a pure function of the payload, the part's retained state and the delta
+    that may mutate ``state`` in place (only its own part's state, which is
+    what keeps any execution strategy deterministic).
+
+    The base class implements the shipped-bytes accounting shared by every
+    implementation. In resident mode each part's payload+state is charged
+    once (``resident_bytes``) and each :meth:`run` charges only its deltas;
+    in non-resident mode (``resident=False``, the pre-affinity baseline)
+    every :meth:`run` re-charges the live parts' payload+state, which is
+    exactly what shipping the whole task per superstep costs.
+    """
+
+    def __init__(
+        self, token: str, payloads: Sequence, states: Sequence, resident: bool = True
+    ) -> None:
+        if len(payloads) != len(states):
+            raise ValueError("payloads and states must have one entry per part")
+        self.token = str(token)
+        self.resident = bool(resident)
+        self.num_parts = len(payloads)
+        self._part_bytes = [
+            shipped_nbytes(p) + shipped_nbytes(s) for p, s in zip(payloads, states)
+        ]
+        #: Bytes shipped once, at session open (0 in non-resident mode).
+        self.resident_bytes = sum(self._part_bytes) if self.resident else 0
+        #: Bytes shipped across all supersteps so far.
+        self.superstep_bytes = 0
+        #: Largest single-superstep shipment (the O(halo) acceptance gate).
+        self.max_superstep_bytes = 0
+        #: Number of :meth:`run` calls (superstep phases) so far.
+        self.supersteps = 0
+
+    def _account(self, tasks: Sequence[Tuple[int, Any]]) -> None:
+        step = sum(shipped_nbytes(delta) for _, delta in tasks)
+        if not self.resident:
+            step += sum(self._part_bytes[i] for i, _ in tasks)
+        self.supersteps += 1
+        self.superstep_bytes += step
+        if step > self.max_superstep_bytes:
+            self.max_superstep_bytes = step
+
+    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
+        """Execute one superstep phase: ``fn(payload, state, delta)`` per task."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release per-session worker state (idempotent)."""
+
+    def __enter__(self) -> "ResidentSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class _LocalResidentSession(ResidentSession):
+    """In-address-space session: payloads and states live in the session.
+
+    The serial reference and the threaded backend both use it — tasks read and
+    mutate the caller's arrays directly, so it is trivially correct (nothing
+    ever crosses a pickle boundary). An optional thread pool fans the per-part
+    tasks out; each task touches only its own part's state, so the fan-out is
+    race-free.
+    """
+
+    def __init__(
+        self,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        resident: bool = True,
+        pool: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        super().__init__(token, payloads, states, resident=resident)
+        self._payloads = list(payloads)
+        self._states = list(states)
+        self._pool = pool
+
+    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
+        tasks = list(tasks)
+        self._account(tasks)
+        calls = [(self._payloads[i], self._states[i], delta) for i, delta in tasks]
+        if self._pool is None or len(calls) <= 1:
+            return [fn(p, s, d) for p, s, d in calls]
+        return list(self._pool.map(lambda c: fn(*c), calls))
+
+
+def _unpinned_phase(args):
+    """Non-resident pool task: payload+state cross the boundary both ways."""
+    payload, state, fn, delta = args
+    return fn(payload, state, delta), state
+
+
+class _UnpinnedResidentSession(ResidentSession):
+    """Non-resident process-pool baseline (the pre-affinity behaviour).
+
+    Coordinator-held payloads and states are shipped through the regular
+    ``map_partitions`` pool on *every* superstep and the (possibly mutated)
+    states return with the results — the cost profile the resident seam
+    exists to eliminate, kept runnable so ``repro.bench compare`` can gate
+    the improvement.
+    """
+
+    def __init__(
+        self, backend: "ExecutionBackend", token: str, payloads: Sequence, states: Sequence
+    ) -> None:
+        super().__init__(token, payloads, states, resident=False)
+        self._backend = backend
+        self._payloads = list(payloads)
+        self._states = list(states)
+
+    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
+        tasks = list(tasks)
+        self._account(tasks)
+        items = [(self._payloads[i], self._states[i], fn, delta) for i, delta in tasks]
+        outs = self._backend.map_partitions(_unpinned_phase, items)
+        results = []
+        for (i, _), (result, state) in zip(tasks, outs):
+            self._states[i] = state
+            results.append(result)
+        return results
+
+
+# Worker-side process-global resident store. Payloads are keyed by
+# ``(layout token, part)`` and survive across sessions (a rerun on the same
+# layout re-ships nothing); states are keyed by ``(session key, part)`` and
+# live for exactly one session. The LRU never evicts the token currently being
+# installed, so a session's own parts cannot push each other out.
+_RESIDENT_PAYLOADS: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+_RESIDENT_PAYLOAD_CAPACITY = 16
+_RESIDENT_STATES: "Dict[Tuple[int, int], Any]" = {}
+
+
+def _resident_install(args) -> bool:
+    """Worker task: store a part's payload (if shipped) and fresh session state.
+
+    Returns False when the coordinator skipped the payload but this worker does
+    not hold it (restarted worker, LRU eviction) — the coordinator re-sends.
+    """
+    token, part, payload, session_key, state = args
+    key = (token, part)
+    if payload is None:
+        if key not in _RESIDENT_PAYLOADS:
+            return False
+    else:
+        _RESIDENT_PAYLOADS[key] = payload
+    _RESIDENT_PAYLOADS.move_to_end(key)
+    while len(_RESIDENT_PAYLOADS) > _RESIDENT_PAYLOAD_CAPACITY:
+        oldest = next(iter(_RESIDENT_PAYLOADS))
+        if oldest[0] == token:
+            break
+        del _RESIDENT_PAYLOADS[oldest]
+    _RESIDENT_STATES[(session_key, part)] = state
+    return True
+
+
+class _ResidentPayloadMiss(RuntimeError):
+    """A slot worker evicted a payload whose session state is still live.
+
+    Raised worker-side (it pickles back through the pool) when a concurrent
+    session's installs pushed this part's payload out of the LRU store. The
+    coordinator still holds the payload, so :class:`_PinnedResidentSession`
+    recovers transparently by re-installing it and retrying the phase.
+    """
+
+
+def _resident_phase(args):
+    """Worker task: run one superstep phase against the resident part."""
+    token, session_key, part, fn, delta = args
+    state = _RESIDENT_STATES.get((session_key, part))
+    if state is None:
+        # Mutable state cannot be reconstructed by the coordinator; a worker
+        # that lost it (restart) ends the run.
+        raise RuntimeError(
+            f"resident state of part {part} (token {token!r}) missing in "
+            f"worker {os.getpid()} — the worker lost its store; rerun the kernel"
+        )
+    payload = _RESIDENT_PAYLOADS.get((token, part))
+    if payload is None:
+        raise _ResidentPayloadMiss(token, part)
+    _RESIDENT_PAYLOADS.move_to_end((token, part))
+    return fn(payload, state, delta)
+
+
+def _resident_restore_payload(args) -> bool:
+    """Worker task: re-install an LRU-evicted payload (state left untouched)."""
+    token, part, payload = args
+    _RESIDENT_PAYLOADS[(token, part)] = payload
+    _RESIDENT_PAYLOADS.move_to_end((token, part))
+    return True
+
+
+def _resident_forget(args) -> bool:
+    """Worker task: drop a closed session's states (payloads stay cached)."""
+    session_key, parts = args
+    for part in parts:
+        _RESIDENT_STATES.pop((session_key, part), None)
+    return True
+
+
+# Coordinator-side slot pools: slot ``j`` is a persistent single-worker
+# ProcessPoolExecutor permanently holding the parts with ``part % width == j``.
+# ``_RESIDENT_SLOT_HAS`` mirrors which (token, part) payloads each slot's
+# worker is believed to hold, so repeat sessions skip the payload pickle
+# entirely. The mirror is LRU-bounded to the worker store's capacity (it
+# would otherwise grow by one entry per kernel run forever) and self-heals in
+# both directions: a stale "known" entry costs one payload=None round trip
+# that the worker acks False (the entry is dropped and the payload re-sent),
+# a dropped entry merely re-ships a payload the worker still had.
+_RESIDENT_SLOT_POOLS: "Dict[int, ProcessPoolExecutor]" = {}
+_RESIDENT_SLOT_HAS: "Dict[int, OrderedDict[Tuple[str, int], None]]" = {}
+_RESIDENT_SESSION_KEYS = itertools.count(1)
+
+
+def _resident_slot(idx: int) -> ProcessPoolExecutor:
+    with _PARTITION_POOL_LOCK:
+        pool = _RESIDENT_SLOT_POOLS.get(idx)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=1)
+            _RESIDENT_SLOT_POOLS[idx] = pool
+            _RESIDENT_SLOT_HAS[idx] = OrderedDict()
+        return pool
+
+
+def _slot_known(slot: int, key: Tuple[str, int]) -> bool:
+    with _PARTITION_POOL_LOCK:
+        return key in _RESIDENT_SLOT_HAS.get(slot, ())
+
+
+def _slot_mark(slot: int, key: Tuple[str, int], present: bool) -> None:
+    with _PARTITION_POOL_LOCK:
+        mirror = _RESIDENT_SLOT_HAS.get(slot)
+        if mirror is None:
+            return
+        if not present:
+            mirror.pop(key, None)
+            return
+        mirror[key] = None
+        mirror.move_to_end(key)
+        while len(mirror) > _RESIDENT_PAYLOAD_CAPACITY:
+            mirror.popitem(last=False)
+
+
+def _evict_resident_slot(idx: int) -> None:
+    """Drop a broken slot pool so the next session builds a fresh worker."""
+    with _PARTITION_POOL_LOCK:
+        pool = _RESIDENT_SLOT_POOLS.pop(idx, None)
+        _RESIDENT_SLOT_HAS.pop(idx, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _PinnedResidentSession(ResidentSession):
+    """Chunked-backend session: part ``i`` resides in slot ``i % width``.
+
+    Session open ships each part's payload (unless its slot already caches the
+    layout token) and fresh state to its slot worker; every later superstep
+    ships only ``(token, session, part, fn, delta)`` — the CSR never crosses
+    the pickle boundary again.
+    """
+
+    def __init__(
+        self, token: str, payloads: Sequence, states: Sequence, width: int
+    ) -> None:
+        super().__init__(token, payloads, states, resident=True)
+        #: Payloads are retained so an LRU-evicted one (a concurrent session
+        #: crowding a shared slot worker) can be re-installed transparently.
+        self._payloads = list(payloads)
+        self._key = next(_RESIDENT_SESSION_KEYS)
+        self._nslots = max(1, min(int(width), len(payloads)))
+        self._closed = False
+        pending = []
+        for part, (payload, state) in enumerate(zip(payloads, states)):
+            slot = part % self._nslots
+            pool = _resident_slot(slot)
+            known = _slot_known(slot, (token, part))
+            fut = pool.submit(
+                _resident_install,
+                (token, part, None if known else payload, self._key, state),
+            )
+            pending.append((slot, part, payload, state, fut))
+        for slot, part, payload, state, fut in pending:
+            try:
+                ok = fut.result()
+                if not ok:
+                    # Stale coordinator view (worker restarted or evicted the
+                    # payload underneath us); drop the entry, ship the payload.
+                    _slot_mark(slot, (token, part), present=False)
+                    _resident_slot(slot).submit(
+                        _resident_install, (token, part, payload, self._key, state)
+                    ).result()
+            except BrokenProcessPool:
+                _evict_resident_slot(slot)
+                raise
+            _slot_mark(slot, (token, part), present=True)
+
+    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
+        tasks = list(tasks)
+        self._account(tasks)
+        futures = [
+            _resident_slot(i % self._nslots).submit(
+                _resident_phase, (self.token, self._key, i, fn, delta)
+            )
+            for i, delta in tasks
+        ]
+        try:
+            results = []
+            for (i, delta), fut in zip(tasks, futures):
+                try:
+                    results.append(fut.result())
+                except _ResidentPayloadMiss:
+                    # The worker still has this part's state but another
+                    # session's installs evicted the payload; re-ship it and
+                    # retry the phase (the task has not run yet).
+                    slot = i % self._nslots
+                    pool = _resident_slot(slot)
+                    pool.submit(
+                        _resident_restore_payload, (self.token, i, self._payloads[i])
+                    ).result()
+                    _slot_mark(slot, (self.token, i), present=True)
+                    results.append(
+                        pool.submit(
+                            _resident_phase, (self.token, self._key, i, fn, delta)
+                        ).result()
+                    )
+            return results
+        except BrokenProcessPool:
+            # A slot worker died; its resident state is unrecoverable, so the
+            # run cannot continue — but evict every slot so later sessions get
+            # healthy workers instead of permanently failing pools.
+            for slot in range(self._nslots):
+                _evict_resident_slot(slot)
+            raise
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        by_slot: Dict[int, List[int]] = {}
+        for part in range(self.num_parts):
+            by_slot.setdefault(part % self._nslots, []).append(part)
+        for slot, parts in by_slot.items():
+            with _PARTITION_POOL_LOCK:
+                pool = _RESIDENT_SLOT_POOLS.get(slot)
+            if pool is None:
+                # The slot was evicted/shut down — its states are gone already.
+                continue
+            try:
+                pool.submit(_resident_forget, (self._key, parts)).result()
+            except Exception:
+                # Best effort: a dead slot has already lost the states anyway.
+                pass
 
 
 def numba_available() -> bool:
@@ -278,6 +687,33 @@ class ExecutionBackend:
         """
         return [fn(item) for item in items]
 
+    def map_partitions_resident(
+        self,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        resident: bool = True,
+    ) -> ResidentSession:
+        """Open a part-pinned session for one partitioned kernel run.
+
+        ``payloads`` are the per-part *loop-invariant* inputs (local CSR, index
+        maps, static parameters) and ``states`` the per-part mutable arrays;
+        both ship once, identified by the layout ``token``. The returned
+        :class:`ResidentSession` then executes each superstep phase via
+        ``session.run(fn, [(part_index, delta), ...])`` where ``fn(payload,
+        state, delta)`` may mutate only its own part's ``state`` — after the
+        first superstep only the deltas (halo values, worklist indices, phase
+        scalars) cross whatever boundary the backend has.
+
+        The reference implementation keeps everything in the caller's address
+        space (trivially correct for the serial and threaded backends); the
+        chunked backend pins part ``i`` to a persistent slot worker, and a
+        distributed backend would pin parts to ranks the same way. Pass
+        ``resident=False`` for the non-resident baseline, which re-ships
+        payload+state every superstep (and accounts it).
+        """
+        return _LocalResidentSession(token, payloads, states, resident=resident)
+
     def with_jobs(self, jobs: Optional[int]) -> "ExecutionBackend":
         """A backend equivalent to this one with ``jobs`` ``map_graphs`` workers.
 
@@ -382,7 +818,18 @@ class ChunkedBackend(ExecutionBackend):
             raise ValueError("inclusive_scan expects a 1-D array")
         if arr.dtype.kind not in "iub" or arr.size <= self.block_elements:
             return _ref.inclusive_scan(arr)
-        return self.exclusive_scan(arr)[1:]
+        # The reference is np.cumsum, whose output dtype follows NumPy's
+        # promotion rules (e.g. uint32 -> uint64, bool -> int64). Probe that
+        # dtype on an empty slice so blocked results match the reference
+        # exactly regardless of input size.
+        out = np.empty(arr.size, dtype=np.cumsum(arr[:0]).dtype)
+        carry = out.dtype.type(0)
+        for start in range(0, arr.size, self.block_elements):
+            stop = min(arr.size, start + self.block_elements)
+            np.cumsum(arr[start:stop], out=out[start:stop])
+            out[start:stop] += carry
+            carry = out[stop - 1]
+        return out
 
     # --------------------------------------------------------------- compaction
     def stream_compact(self, items: np.ndarray, keep: np.ndarray) -> np.ndarray:
@@ -526,6 +973,31 @@ class ChunkedBackend(ExecutionBackend):
                 _evict_partition_pool(workers, fresh)
                 raise
 
+    def map_partitions_resident(
+        self,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        resident: bool = True,
+    ) -> ResidentSession:
+        """Open a part-pinned session over persistent single-worker slot pools.
+
+        Part ``i`` is pinned to slot ``i % width`` for the life of the session
+        (and, because slot pools and their payload caches persist, across
+        sessions sharing a layout token), so the per-part CSR is pickled at
+        most once per run. Single-worker configurations, single-part layouts
+        and calls from inside a ``map_graphs`` pool worker fall back to the
+        in-process session; ``resident=False`` selects the non-resident
+        baseline that re-ships payload+state through ``map_partitions`` every
+        superstep.
+        """
+        workers = self.processes if self.processes is not None else max(1, os.cpu_count() or 1)
+        if workers <= 1 or len(payloads) <= 1 or _in_worker_process():
+            return _LocalResidentSession(token, payloads, states, resident=resident)
+        if not resident:
+            return _UnpinnedResidentSession(self, token, payloads, states)
+        return _PinnedResidentSession(token, payloads, states, width=workers)
+
     def with_jobs(self, jobs: Optional[int]) -> "ChunkedBackend":
         if jobs is None:
             return self
@@ -582,6 +1054,29 @@ class ThreadedBackend(ExecutionBackend):
         if workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
         return list(_partition_thread_pool(workers).map(fn, items))
+
+    def map_partitions_resident(
+        self,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        resident: bool = True,
+    ) -> ResidentSession:
+        """In-process session fanned over the persistent thread pool.
+
+        Payloads and states already live in the caller's address space, so the
+        resident contract is free — tasks mutate their part's state directly
+        and nothing is ever serialised. The shipped-bytes accounting still
+        follows the requested mode so the recorded measurables stay
+        bit-identical across backends.
+        """
+        workers = self.threads if self.threads is not None else max(1, os.cpu_count() or 1)
+        pool = (
+            _partition_thread_pool(workers)
+            if workers > 1 and len(payloads) > 1
+            else None
+        )
+        return _LocalResidentSession(token, payloads, states, resident=resident, pool=pool)
 
     def with_jobs(self, jobs: Optional[int]) -> "ThreadedBackend":
         if jobs is None:
@@ -658,15 +1153,22 @@ class NumbaBackend(NumpyBackend):
         return self._kernels
 
     def _jit_reduce(self, kind: str, values, seg_offsets, identity):
+        values = np.asarray(values)
+        # The jitted loops compare with </> — on float inputs containing NaN
+        # that diverges from the reference's NaN-propagating np.minimum /
+        # np.maximum, and the empty-input output dtype is the reference's
+        # choice (identity-derived), so both cases delegate: only non-empty
+        # integer worklists take the JIT path.
+        if values.dtype.kind not in "iu" or values.size == 0:
+            return None
         kernels = self._get_kernels()
-        values = np.ascontiguousarray(np.asarray(values))
-        seg_offsets = np.ascontiguousarray(np.asarray(seg_offsets, dtype=np.int64))
         if kernels is None:
             return None
-        nseg = seg_offsets.size - 1
-        dtype = values.dtype if values.size else np.asarray(identity).dtype
-        out = np.full(max(nseg, 0), identity, dtype=dtype)
-        if values.size and nseg > 0:
+        values = np.ascontiguousarray(values)
+        seg_offsets = np.ascontiguousarray(np.asarray(seg_offsets, dtype=np.int64))
+        nseg = max(int(seg_offsets.size) - 1, 0)
+        out = np.full(nseg, identity, dtype=values.dtype)
+        if nseg > 0:
             kernels[kind](values, seg_offsets, out)
         return out
 

@@ -24,17 +24,29 @@ any part labelling and any execution backend** (the partition-equivalence test
 matrix enforces exactly this). Part quality (edge cut, boundary size) affects
 only the exchange volume, never the result.
 
-``ExecutionBackend.map_partitions`` is the seam the supersteps run through:
-serial on the reference, a persistent process pool on the chunked backend, a
-thread pool on the threaded backend. A future distributed backend implements
-the same method by pinning parts to ranks and turning the gather/scatter into
-halo messages — the drivers here don't change.
+``ExecutionBackend.map_partitions_resident`` is the seam the supersteps run
+through: each kernel run opens a rank-resident session that ships every
+part's loop-invariant payload (local CSR, index maps, static parameters) and
+initial state exactly once, then runs each phase as ``fn(payload, state,
+delta)`` where only the *delta* (halo values, worklist indices, phase
+scalars) crosses the boundary — the task keeps its owned state current
+itself. The session is in-process on the reference and threaded backends and
+pins part ``i`` to a persistent slot worker on the chunked backend (payloads
+cached under the layout token, so even reruns skip the CSR pickle);
+``resident=False`` selects the non-resident baseline that re-ships
+payload+state every superstep through plain ``map_partitions``. A
+distributed backend implements the same session by pinning parts to ranks
+and turning the delta exchange into halo messages — the drivers here don't
+change. Shipped bytes are accounted logically (array ``nbytes``, identical
+on every backend) and recorded on ``PartitionStats``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,7 +54,7 @@ from ..graph.csr import CSRGraph
 from ..hashing.packing import TuplePacking
 from ..hashing.priorities import PriorityScheme
 from . import primitives as _ref
-from .backends import ExecutionBackend, resolve_backend
+from .backends import ExecutionBackend, ResidentSession, resolve_backend
 from .costmodel import TrafficCounter
 
 __all__ = [
@@ -117,8 +129,27 @@ class GraphPart:
         return self.owned[~self.interior_mask]
 
     def local(self, vertices: np.ndarray) -> np.ndarray:
-        """Local indices of ``vertices`` (global ids that must lie in ``ids``)."""
-        return np.searchsorted(self.ids, np.asarray(vertices, dtype=np.int64))
+        """Local indices of ``vertices`` (global ids that must lie in ``ids``).
+
+        A global id outside the part's local vertex space is a caller bug that
+        a bare ``searchsorted`` would silently map onto an arbitrary local
+        vertex (corrupting results without a trace), so membership is checked
+        and violations raise.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        idx = np.searchsorted(self.ids, vertices)
+        in_range = idx < self.ids.size
+        member = np.zeros(vertices.shape, dtype=bool)
+        member[in_range] = self.ids[idx[in_range]] == vertices[in_range]
+        if not member.all():
+            bad = np.unique(vertices[~member])
+            shown = ", ".join(str(v) for v in bad[:5].tolist())
+            suffix = ", ..." if bad.size > 5 else ""
+            raise ValueError(
+                f"global vertex id(s) [{shown}{suffix}] are not local to part "
+                f"{self.part_id} (not owned and not in its halo)"
+            )
+        return idx
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -143,6 +174,16 @@ class PartitionStats:
     cut_edges: int
     #: Ghost-exchange rounds (superstep phases) the driver executed.
     supersteps: int
+    #: Logical bytes shipped once at session open (per-part CSR + index maps +
+    #: initial state). 0 on non-resident runs, where everything re-ships.
+    resident_bytes: int = 0
+    #: Logical bytes shipped across all supersteps (halo values, worklist
+    #: indices and phase scalars on the resident path; payload + state + delta
+    #: per phase on the non-resident baseline).
+    superstep_bytes: int = 0
+    #: Largest single-superstep shipment — O(halo) on the resident path once
+    #: the CSR has shipped, O(CSR) on the non-resident baseline.
+    max_superstep_bytes: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -152,7 +193,26 @@ class PartitionStats:
             "halo_vertices": self.halo_vertices,
             "cut_edges": self.cut_edges,
             "supersteps": self.supersteps,
+            "resident_bytes": self.resident_bytes,
+            "superstep_bytes": self.superstep_bytes,
+            "max_superstep_bytes": self.max_superstep_bytes,
         }
+
+
+#: Monotonic source of per-layout tokens (see :attr:`PartitionLayout.token`).
+_LAYOUT_TOKENS = itertools.count(1)
+
+
+def _next_layout_token() -> str:
+    """A process-unique token naming one :class:`PartitionLayout` instance.
+
+    The token keys the rank-resident payload caches: a worker that has part
+    ``i`` of token ``t`` resident never receives that part's CSR again. A new
+    layout object — even over the same graph and labels — gets a fresh token,
+    which is the invalidation rule: resident state is valid exactly as long as
+    the layout object that produced it is alive and reused.
+    """
+    return f"layout-{os.getpid()}-{next(_LAYOUT_TOKENS)}"
 
 
 @dataclass(frozen=True)
@@ -167,6 +227,8 @@ class PartitionLayout:
     parts: Tuple[GraphPart, ...]
     #: Undirected edges whose endpoints lie in different parts.
     cut_edges: int
+    #: Process-unique identity keying the rank-resident payload caches.
+    token: str = field(default_factory=_next_layout_token)
 
     @property
     def num_vertices(self) -> int:
@@ -184,8 +246,14 @@ class PartitionLayout:
     def halo_vertices(self) -> int:
         return sum(p.num_halo for p in self.parts)
 
-    def stats(self, supersteps: int) -> PartitionStats:
-        """Snapshot of the layout's measurables after a ``supersteps``-long run."""
+    def stats(
+        self, supersteps: int, session: "Optional[ResidentSession]" = None
+    ) -> PartitionStats:
+        """Snapshot of the layout's measurables after a ``supersteps``-long run.
+
+        ``session`` (when the run went through the resident seam) contributes
+        the shipped-bytes accounting; without one the byte fields are zero.
+        """
         return PartitionStats(
             num_parts=self.num_parts,
             interior_vertices=self.interior_vertices,
@@ -193,6 +261,9 @@ class PartitionLayout:
             halo_vertices=self.halo_vertices,
             cut_edges=self.cut_edges,
             supersteps=int(supersteps),
+            resident_bytes=0 if session is None else int(session.resident_bytes),
+            superstep_bytes=0 if session is None else int(session.superstep_bytes),
+            max_superstep_bytes=0 if session is None else int(session.max_superstep_bytes),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -296,46 +367,70 @@ def build_partition_layout(graph: CSRGraph, partitions: PartitionSpec) -> Partit
     )
 
 
-# ------------------------------------------------- superstep task functions
+# --------------------------------------------- resident superstep task functions
 #
-# Module-level and fed by plain tuples of arrays so they pickle across the
-# chunked backend's persistent process pool. Every task is a pure function of
-# its snapshot inputs and computes values only for part-owned vertices; the
-# per-vertex arithmetic is copied verbatim from the unpartitioned kernels,
-# which is what makes the drivers bit-identical to them. Tasks run the NumPy
-# reference primitives — parts are already cache-sized shards, so the backend's
-# contribution is the ``map_partitions`` fan-out, exactly as ``ThreadedBackend``
-# treats ``map_graphs``.
+# Module-level and picklable: they cross the chunked backend's pinned slot
+# pools. Each task function has the resident signature ``fn(payload, state,
+# delta)`` — ``payload`` is the part's loop-invariant shipment (local CSR,
+# index maps, static kernel parameters; shipped once per run, cached across
+# runs under the layout token), ``state`` the part's retained per-vertex
+# arrays over the local space (the task keeps its *owned* entries current and
+# refreshes the *halo* entries from the delta), and ``delta`` the
+# per-superstep shipment (halo values + worklist indices + phase scalars).
+# The per-vertex arithmetic is copied verbatim from the unpartitioned
+# kernels, which is what makes the drivers bit-identical to them; every task
+# computes from the pre-superstep snapshot first and mutates ``state`` last.
 
 
-def _kk_refresh_row_task(task):
-    vertices, iteration, scheme_name, seed, n, word_bits = task
+def _resident_payload(part: GraphPart, **extra) -> Dict:
+    """The loop-invariant per-part shipment shared by all resident kernels."""
+    payload = {
+        "rowmap": part.rowmap,
+        "entries": part.entries,
+        "ids": part.ids,
+        "halo_local": part.local(part.halo),
+    }
+    payload.update(extra)
+    return payload
+
+
+def _kk_resident_refresh_row(payload, state, delta):
+    w1_local, iteration = delta
     from ..mis.kk import _priorities_for
 
-    scheme = PriorityScheme.coerce(scheme_name)
-    packer = TuplePacking(n, word_bits=word_bits)
-    prios = _priorities_for(scheme, iteration, vertices, n, seed)
-    return packer.pack(prios.astype(packer.dtype), vertices)
+    scheme = PriorityScheme.coerce(payload["scheme"])
+    packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
+    vertices = payload["ids"][w1_local]
+    prios = _priorities_for(scheme, iteration, vertices, payload["n"], payload["seed"])
+    out = packer.pack(prios.astype(packer.dtype), vertices)
+    state["T"][w1_local] = out
+    return out
 
 
-def _kk_refresh_column_task(task):
-    rowmap, entries, T_local, w2_local, n, word_bits = task
-    packer = TuplePacking(n, word_bits=word_bits)
+def _kk_resident_refresh_column(payload, state, delta):
+    w2_local, T_halo = delta
+    T = state["T"]
+    T[payload["halo_local"]] = T_halo
+    packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
-    slots, seg = _ref.expand_rows(rowmap, w2_local)
-    min_nbr = _ref.segmented_min(T_local[entries[slots]], seg, identity=OUT)
-    Mv = np.minimum(min_nbr, T_local[w2_local])
-    return np.where(Mv == IN, OUT, Mv)
+    slots, seg = _ref.expand_rows(payload["rowmap"], w2_local)
+    min_nbr = _ref.segmented_min(T[payload["entries"][slots]], seg, identity=OUT)
+    Mv = np.minimum(min_nbr, T[w2_local])
+    out = np.where(Mv == IN, OUT, Mv)
+    state["M"][w2_local] = out
+    return out
 
 
-def _kk_decide_task(task):
-    rowmap, entries, T_local, M_local, w1_local, n, word_bits = task
-    packer = TuplePacking(n, word_bits=word_bits)
+def _kk_resident_decide(payload, state, delta):
+    w1_local, M_halo = delta
+    T, M = state["T"], state["M"]
+    M[payload["halo_local"]] = M_halo
+    packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
-    slots, seg = _ref.expand_rows(rowmap, w1_local)
-    nbr_M = M_local[entries[slots]]
-    Tw = T_local[w1_local]
-    Mw = M_local[w1_local]
+    slots, seg = _ref.expand_rows(payload["rowmap"], w1_local)
+    nbr_M = M[payload["entries"][slots]]
+    Tw = T[w1_local]
+    Mw = M[w1_local]
     any_out = _ref.segmented_any_equal(nbr_M, OUT, seg) | (Mw == OUT)
     all_match = _ref.segmented_all_equal(nbr_M, Tw, seg) & (Mw == Tw)
     undecided = packer.is_undecided(Tw)
@@ -344,64 +439,92 @@ def _kk_decide_task(task):
     newT = Tw.copy()
     newT[to_out] = OUT
     newT[to_in] = IN
+    state["T"][w1_local] = newT
     return newT
 
 
-def _luby_priorities_task(task):
-    vertices, rounds, scheme_name, seed, n = task
+def _luby_resident_priorities(payload, state, delta):
+    cand_local, rounds = delta
     from ..hashing.priorities import fixed_priorities
     from ..hashing.xorshift import hash_iter_vertex
 
-    scheme = PriorityScheme.coerce(scheme_name)
+    scheme = PriorityScheme.coerce(payload["scheme"])
+    vertices = payload["ids"][cand_local]
     if scheme is PriorityScheme.FIXED:
-        return fixed_priorities(n, seed=seed)[vertices]
-    return hash_iter_vertex(rounds, vertices, star=(scheme is PriorityScheme.XORSTAR))
+        out = fixed_priorities(payload["n"], seed=payload["seed"])[vertices]
+    else:
+        out = hash_iter_vertex(rounds, vertices, star=(scheme is PriorityScheme.XORSTAR))
+    state["priority"][cand_local] = out
+    return out
 
 
-def _luby_select_task(task):
-    rowmap, entries, ids, status_local, prio_local, cand_local, cand_global, undecided_value = task
+def _luby_resident_select(payload, state, delta):
+    cand_local, status_halo, prio_halo = delta
+    status, prio = state["status"], state["priority"]
+    halo_local = payload["halo_local"]
+    status[halo_local] = status_halo
+    prio[halo_local] = prio_halo
+    ids = payload["ids"]
     prio_max = np.uint64(np.iinfo(np.uint64).max)
     id_max = np.int64(np.iinfo(np.int64).max)
-    slots, seg = _ref.expand_rows(rowmap, cand_local)
-    nbr = entries[slots]
-    nbr_undecided = status_local[nbr] == undecided_value
-    nbr_prio = np.where(nbr_undecided, prio_local[nbr], prio_max)
+    slots, seg = _ref.expand_rows(payload["rowmap"], cand_local)
+    nbr = payload["entries"][slots]
+    nbr_undecided = status[nbr] == payload["undecided"]
+    nbr_prio = np.where(nbr_undecided, prio[nbr], prio_max)
     nbr_id = np.where(nbr_undecided, ids[nbr], id_max)
     min_p, min_i = _ref.segmented_lexmin([nbr_prio, nbr_id], seg, [prio_max, id_max])
-    own = prio_local[cand_local]
+    own = prio[cand_local]
+    cand_global = ids[cand_local]
     own_better = (own < min_p) | ((own == min_p) & (cand_global < min_i))
+    status[cand_local[own_better]] = payload["in_value"]
     return cand_global[own_better]
 
 
-def _luby_remove_task(task):
-    rowmap, entries, status_local, targets_local, in_value = task
-    slots, seg = _ref.expand_rows(rowmap, targets_local)
-    return np.asarray(
-        _ref.segmented_any_equal(status_local[entries[slots]], in_value, seg), dtype=bool
+def _luby_resident_remove(payload, state, delta):
+    remaining_local, status_halo = delta
+    status = state["status"]
+    status[payload["halo_local"]] = status_halo
+    slots, seg = _ref.expand_rows(payload["rowmap"], remaining_local)
+    losers = np.asarray(
+        _ref.segmented_any_equal(
+            status[payload["entries"][slots]], payload["in_value"], seg
+        ),
+        dtype=bool,
     )
+    status[remaining_local[losers]] = payload["out_value"]
+    return losers
 
 
-def _color_assign_task(task):
-    rowmap, entries, colors_local, wl_local, max_colors = task
-    slots, seg = _ref.expand_rows(rowmap, wl_local)
-    nbr_colors = colors_local[entries[slots]]
+def _color_resident_assign(payload, state, delta):
+    wl_local, colors_halo = delta
+    colors = state["colors"]
+    colors[payload["halo_local"]] = colors_halo
+    slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
+    nbr_colors = colors[payload["entries"][slots]]
     owner = np.repeat(np.arange(wl_local.size), np.diff(seg))
+    max_colors = payload["max_colors"]
     forbidden = np.zeros((wl_local.size, max_colors + 1), dtype=bool)
     valid = nbr_colors >= 0
     forbidden[owner[valid], np.minimum(nbr_colors[valid], max_colors)] = True
-    return np.argmin(forbidden, axis=1).astype(np.int64)
+    out = np.argmin(forbidden, axis=1).astype(np.int64)
+    colors[wl_local] = out
+    return out
 
 
-def _color_conflict_task(task):
-    rowmap, entries, ids, colors_local, wl_local, wl_global = task
-    slots, seg = _ref.expand_rows(rowmap, wl_local)
-    nbr = entries[slots]
+def _color_resident_conflict(payload, state, delta):
+    wl_local, colors_halo = delta
+    colors = state["colors"]
+    colors[payload["halo_local"]] = colors_halo
+    ids = payload["ids"]
+    slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
+    nbr = payload["entries"][slots]
     lens = np.diff(seg)
-    owners_global = np.repeat(wl_global, lens)
-    conflict = (np.repeat(colors_local[wl_local], lens) == colors_local[nbr]) & (
-        owners_global > ids[nbr]
-    )
-    return np.unique(owners_global[conflict])
+    owners_local = np.repeat(wl_local, lens)
+    owners_global = np.repeat(ids[wl_local], lens)
+    conflict = (colors[owners_local] == colors[nbr]) & (owners_global > ids[nbr])
+    losers_local = np.unique(owners_local[conflict])
+    colors[losers_local] = -1
+    return ids[losers_local]
 
 
 # ------------------------------------------------------------------- drivers
@@ -428,14 +551,18 @@ def partitioned_kk_mis2(
     word_bits: int = 64,
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
+    resident: bool = True,
 ):
     """Algorithm 1 executed partition-parallel; bit-identical to :func:`kk_mis2`.
 
     Each main-loop iteration runs as three supersteps (Refresh Row, Refresh
-    Column, Decide) fanned over the parts through
-    :meth:`ExecutionBackend.map_partitions`, with a ghost exchange between
-    phases; worklist compaction is owner-local. See the module docstring for
-    the determinism argument.
+    Column, Decide) fanned over the parts through a rank-resident
+    :class:`~repro.parallel.backends.ResidentSession` — each part's local CSR
+    ships to its pinned worker once, every subsequent phase ships only the
+    halo values and worklist indices. Worklist compaction is owner-local.
+    ``resident=False`` selects the non-resident baseline that re-ships the
+    whole part every superstep (same results, pre-affinity cost profile). See
+    the module docstring for the determinism argument.
     """
     from ..mis.kk import SIMD_DEGREE_THRESHOLD, _max_iterations
     from ..mis.result import MISConfig, MISResult
@@ -487,75 +614,68 @@ def partitioned_kk_mis2(
     supersteps = 0
     max_iter = _max_iterations(n)
 
-    while True:
-        total1 = sum(w.size for w in w1)
-        if total1 == 0:
-            break
-        if iteration >= max_iter:
-            raise RuntimeError(
-                f"partitioned MIS-2 did not converge within {max_iter} iterations; "
-                "this indicates a bug in the priority scheme or the graph structure"
+    payloads = [
+        _resident_payload(p, n=n, word_bits=word_bits, scheme=scheme.value, seed=seed)
+        for p in members
+    ]
+    states = [{"T": T[p.ids], "M": M[p.ids]} for p in members]
+    token = f"{layout.token}/kk2/{scheme.value}/s{seed}/w{word_bits}"
+    session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    try:
+        while True:
+            total1 = sum(w.size for w in w1)
+            if total1 == 0:
+                break
+            if iteration >= max_iter:
+                raise RuntimeError(
+                    f"partitioned MIS-2 did not converge within {max_iter} iterations; "
+                    "this indicates a bug in the priority scheme or the graph structure"
+                )
+            worklist_sizes.append((int(total1), int(sum(w.size for w in w2))))
+
+            # -------------------------------------------- Refresh Row (owner-local)
+            live1 = _live(w1)
+            w1_loc = {i: members[i].local(w1[i]) for i in live1}
+            outs = session.run(
+                _kk_resident_refresh_row,
+                [(i, (w1_loc[i], iteration)) for i in live1],
             )
-        worklist_sizes.append((int(total1), int(sum(w.size for w in w2))))
+            for i, out in zip(live1, outs):
+                T[w1[i]] = out
+            supersteps += 1
+            _exchange_traffic(traffic, layout, word_bytes)
 
-        # ------------------------------------------------ Refresh Row (owner-local)
-        live1 = _live(w1)
-        outs = B.map_partitions(
-            _kk_refresh_row_task,
-            [(w1[i], iteration, scheme.value, seed, n, word_bits) for i in live1],
-        )
-        for i, out in zip(live1, outs):
-            T[w1[i]] = out
-        supersteps += 1
-        _exchange_traffic(traffic, layout, word_bytes)
+            # ----------------------------------- Refresh Column (reads ghost T)
+            live2 = _live(w2)
+            outs = session.run(
+                _kk_resident_refresh_column,
+                [
+                    (i, (members[i].local(w2[i]), T[members[i].halo]))
+                    for i in live2
+                ],
+            )
+            for i, out in zip(live2, outs):
+                M[w2[i]] = out
+            supersteps += 1
+            _exchange_traffic(traffic, layout, word_bytes)
 
-        # --------------------------------------- Refresh Column (reads ghost T)
-        live2 = _live(w2)
-        outs = B.map_partitions(
-            _kk_refresh_column_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    T[members[i].ids],
-                    members[i].local(w2[i]),
-                    n,
-                    word_bits,
-                )
-                for i in live2
-            ],
-        )
-        for i, out in zip(live2, outs):
-            M[w2[i]] = out
-        supersteps += 1
-        _exchange_traffic(traffic, layout, word_bytes)
+            # -------------------------------------------- Decide (reads ghost M)
+            outs = session.run(
+                _kk_resident_decide,
+                [(i, (w1_loc[i], M[members[i].halo])) for i in live1],
+            )
+            for i, out in zip(live1, outs):
+                T[w1[i]] = out
+            supersteps += 1
 
-        # ------------------------------------------------ Decide (reads ghost M)
-        outs = B.map_partitions(
-            _kk_decide_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    T[members[i].ids],
-                    M[members[i].ids],
-                    members[i].local(w1[i]),
-                    n,
-                    word_bits,
-                )
-                for i in live1
-            ],
-        )
-        for i, out in zip(live1, outs):
-            T[w1[i]] = out
-        supersteps += 1
-
-        # ------------------------------------------- Compaction (owner-local)
-        for i in live1:
-            w1[i] = w1[i][packer.is_undecided(T[w1[i]])]
-        for i in live2:
-            w2[i] = w2[i][M[w2[i]] != OUT]
-        iteration += 1
+            # --------------------------------------- Compaction (owner-local)
+            for i in live1:
+                w1[i] = w1[i][packer.is_undecided(T[w1[i]])]
+            for i in live2:
+                w2[i] = w2[i][M[w2[i]] != OUT]
+            iteration += 1
+    finally:
+        session.close()
 
     in_mask = packer.is_in(T)
     return MISResult(
@@ -565,7 +685,7 @@ def partitioned_kk_mis2(
         worklist_sizes=worklist_sizes,
         traffic=traffic,
         config=config,
-        partition_stats=layout.stats(supersteps),
+        partition_stats=layout.stats(supersteps, session=session),
     )
 
 
@@ -575,6 +695,7 @@ def partitioned_luby_mis1(
     priority_scheme: Union[str, PriorityScheme] = PriorityScheme.XORSTAR,
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
+    resident: bool = True,
 ):
     """Luby's Algorithm A executed partition-parallel; bit-identical to
     :func:`luby_mis1`.
@@ -582,7 +703,10 @@ def partitioned_luby_mis1(
     Each round runs three supersteps: priority refresh (owner-local), winner
     selection (reads ghost priorities/statuses) and neighbour removal
     (owner-computes: an undecided owned vertex goes OUT when any neighbour —
-    local or ghost — just joined the set).
+    local or ghost — just joined the set). Runs through a rank-resident
+    session: the per-part CSR ships once, supersteps ship halo
+    status/priority values and candidate indices only (``resident=False``
+    restores the ship-everything baseline).
     """
     import math
 
@@ -622,69 +746,81 @@ def partitioned_luby_mis1(
     supersteps = 0
     max_rounds = 20 * max(4, int(math.log2(n + 2))) + 64
 
-    while np.any(status == _UNDECIDED):
-        if rounds >= max_rounds:
-            raise RuntimeError(
-                f"partitioned Luby MIS-1 did not converge within {max_rounds} rounds"
+    payloads = [
+        _resident_payload(
+            p,
+            n=n,
+            scheme=scheme.value,
+            seed=seed,
+            undecided=_UNDECIDED,
+            in_value=_IN,
+            out_value=_OUT,
+        )
+        for p in members
+    ]
+    states = [{"status": status[p.ids], "priority": priority[p.ids]} for p in members]
+    token = f"{layout.token}/luby1/{scheme.value}/s{seed}"
+    session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    try:
+        while np.any(status == _UNDECIDED):
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"partitioned Luby MIS-1 did not converge within {max_rounds} rounds"
+                )
+            cand = [p.owned[status[p.owned] == _UNDECIDED] for p in members]
+            live = _live(cand)
+            cand_loc = {i: members[i].local(cand[i]) for i in live}
+
+            # -------------------------------------- priorities (owner-local)
+            outs = session.run(
+                _luby_resident_priorities,
+                [(i, (cand_loc[i], rounds)) for i in live],
             )
-        cand = [p.owned[status[p.owned] == _UNDECIDED] for p in members]
-        live = _live(cand)
+            for i, out in zip(live, outs):
+                priority[cand[i]] = out
+            supersteps += 1
+            _exchange_traffic(traffic, layout, 8)
 
-        # ------------------------------------------ priorities (owner-local)
-        outs = B.map_partitions(
-            _luby_priorities_task,
-            [(cand[i], rounds, scheme.value, seed, n) for i in live],
-        )
-        for i, out in zip(live, outs):
-            priority[cand[i]] = out
-        supersteps += 1
-        _exchange_traffic(traffic, layout, 8)
+            # ----------------------------- selection (reads ghost priorities)
+            outs = session.run(
+                _luby_resident_select,
+                [
+                    (
+                        i,
+                        (
+                            cand_loc[i],
+                            status[members[i].halo],
+                            priority[members[i].halo],
+                        ),
+                    )
+                    for i in live
+                ],
+            )
+            for i, winners in zip(live, outs):
+                status[winners] = _IN
+            supersteps += 1
+            _exchange_traffic(traffic, layout, 1)
 
-        # --------------------------------- selection (reads ghost priorities)
-        outs = B.map_partitions(
-            _luby_select_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    members[i].ids,
-                    status[members[i].ids],
-                    priority[members[i].ids],
-                    members[i].local(cand[i]),
-                    cand[i],
-                    _UNDECIDED,
-                )
-                for i in live
-            ],
-        )
-        for i, winners in zip(live, outs):
-            status[winners] = _IN
-        supersteps += 1
-        _exchange_traffic(traffic, layout, 1)
-
-        # ------------------------------------ removal (reads ghost statuses)
-        remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
-        live_r = [i for i in live if remaining[i].size]
-        outs = B.map_partitions(
-            _luby_remove_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    status[members[i].ids],
-                    members[i].local(remaining[i]),
-                    _IN,
-                )
-                for i in live_r
-            ],
-        )
-        for i, losers in zip(live_r, outs):
-            status[remaining[i][losers]] = _OUT
-        supersteps += 1
-        # The removal phase's OUT statuses are re-ghosted for the next round's
-        # selection snapshot — account that exchange like the others.
-        _exchange_traffic(traffic, layout, 1)
-        rounds += 1
+            # -------------------------------- removal (reads ghost statuses)
+            remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
+            live_r = [i for i in live if remaining[i].size]
+            outs = session.run(
+                _luby_resident_remove,
+                [
+                    (i, (members[i].local(remaining[i]), status[members[i].halo]))
+                    for i in live_r
+                ],
+            )
+            for i, losers in zip(live_r, outs):
+                status[remaining[i][losers]] = _OUT
+            supersteps += 1
+            # The removal phase's OUT statuses are re-ghosted for the next
+            # round's selection snapshot — account that exchange like the
+            # others.
+            _exchange_traffic(traffic, layout, 1)
+            rounds += 1
+    finally:
+        session.close()
 
     in_mask = status == _IN
     return MISResult(
@@ -693,7 +829,7 @@ def partitioned_luby_mis1(
         iterations=rounds,
         traffic=traffic,
         config=config,
-        partition_stats=layout.stats(supersteps),
+        partition_stats=layout.stats(supersteps, session=session),
     )
 
 
@@ -702,6 +838,7 @@ def partitioned_greedy_color(
     partitions: PartitionSpec,
     max_rounds: Optional[int] = None,
     backend: "Optional[str | ExecutionBackend]" = None,
+    resident: bool = True,
 ):
     """Speculative greedy coloring executed partition-parallel; bit-identical to
     :func:`greedy_color`.
@@ -709,7 +846,10 @@ def partitioned_greedy_color(
     Each round runs two supersteps: speculative assignment (reads ghost
     colors) and conflict resolution (the higher-global-id endpoint of a
     same-color edge is uncolored by its owning part — the same deterministic
-    tie-break as the unpartitioned kernel).
+    tie-break as the unpartitioned kernel). Runs through a rank-resident
+    session: the per-part CSR ships once, supersteps ship halo colors and
+    worklist indices only (``resident=False`` restores the ship-everything
+    baseline).
     """
     from ..coloring.greedy import ColoringResult
 
@@ -736,56 +876,47 @@ def partitioned_greedy_color(
     rounds = 0
     supersteps = 0
 
-    while sum(w.size for w in worklists) > 0:
-        if rounds >= cap:
-            raise RuntimeError("partitioned greedy coloring did not converge (conflict loop)")
-        live = _live(worklists)
-
-        # ------------------------------------- speculation (reads ghost colors)
-        outs = B.map_partitions(
-            _color_assign_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    colors[members[i].ids],
-                    members[i].local(worklists[i]),
-                    max_colors,
+    payloads = [_resident_payload(p, max_colors=max_colors) for p in members]
+    states = [{"colors": colors[p.ids]} for p in members]
+    token = f"{layout.token}/greedy/m{max_colors}"
+    session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    try:
+        while sum(w.size for w in worklists) > 0:
+            if rounds >= cap:
+                raise RuntimeError(
+                    "partitioned greedy coloring did not converge (conflict loop)"
                 )
-                for i in live
-            ],
-        )
-        for i, out in zip(live, outs):
-            colors[worklists[i]] = out
-        supersteps += 1
-        _exchange_traffic(traffic, layout, 8)
+            live = _live(worklists)
+            wl_loc = {i: members[i].local(worklists[i]) for i in live}
 
-        # ------------------------------- conflicts (reads freshly ghosted colors)
-        outs = B.map_partitions(
-            _color_conflict_task,
-            [
-                (
-                    members[i].rowmap,
-                    members[i].entries,
-                    members[i].ids,
-                    colors[members[i].ids],
-                    members[i].local(worklists[i]),
-                    worklists[i],
-                )
-                for i in live
-            ],
-        )
-        new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
-        for i, losers in zip(live, outs):
-            colors[losers] = -1
-            new_worklists[i] = losers
-        worklists = new_worklists
-        supersteps += 1
-        # The conflict phase's -1 resets are re-ghosted for the next round's
-        # speculation snapshot, so this round carries two exchanges like the
-        # other kernels' ghost-reading phase pairs.
-        _exchange_traffic(traffic, layout, 8)
-        rounds += 1
+            # --------------------------------- speculation (reads ghost colors)
+            outs = session.run(
+                _color_resident_assign,
+                [(i, (wl_loc[i], colors[members[i].halo])) for i in live],
+            )
+            for i, out in zip(live, outs):
+                colors[worklists[i]] = out
+            supersteps += 1
+            _exchange_traffic(traffic, layout, 8)
+
+            # --------------------------- conflicts (reads freshly ghosted colors)
+            outs = session.run(
+                _color_resident_conflict,
+                [(i, (wl_loc[i], colors[members[i].halo])) for i in live],
+            )
+            new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
+            for i, losers in zip(live, outs):
+                colors[losers] = -1
+                new_worklists[i] = losers
+            worklists = new_worklists
+            supersteps += 1
+            # The conflict phase's -1 resets are re-ghosted for the next round's
+            # speculation snapshot, so this round carries two exchanges like the
+            # other kernels' ghost-reading phase pairs.
+            _exchange_traffic(traffic, layout, 8)
+            rounds += 1
+    finally:
+        session.close()
 
     used = np.unique(colors)
     remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
@@ -798,5 +929,5 @@ def partitioned_greedy_color(
         distance=1,
         backend=B.name,
         partitions=layout.num_parts,
-        partition_stats=layout.stats(supersteps),
+        partition_stats=layout.stats(supersteps, session=session),
     )

@@ -176,6 +176,56 @@ def test_cli_rejects_bad_parts():
         main(["smoke", "--parts", "0"])
 
 
+def test_cli_no_resident_writes_nr_records(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["smoke", "--parts", "2", "--no-resident", "--json"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "non-resident baseline" in out
+    path = tmp_path / "BENCH_smoke_p2nr_numpy.json"
+    assert path.exists()
+    record = json.loads(path.read_text())
+    assert record["resident"] is False
+    assert record["parts"] == 2
+    # The baseline path re-ships every superstep: no one-time resident bytes,
+    # whole-part shipments per phase.
+    for row in record["rows"]:
+        assert row["resident_bytes"] == 0
+        assert row["superstep_bytes"] > 0
+        assert row["total_shipped_bytes"] == row["superstep_bytes"]
+
+
+def test_cli_resident_records_byte_fields(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    assert main(["smoke", "--parts", "2", "--json"]) == 0
+    record = json.loads((tmp_path / "BENCH_smoke_p2_numpy.json").read_text())
+    assert record["resident"] is True
+    for row in record["rows"]:
+        assert row["resident_bytes"] > 0
+        # The acceptance gate: after the one-time CSR shipment, a superstep
+        # ships O(halo), far below the one-time payload.
+        assert row["max_superstep_bytes"] < row["resident_bytes"]
+        assert row["total_shipped_bytes"] == row["resident_bytes"] + row["superstep_bytes"]
+    counts = record["counts"]
+    assert any(key.endswith("/total_shipped_bytes") for key in counts)
+
+
+def test_cli_rejects_no_resident_without_parts():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--no-resident"])
+
+
+def test_cli_sweep_no_resident_writes_nr_sweep_records(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["sweep", "smoke", "--parts", "2", "--no-resident",
+                 "--backends", "numpy,threaded", "--json"])
+    assert code == 0
+    assert (tmp_path / "BENCH_smoke_p2nr_numpy.json").exists()
+    assert (tmp_path / "BENCH_smoke_p2nr_threaded.json").exists()
+    assert (tmp_path / "BENCH_sweep_smoke_p2nr.json").exists()
+    assert "(non-resident)" in capsys.readouterr().out
+
+
 def test_cli_rejects_parts_on_unaware_experiment():
     # table1's task ignores config.parts; accepting --parts would stamp
     # parts=k on a record of an unpartitioned run.
@@ -259,6 +309,72 @@ def test_cli_compare_clean_errors_on_bad_records(capsys, tmp_path, monkeypatch):
     not_a_record.write_text('{"hello": 1}')
     with pytest.raises(SystemExit, match="not an ExperimentResult record"):
         main(["compare", str(a), str(not_a_record)])
+
+
+def test_cli_compare_reports_backend_mismatch(capsys, tmp_path, monkeypatch):
+    # Regression: comparing records from different backends/parts used to gate
+    # silently; the mismatch must be visible in the rendered output.
+    a = _write_record(tmp_path, monkeypatch, "a")
+    b = tmp_path / "BENCH_other_backend.json"
+    record = json.loads(a.read_text())
+    record["backend"] = "threaded"
+    b.write_text(json.dumps(record))
+    assert main(["compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "note: backends differ: 'numpy' vs 'threaded'" in out
+    assert "deterministic counts: identical" in out
+
+
+def test_cli_compare_reports_parts_and_resident_mismatch(capsys, tmp_path, monkeypatch):
+    a = _write_record(tmp_path, monkeypatch, "a")
+    b = tmp_path / "BENCH_other_parts.json"
+    record = json.loads(a.read_text())
+    record["parts"] = 4
+    record["resident"] = False
+    b.write_text(json.dumps(record))
+    assert main(["compare", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "note: partition counts differ: None vs 4" in out
+    assert "note: execution paths differ: resident vs non-resident" in out
+    header = next(line for line in out.splitlines() if line.startswith("bench compare:"))
+    assert "non-resident" in header  # candidate label carries the mode
+
+
+def test_cli_compare_gates_shipped_bytes_directionally(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    assert main(["smoke", "--parts", "2", "--no-resident", "--json"]) == 0
+    assert main(["smoke", "--parts", "2", "--json"]) == 0
+    baseline = tmp_path / "BENCH_smoke_p2nr_numpy.json"
+    candidate = tmp_path / "BENCH_smoke_p2_numpy.json"
+    capsys.readouterr()
+    # Resident vs the non-resident baseline: kernel counts identical, bytes
+    # strictly smaller -> an improvement, exit 0.
+    assert main(["compare", str(baseline), str(candidate)]) == 0
+    out = capsys.readouterr().out
+    assert "deterministic counts: identical" in out
+    assert "shipped bytes: improved" in out
+    # The reverse direction ships *more* bytes -> drift, exit 1.
+    assert main(["compare", str(candidate), str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out
+
+
+def test_cli_compare_same_config_bytes_undercount_is_drift(capsys, tmp_path, monkeypatch):
+    # Between records of the *same* execution configuration the byte counts
+    # must be bit-identical: a smaller candidate value is under-accounting
+    # (e.g. a backend skipping the shipped-bytes bookkeeping), not a win.
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    assert main(["smoke", "--parts", "2", "--json"]) == 0
+    a = tmp_path / "BENCH_smoke_p2_numpy.json"
+    b = tmp_path / "BENCH_undercount.json"
+    record = json.loads(a.read_text())
+    key = next(k for k in record["counts"] if k.endswith("total_shipped_bytes"))
+    record["counts"][key] = record["counts"][key] - 1
+    b.write_text(json.dumps(record))
+    capsys.readouterr()
+    assert main(["compare", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "shipped bytes: improved" not in out
 
 
 def test_cli_rejects_candidate_without_compare():

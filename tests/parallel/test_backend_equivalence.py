@@ -246,6 +246,45 @@ def test_partitioned_kk_every_small_graph_numpy(graph_name, k):
     assert ref.worklist_sizes == out.worklist_sizes
 
 
+@pytest.mark.parametrize("k", (2, 4))
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_nonresident_baseline_bit_identical(partition_backend, graph_name, k):
+    """The non-resident execution path (payload re-shipped every superstep)
+    must stay bit-identical to the reference and to the resident path on
+    every backend — only the shipped-bytes accounting may differ."""
+    g = SMALL_GRAPH_CASES[graph_name]
+    ref = kk_mis2(g)
+    out = kk_mis2(g, partitions=k, backend=partition_backend, resident=False)
+    assert np.array_equal(ref.in_set, out.in_set)
+    assert ref.iterations == out.iterations
+    assert out.partition_stats.resident_bytes == 0
+    coloring = greedy_color(g, partitions=k, backend=partition_backend, resident=False)
+    assert np.array_equal(greedy_color(g).colors, coloring.colors)
+    luby = luby_mis1(g, partitions=k, backend=partition_backend, resident=False)
+    assert np.array_equal(luby_mis1(g).in_set, luby.in_set)
+
+
+@pytest.mark.parametrize("resident", (True, False))
+def test_shipped_bytes_accounting_identical_across_backends(resident):
+    """The shipped-bytes fields are *logical* (array nbytes), so every backend
+    must record exactly the same numbers for the same run — that is what makes
+    them deterministic counts gateable by `bench compare`."""
+    g = SMALL_GRAPH_CASES["gnp60"]
+    reference = None
+    for name, backend in sorted(PARTITION_BACKENDS.items()):
+        out = kk_mis2(g, partitions=4, backend=backend, resident=resident)
+        recorded = out.partition_stats.to_dict()
+        if reference is None:
+            reference = recorded
+        assert recorded == reference, name
+    assert reference["superstep_bytes"] > 0
+    if resident:
+        assert reference["resident_bytes"] > 0
+        assert reference["max_superstep_bytes"] < reference["resident_bytes"]
+    else:
+        assert reference["resident_bytes"] == 0
+
+
 def test_partitioned_smoke_sweep_counts_identical():
     """The partitioned smoke sweep (CI's intra-graph sharding gate) passes and
     records identical deterministic counts on every backend."""

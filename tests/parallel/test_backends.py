@@ -124,6 +124,23 @@ class TestChunkedBackend:
         vals = np.linspace(0.0, 1.0, 100)
         assert np.array_equal(B.exclusive_scan(vals), exclusive_scan(vals))
 
+    @pytest.mark.parametrize("dtype", [np.uint64, np.uint32, np.int32, np.int64, np.bool_])
+    @pytest.mark.parametrize("size", [7, 8, 9, 100])
+    def test_chunked_scan_dtype_independent_of_size(self, dtype, size):
+        # Regression: the blocked path used to force int64 while inputs below
+        # block_elements took the reference's promoted dtype (uint64 for
+        # unsigned inputs), so the output dtype flipped at the block boundary.
+        B = ChunkedBackend(block_elements=8)
+        vals = (np.arange(size) % 3).astype(dtype)
+        ref_inc = np.cumsum(vals)
+        out_inc = B.inclusive_scan(vals)
+        assert out_inc.dtype == ref_inc.dtype, (dtype, size)
+        assert np.array_equal(out_inc, ref_inc)
+        ref_exc = exclusive_scan(vals)
+        out_exc = B.exclusive_scan(vals)
+        assert out_exc.dtype == ref_exc.dtype, (dtype, size)
+        assert np.array_equal(out_exc, ref_exc)
+
     def test_chunked_compact_matches_reference(self):
         B = ChunkedBackend(block_elements=16)
         rng = np.random.default_rng(1)
@@ -231,6 +248,58 @@ class TestNumbaBackend:
     def test_requestable_by_name_without_numba(self):
         result = kk_mis2(from_edges(5, [(0, 1), (1, 2), (3, 4)]), backend="numba")
         assert result.config.backend == "numba"
+
+    def test_float_nan_matches_nan_propagating_reference(self):
+        # Regression: the jitted </> comparison loops skip NaN (NaN < x is
+        # False), diverging from the reference's np.minimum/np.maximum, which
+        # propagate it. Float inputs must delegate to the reference.
+        B = NumbaBackend()
+        ref = NumpyBackend()
+        values = np.array([1.0, np.nan, 3.0, 2.0, np.nan, 0.5])
+        seg = np.array([0, 3, 6], dtype=np.int64)
+        for op in ("segmented_min", "segmented_max"):
+            out = getattr(B, op)(values, seg, np.inf)
+            expect = getattr(ref, op)(values, seg, np.inf)
+            assert out.dtype == expect.dtype
+            assert np.array_equal(out, expect, equal_nan=True)
+            assert np.isnan(out).all()  # every segment contains a NaN
+        assert np.array_equal(
+            B.segmented_sum(values, seg), ref.segmented_sum(values, seg), equal_nan=True
+        )
+
+    def test_float_without_nan_matches_reference(self):
+        B = NumbaBackend()
+        ref = NumpyBackend()
+        rng = np.random.default_rng(3)
+        values = rng.random(40)
+        seg = exclusive_scan(np.array([5, 0, 10, 25]))
+        assert np.array_equal(
+            B.segmented_min(values, seg, np.inf), ref.segmented_min(values, seg, np.inf)
+        )
+        assert np.array_equal(
+            B.segmented_max(values, seg, -np.inf), ref.segmented_max(values, seg, -np.inf)
+        )
+
+    def test_empty_input_dtype_matches_reference(self):
+        # Regression: the empty-input output dtype must be the reference's
+        # identity-derived choice, not a JIT-path variant.
+        B = NumbaBackend()
+        ref = NumpyBackend()
+        empty = np.zeros(0, dtype=np.uint64)
+        seg = np.array([0, 0, 0], dtype=np.int64)
+        for identity in (np.uint64(2**64 - 1), 7, 1.5):
+            out = B.segmented_min(empty, seg, identity)
+            expect = ref.segmented_min(empty, seg, identity)
+            assert out.dtype == expect.dtype, identity
+            assert np.array_equal(out, expect)
+        out_sum = B.segmented_sum(empty, seg)
+        expect_sum = ref.segmented_sum(empty, seg)
+        assert out_sum.dtype == expect_sum.dtype
+        assert np.array_equal(out_sum, expect_sum)
+        # Zero segments with non-empty values: output is empty but typed.
+        values = np.arange(4, dtype=np.int64)
+        none = np.array([0], dtype=np.int64)
+        assert B.segmented_min(values, none, 0).dtype == ref.segmented_min(values, none, 0).dtype
 
 
 def test_every_registered_backend_is_an_execution_backend():

@@ -13,8 +13,13 @@ from repro.parallel import (
     get_backend,
     partition_vertices,
     partitioned_kk_mis2,
+    shipped_nbytes,
 )
-from repro.parallel.backends import _PARTITION_POOLS, shutdown_partition_pools
+from repro.parallel.backends import (
+    _PARTITION_POOLS,
+    _RESIDENT_SLOT_POOLS,
+    shutdown_partition_pools,
+)
 
 
 class TestPartitionVertices:
@@ -100,6 +105,34 @@ class TestBuildLayout:
         assert stats.interior_vertices + stats.boundary_vertices == 16
         assert stats.cut_edges == layout.cut_edges
         assert stats.to_dict()["halo_vertices"] == layout.halo_vertices
+        # Without a session the shipped-bytes fields default to zero.
+        assert stats.resident_bytes == 0 and stats.superstep_bytes == 0
+        assert "max_superstep_bytes" in stats.to_dict()
+
+    def test_local_rejects_non_member_vertices(self):
+        # Regression: a bare searchsorted silently mapped foreign global ids
+        # onto arbitrary local indices; membership is now checked.
+        g = path_graph(6)
+        layout = build_partition_layout(g, np.array([0, 0, 0, 1, 1, 1]))
+        left = layout.parts[0]
+        # ids of part 0 are {0, 1, 2, 3 (halo)}; 5 is not local.
+        with pytest.raises(ValueError, match="not local to part 0"):
+            left.local(np.array([5]))
+        # An id between members (4) and one past the end both fail.
+        with pytest.raises(ValueError, match="not local"):
+            left.local(np.array([0, 4]))
+        with pytest.raises(ValueError, match="not local"):
+            left.local(np.array([99]))
+        # Valid queries (owned and halo) still resolve.
+        assert np.array_equal(left.local(left.ids), np.arange(left.ids.size))
+        # Empty query is fine.
+        assert left.local(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_layout_tokens_are_unique(self):
+        g = path_graph(4)
+        a = build_partition_layout(g, 2)
+        b = build_partition_layout(g, 2)
+        assert a.token != b.token
 
 
 class TestDrivers:
@@ -194,6 +227,153 @@ class TestMapPartitionsSeam:
         assert not _PARTITION_POOLS
         assert backend.map_partitions(_double, [1, 2, 3]) == [2, 4, 6]
         shutdown_partition_pools()
+
+
+class TestResidentSessions:
+    """The rank-resident seam: ship the payload once, deltas per superstep."""
+
+    @staticmethod
+    def _payloads_states(k=3, size=100):
+        payloads = [{"base": np.full(size, i, dtype=np.int64)} for i in range(k)]
+        states = [{"acc": np.zeros(4, dtype=np.int64)} for _ in range(k)]
+        return payloads, states
+
+    def test_base_session_executes_and_mutates_state(self):
+        payloads, states = self._payloads_states()
+        session = NumpyBackend().map_partitions_resident("tok", payloads, states)
+        outs = session.run(_resident_add, [(0, 5), (2, 7)])
+        assert outs == [0 + 5, 2 + 7]
+        # State mutation is retained across supersteps.
+        outs = session.run(_resident_add, [(0, 1)])
+        assert outs == [0 + 5 + 1]
+        assert states[0]["acc"][0] == 6 and states[2]["acc"][0] == 7
+        session.close()
+
+    def test_accounting_resident_vs_baseline(self):
+        payloads, states = self._payloads_states(k=2, size=50)
+        per_part = shipped_nbytes(payloads[0]) + shipped_nbytes(states[0])
+        resident = NumpyBackend().map_partitions_resident("a", payloads, states)
+        assert resident.resident_bytes == 2 * per_part
+        resident.run(_resident_add, [(0, 1), (1, 2)])
+        resident.run(_resident_add, [(1, 3)])
+        # Deltas are plain scalars: 8 logical bytes each.
+        assert resident.superstep_bytes == 16 + 8
+        assert resident.max_superstep_bytes == 16
+        assert resident.supersteps == 2
+
+        payloads, states = self._payloads_states(k=2, size=50)
+        baseline = NumpyBackend().map_partitions_resident(
+            "b", payloads, states, resident=False
+        )
+        assert baseline.resident_bytes == 0
+        baseline.run(_resident_add, [(0, 1), (1, 2)])
+        baseline.run(_resident_add, [(1, 3)])
+        assert baseline.superstep_bytes == (2 * per_part + 16) + (per_part + 8)
+        assert baseline.max_superstep_bytes == 2 * per_part + 16
+
+    def test_threaded_session_shares_state(self):
+        payloads, states = self._payloads_states(k=4)
+        session = get_backend("threaded").with_jobs(2).map_partitions_resident(
+            "t", payloads, states
+        )
+        outs = session.run(_resident_add, [(i, 10) for i in range(4)])
+        assert outs == [10, 11, 12, 13]
+        assert [int(s["acc"][0]) for s in states] == [10, 10, 10, 10]
+
+    def test_chunked_pinned_session_ships_payload_once(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        payloads, states = self._payloads_states(k=3)
+        with backend.map_partitions_resident("pin-1", payloads, states) as session:
+            outs = session.run(_resident_add, [(0, 1), (1, 2), (2, 3)])
+            assert outs == [1, 3, 5]
+            # Worker-retained state accumulates without re-shipping payloads.
+            outs = session.run(_resident_add, [(0, 10), (2, 30)])
+            assert outs == [0 + 1 + 10, 2 + 3 + 30]
+        # Slot pools persist (keyed by slot index) for the next session.
+        assert sorted(_RESIDENT_SLOT_POOLS) == [0, 1]
+        shutdown_partition_pools()
+        assert not _RESIDENT_SLOT_POOLS
+
+    def test_chunked_session_reuses_cached_payload_across_runs(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        payloads, states = self._payloads_states(k=2)
+        with backend.map_partitions_resident("reuse", payloads, states) as s1:
+            assert s1.run(_resident_add, [(0, 1), (1, 1)]) == [1, 2]
+        # Same token, fresh states: the install round-trip skips the payload
+        # (the worker already holds it) and state starts clean.
+        _, fresh_states = self._payloads_states(k=2)
+        with backend.map_partitions_resident("reuse", payloads, fresh_states) as s2:
+            assert s2.run(_resident_add, [(0, 5), (1, 5)]) == [5, 6]
+        shutdown_partition_pools()
+
+    def test_chunked_nonresident_session_round_trips_state(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        payloads, states = self._payloads_states(k=3)
+        session = backend.map_partitions_resident(
+            "nr", payloads, states, resident=False
+        )
+        assert session.run(_resident_add, [(0, 1), (1, 2), (2, 3)]) == [1, 3, 5]
+        assert session.run(_resident_add, [(0, 4)]) == [5]
+        assert session.resident_bytes == 0 and session.superstep_bytes > 0
+        shutdown_partition_pools()
+
+    def test_chunked_single_worker_falls_back_inline(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=1)
+        payloads, states = self._payloads_states(k=2)
+        session = backend.map_partitions_resident("inline", payloads, states)
+        assert session.run(_resident_add, [(0, 2), (1, 2)]) == [2, 3]
+        assert not _RESIDENT_SLOT_POOLS  # no pools for an inline session
+        assert states[0]["acc"][0] == 2  # genuinely in-process
+
+    def test_payload_evicted_by_concurrent_sessions_is_reinstalled(self):
+        # Crowd the shared slot workers with enough other tokens to push the
+        # first session's payloads out of the worker-side LRU store; its next
+        # phase must transparently re-install and retry, not abort the run.
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        payloads, states = self._payloads_states(k=2)
+        with backend.map_partitions_resident("evicted", payloads, states) as victim:
+            assert victim.run(_resident_add, [(0, 1), (1, 1)]) == [1, 2]
+            for n in range(20):  # worker store capacity is 16 per process
+                others, other_states = self._payloads_states(k=2)
+                with backend.map_partitions_resident(f"crowd-{n}", others, other_states) as s:
+                    s.run(_resident_add, [(0, 0), (1, 0)])
+            # State survived (it is session-keyed, not LRU-evicted), so the
+            # accumulator continues from the pre-eviction value.
+            assert victim.run(_resident_add, [(0, 2), (1, 3)]) == [0 + 1 + 2, 1 + 1 + 3]
+        shutdown_partition_pools()
+
+    def test_more_parts_than_workers_share_slots(self):
+        shutdown_partition_pools()
+        backend = ChunkedBackend(processes=2)
+        payloads, states = self._payloads_states(k=5)
+        with backend.map_partitions_resident("wide", payloads, states) as session:
+            outs = session.run(_resident_add, [(i, 100) for i in range(5)])
+            assert outs == [100 + i for i in range(5)]
+        assert sorted(_RESIDENT_SLOT_POOLS) == [0, 1]
+        shutdown_partition_pools()
+
+    def test_kernel_bytes_accounting_on_drivers(self):
+        g = random_gnp(60, 0.08, seed=2)
+        resident = partitioned_kk_mis2(g, 4, resident=True)
+        baseline = partitioned_kk_mis2(g, 4, resident=False)
+        assert np.array_equal(resident.in_set, baseline.in_set)
+        sr, sn = resident.partition_stats, baseline.partition_stats
+        assert sr.supersteps == sn.supersteps
+        assert sr.resident_bytes > 0 and sn.resident_bytes == 0
+        # The headline win: after the one-time shipment, supersteps are O(halo).
+        assert sr.resident_bytes + sr.superstep_bytes < sn.superstep_bytes
+        assert sr.max_superstep_bytes < sn.max_superstep_bytes
+        assert sr.max_superstep_bytes < sr.resident_bytes
+
+
+def _resident_add(payload, state, delta):
+    state["acc"][0] += delta
+    return int(payload["base"][0] + state["acc"][0])
 
 
 def _nested_map_partitions(_):

@@ -88,6 +88,28 @@ def test_partitioned_kernels_match_reference_for_arbitrary_labels(case):
     assert coloring.rounds == pcoloring.rounds
 
 
+@given(graph_and_labels())
+@settings(**COMMON)
+def test_resident_and_nonresident_paths_identical(case):
+    """Rank-resident execution and the re-ship-everything baseline agree with
+    the reference bit-for-bit; only the shipped-bytes accounting differs, and
+    the resident run never ships more in total than the baseline."""
+    graph, labels = case
+    ref = kk_mis2(graph)
+    resident = kk_mis2(graph, partitions=labels, resident=True)
+    baseline = kk_mis2(graph, partitions=labels, resident=False)
+    assert np.array_equal(ref.in_set, resident.in_set)
+    assert np.array_equal(ref.in_set, baseline.in_set)
+    assert ref.iterations == resident.iterations == baseline.iterations
+    sr, sn = resident.partition_stats, baseline.partition_stats
+    assert sr.supersteps == sn.supersteps
+    assert sn.resident_bytes == 0
+    if sr.supersteps:
+        assert sr.resident_bytes > 0
+        assert sr.resident_bytes + sr.superstep_bytes <= sn.superstep_bytes
+        assert sr.max_superstep_bytes <= sn.max_superstep_bytes
+
+
 @given(graphs(), st.integers(min_value=2, max_value=5), st.randoms(use_true_random=False))
 @settings(**COMMON)
 def test_partitioned_mis_independent_of_part_permutation(graph, k, rng):
