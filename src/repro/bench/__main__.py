@@ -53,6 +53,10 @@ every graph of a parts-aware experiment into ``k`` parts, runs the MIS /
 coloring / aggregation kernels through the partition-parallel drivers, and
 *verifies bit-identicality against the unpartitioned reference*; boundary and
 ghost-exchange stats land in the rows and deterministic counts.
+``--no-resident`` selects the re-ship-everything baseline (``_p<k>nr``
+records) and ``--full-halo`` the full-halo delta wire format (``_p<k>fh``
+records) — both bit-identical, kept runnable so ``compare`` can gate the
+resident and changed-delta shipped-bytes wins.
 
 Regression gate over persisted records::
 
@@ -159,6 +163,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "rank-resident path (bit-identical results; records "
                              "persist with a _p<k>nr infix so the shipped-bytes "
                              "win is comparable)")
+    parser.add_argument("--full-halo", action="store_true",
+                        help="with --parts: ship the full-halo wire format "
+                             "(whole halos every ghost-reading phase, worklists "
+                             "re-sent per phase) instead of changed-only deltas "
+                             "(bit-identical results; records persist with a "
+                             "_p<k>fh infix so the changed-delta win is "
+                             "comparable)")
     parser.add_argument("--json", action="store_true",
                         help="persist each run as benchmarks/results/BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
@@ -175,6 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--parts must be >= 1")
     if args.no_resident and args.parts is None and args.experiment != "partitioned":
         parser.error("--no-resident is only meaningful with --parts / 'partitioned'")
+    if args.full_halo and args.parts is None and args.experiment != "partitioned":
+        parser.error("--full-halo is only meaningful with --parts / 'partitioned'")
     if args.candidate is not None and args.experiment != "compare":
         parser.error("a third positional argument is only valid with 'compare'")
 
@@ -216,6 +229,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         parts=args.parts,
         resident=not args.no_resident,
+        changed_deltas=not args.full_halo,
     )
 
     if args.experiment == "sweep":
@@ -264,6 +278,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"backend: {backend_name}")
     if config.parts is not None:
         mode = "rank-resident" if config.resident else "non-resident baseline"
+        if not config.changed_deltas:
+            mode += ", full-halo deltas"
         print(
             f"parts: {config.parts} (partition-parallel, {mode}, "
             f"verified vs reference)"

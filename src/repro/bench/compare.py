@@ -9,21 +9,25 @@
   and partition counts, so any difference means an algorithmic change;
 * **shipped-bytes counts are gated directionally across execution
   configurations** — keys ending in ``_bytes`` measure communication volume,
-  not algorithmic output, so when the records differ in resident mode or
-  partition count a *smaller* candidate value is reported as an improvement
-  (this is how the resident execution path's win over the non-resident
-  baseline is gated in CI) while a *larger* one still fails like any other
-  drift. Between records of the *same* configuration the counts must be
-  bit-identical — a smaller value there is under-accounting and fails;
+  not algorithmic output, so when the records differ in resident mode, delta
+  wire format (changed-only vs full-halo) or partition count a *smaller*
+  candidate value is reported as an improvement (this is how the resident
+  path's win over the non-resident baseline and the changed-delta protocol's
+  win over full-halo shipping are gated in CI) while a *larger* one still
+  fails like any other drift. Between records of the *same* configuration
+  the counts must be bit-identical — a smaller value there is
+  under-accounting and fails. A count key missing from one record entirely
+  is reported as "missing from baseline/candidate", never as a value
+  difference against ``None``;
 * **wall-clock regression is a warning** — ``elapsed_seconds`` of a small CI
   run is noisy, so a candidate slower than ``1 + tolerance`` times the
   baseline (default 25%) is reported loudly but does not fail the gate
   (``--strict-elapsed`` promotes it to a failure for curated trajectories).
 
-Records whose run context differs (``backend``, ``parts`` or ``resident``
-mode) are still comparable — the counts must match regardless — but the
-mismatch is called out explicitly in the rendered output so a
-wrong-pair comparison never gates silently.
+Records whose run context differs (``backend``, ``parts``, ``resident`` mode
+or delta wire format) are still comparable — the counts must match
+regardless — but the mismatch is called out explicitly in the rendered
+output so a wrong-pair comparison never gates silently.
 """
 
 from __future__ import annotations
@@ -52,9 +56,10 @@ class ComparisonReport:
     #: ``_bytes`` counts where the candidate ships *less* than the baseline
     #: (reported, never a failure — shrinking communication is the goal).
     bytes_improved: List[str] = field(default_factory=list)
-    #: Run-context fields (backend, parts, resident) that differ between the
-    #: records. Informational: counts must match regardless, but the mismatch
-    #: is rendered so a wrong-pair comparison never gates silently.
+    #: Run-context fields (backend, parts, resident, delta format) that
+    #: differ between the records. Informational: counts must match
+    #: regardless, but the mismatch is rendered so a wrong-pair comparison
+    #: never gates silently.
     context_mismatch: List[str] = field(default_factory=list)
     #: ``candidate.elapsed_seconds / baseline.elapsed_seconds`` (None when the
     #: baseline recorded a non-positive duration).
@@ -80,6 +85,8 @@ class ComparisonReport:
             parts = f", {result.parts} parts" if result.parts else ""
             if result.parts and not result.resident:
                 parts += ", non-resident"
+            if result.parts and not result.changed_deltas:
+                parts += ", full-halo"
             return f"{result.experiment} ({result.backend}{parts})"
 
         lines = [f"bench compare: {label(self.baseline)} vs {label(self.candidate)}"]
@@ -151,16 +158,36 @@ def compare_results(
             f"{'resident' if baseline.resident else 'non-resident'} vs "
             f"{'resident' if candidate.resident else 'non-resident'}"
         )
+    if baseline.changed_deltas != candidate.changed_deltas:
+        context.append(
+            f"delta formats differ: "
+            f"{'changed-only' if baseline.changed_deltas else 'full-halo'} vs "
+            f"{'changed-only' if candidate.changed_deltas else 'full-halo'}"
+        )
     # The directional bytes exemption applies only across *different*
-    # execution configurations (resident vs non-resident, different part
-    # counts), where shipping less is the improvement being gated. Two
-    # records of the *same* configuration must agree on every byte count —
-    # there a smaller value is under-accounting, i.e. ordinary drift.
+    # execution configurations (resident vs non-resident, changed-only vs
+    # full-halo deltas, different part counts), where shipping less is the
+    # improvement being gated. Two records of the *same* configuration must
+    # agree on every byte count — there a smaller value is under-accounting,
+    # i.e. ordinary drift.
     modes_differ = (
-        baseline.resident != candidate.resident or baseline.parts != candidate.parts
+        baseline.resident != candidate.resident
+        or baseline.parts != candidate.parts
+        or baseline.changed_deltas != candidate.changed_deltas
     )
     for key in sorted(set(baseline.counts) | set(candidate.counts)):
         a, b = baseline.counts.get(key), candidate.counts.get(key)
+        # A key absent from one record is structural drift (the experiments
+        # measured different things), not a value difference; rendering it as
+        # "5 != None" made it indistinguishable from a recorded null — and it
+        # must be checked before the equality short-circuit, or a missing key
+        # would slip past a recorded null on the other side.
+        if key not in baseline.counts:
+            drift.append(f"counts[{key}]: missing from baseline (candidate has {b!r})")
+            continue
+        if key not in candidate.counts:
+            drift.append(f"counts[{key}]: missing from candidate (baseline has {a!r})")
+            continue
         if a == b:
             continue
         if (

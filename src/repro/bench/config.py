@@ -64,6 +64,13 @@ class BenchConfig:
     #: shipped-bytes counts (and the wall clock) differ. Ignored when
     #: ``parts`` is None.
     resident: bool = True
+    #: Partitioned delta wire format: changed-only halo deltas with
+    #: once-per-iteration worklist shipment (default) or the full-halo
+    #: format (``False`` — whole halos every ghost-reading phase, worklists
+    #: re-sent to every phase that reads them). Results are bit-identical
+    #: either way; only the recorded shipped-bytes counts differ. Ignored
+    #: when ``parts`` is None.
+    changed_deltas: bool = True
 
     def matrix_names(self) -> List[str]:
         """Names of the matrices this configuration covers, in Table II order."""

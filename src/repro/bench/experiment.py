@@ -106,6 +106,20 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _record_infix(parts: Optional[int], resident: bool, changed_deltas: bool) -> str:
+    """The ``_p<k>[nr][fh]`` filename infix distinguishing partitioned-run
+    records (shared by per-backend results and sweep summaries — the CI
+    compare gates rely on the two staying pairable)."""
+    if not parts:
+        return ""
+    infix = f"_p{parts}"
+    if not resident:
+        infix += "nr"
+    if not changed_deltas:
+        infix += "fh"
+    return infix
+
+
 @dataclass
 class ExperimentResult:
     """Structured outcome of one :meth:`Experiment.run`.
@@ -131,6 +145,10 @@ class ExperimentResult:
     #: (True, the default) or the re-ship-everything baseline. Always True
     #: for unpartitioned runs.
     resident: bool = True
+    #: Whether a partitioned run shipped changed-only halo deltas (True, the
+    #: default) or the full-halo wire format. Always True for unpartitioned
+    #: runs.
+    changed_deltas: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         rows = [
@@ -147,6 +165,7 @@ class ExperimentResult:
             "units": self.units,
             "parts": self.parts,
             "resident": self.resident,
+            "changed_deltas": self.changed_deltas,
             "elapsed_seconds": self.elapsed_seconds,
             "counts": _jsonable(self.counts),
             "rows": rows,
@@ -170,6 +189,7 @@ class ExperimentResult:
             rows=list(data["rows"]),
             parts=data.get("parts"),
             resident=data.get("resident", True),
+            changed_deltas=data.get("changed_deltas", True),
         )
 
     @classmethod
@@ -181,12 +201,11 @@ class ExperimentResult:
         """The ``BENCH_*`` perf-trajectory filename this result persists under.
 
         Partitioned runs get a ``_p<k>`` infix (``_p<k>nr`` on the
-        non-resident baseline path) so they never clobber the unpartitioned —
-        or each other's — trajectory records.
+        non-resident baseline path, ``_p<k>fh`` under the full-halo wire
+        format) so they never clobber the unpartitioned — or each other's —
+        trajectory records.
         """
-        infix = f"_p{self.parts}" if self.parts else ""
-        if self.parts and not self.resident:
-            infix += "nr"
+        infix = _record_infix(self.parts, self.resident, self.changed_deltas)
         return f"BENCH_{self.experiment}{infix}_{self.backend}.json"
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
@@ -322,6 +341,7 @@ class Experiment:
             rows=list(rows),
             parts=config.parts,
             resident=config.resident if config.parts is not None else True,
+            changed_deltas=config.changed_deltas if config.parts is not None else True,
         )
 
     def run_and_render(
@@ -403,17 +423,17 @@ class SweepResult:
             "backends": [r.backend for r in self.results],
             "parts": self.reference.parts,
             "resident": self.reference.resident,
+            "changed_deltas": self.reference.changed_deltas,
             "elapsed_seconds": {r.backend: r.elapsed_seconds for r in self.results},
             "speedups": _jsonable({r.backend: self.speedup(r) for r in self.results}),
         }
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
-        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>[nr]].json``."""
+        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>[nr][fh]].json``."""
         directory = Path(directory) if directory is not None else default_results_dir()
         directory.mkdir(parents=True, exist_ok=True)
-        infix = f"_p{self.reference.parts}" if self.reference.parts else ""
-        if self.reference.parts and not self.reference.resident:
-            infix += "nr"
+        ref = self.reference
+        infix = _record_infix(ref.parts, ref.resident, ref.changed_deltas)
         path = directory / f"BENCH_sweep_{self.experiment}{infix}.json"
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
         return path
@@ -483,6 +503,8 @@ def sweep_table(result: SweepResult) -> Table:
     )
     if result.reference.parts and not result.reference.resident:
         partitioned += " (non-resident)"
+    if result.reference.parts and not result.reference.changed_deltas:
+        partitioned += " (full-halo)"
     table = Table(
         ["backend", "jobs", "units", "wall-clock", "speedup", "counts"],
         title=(

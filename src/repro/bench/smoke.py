@@ -50,11 +50,13 @@ class SmokeRow:
     #: coloring runs (per-part CSR + index maps + initial state); 0 on the
     #: non-resident baseline, where everything re-ships every superstep.
     resident_bytes: int = 0
-    #: Logical bytes shipped across all supersteps (halo deltas on the
-    #: resident path; whole parts + deltas on the non-resident baseline).
+    #: Logical bytes shipped across all supersteps, both directions (changed
+    #: halo deltas out + touched-entry results back on the resident path;
+    #: whole parts + deltas + returning state on the non-resident baseline).
     superstep_bytes: int = 0
     #: Largest single-superstep shipment across the partitioned runs — the
-    #: O(halo)-after-superstep-1 acceptance gate for the resident path.
+    #: O(changed halo)-after-superstep-1 acceptance gate for the resident
+    #: path.
     max_superstep_bytes: int = 0
     #: ``resident_bytes + superstep_bytes`` — everything the run shipped. This
     #: (with ``max_superstep_bytes``) is the gated deterministic count: the
@@ -118,13 +120,22 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
 
         layout = build_partition_layout(graph, config.parts)
         pmis = kk_mis2(
-            graph, seed=config.seed, partitions=layout, resident=config.resident
+            graph,
+            seed=config.seed,
+            partitions=layout,
+            resident=config.resident,
+            changed_deltas=config.changed_deltas,
         )
         if not (np.array_equal(pmis.in_set, mis.in_set) and pmis.iterations == mis.iterations):
             raise RuntimeError(
                 f"smoke check failed: partitioned MIS-2 diverged from the reference on {label}"
             )
-        pcoloring = greedy_color(graph, partitions=layout, resident=config.resident)
+        pcoloring = greedy_color(
+            graph,
+            partitions=layout,
+            resident=config.resident,
+            changed_deltas=config.changed_deltas,
+        )
         if not (
             np.array_equal(pcoloring.colors, coloring.colors)
             and pcoloring.rounds == coloring.rounds
@@ -136,7 +147,12 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         # (as the unpartitioned path reuses mis) — only the phase-2 sub-MIS
         # still runs partitioned.
         pagg = mis2_aggregation(
-            graph, mis=pmis, seed=config.seed, partitions=layout, resident=config.resident
+            graph,
+            mis=pmis,
+            seed=config.seed,
+            partitions=layout,
+            resident=config.resident,
+            changed_deltas=config.changed_deltas,
         )
         if not (
             np.array_equal(pagg.labels, agg.labels)

@@ -42,6 +42,7 @@ def mis2_aggregation(
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ) -> Aggregation:
     """Coarsen ``graph`` with Algorithm 3 (the paper's "MIS2 Agg" scheme).
 
@@ -70,6 +71,10 @@ def mis2_aggregation(
         Only meaningful with ``partitions``: forwarded to the partitioned
         MIS-2 computations (rank-resident execution by default; the
         re-ship-everything baseline with ``False``).
+    changed_deltas:
+        Only meaningful with ``partitions``: forwarded to the partitioned
+        MIS-2 computations (changed-only halo deltas by default; the
+        full-halo wire format with ``False``).
     """
     B = resolve_backend(backend)
     n = graph.num_vertices
@@ -79,7 +84,14 @@ def mis2_aggregation(
 
         layout = build_partition_layout(graph, partitions)
     if mis is None:
-        mis = kk_mis2(graph, seed=seed, backend=B, partitions=layout, resident=resident)
+        mis = kk_mis2(
+            graph,
+            seed=seed,
+            backend=B,
+            partitions=layout,
+            resident=resident,
+            changed_deltas=changed_deltas,
+        )
     roots = np.asarray(mis.in_set, dtype=np.int64)
     labels = -np.ones(n, dtype=np.int64)
     if n == 0:
@@ -106,6 +118,7 @@ def mis2_aggregation(
             backend=B,
             partitions=None if layout is None else layout.labels[mapping],
             resident=resident,
+            changed_deltas=changed_deltas,
         )
         candidates = mapping[sub_mis.in_set]
         # Count each candidate root's unaggregated neighbours against the phase-1

@@ -84,6 +84,7 @@ def greedy_color(
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ) -> ColoringResult:
     """Distance-1 greedy coloring of ``graph``.
 
@@ -105,6 +106,10 @@ def greedy_color(
         Only meaningful with ``partitions``: rank-resident execution
         (default) vs the re-ship-everything baseline; results are
         bit-identical either way.
+    changed_deltas:
+        Only meaningful with ``partitions``: changed-only halo deltas with
+        once-per-round worklist shipment (default) vs the full-halo wire
+        format; results are bit-identical either way.
 
     Returns
     -------
@@ -115,7 +120,12 @@ def greedy_color(
         from ..parallel.partitioned import partitioned_greedy_color
 
         return partitioned_greedy_color(
-            graph, partitions, max_rounds=max_rounds, backend=backend, resident=resident
+            graph,
+            partitions,
+            max_rounds=max_rounds,
+            backend=backend,
+            resident=resident,
+            changed_deltas=changed_deltas,
         )
     B = resolve_backend(backend)
     n = graph.num_vertices

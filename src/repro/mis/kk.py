@@ -77,6 +77,7 @@ def kk_mis2(
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ) -> MISResult:
     """Compute a distance-2 maximal independent set with Algorithm 1.
 
@@ -120,6 +121,13 @@ def kk_mis2(
         worker once, supersteps exchange only halo deltas); ``False`` runs
         the non-resident baseline that re-ships every part each superstep.
         Results are bit-identical either way.
+    changed_deltas:
+        Only meaningful with ``partitions``: ``True`` (default) ships each
+        part only the halo values changed since its last refresh and sends
+        each iteration's worklist indices once (stashed worker-side for the
+        later phases); ``False`` keeps the full-halo wire format that ships
+        whole halos and re-sends worklists every phase. Results are
+        bit-identical either way — only the shipped-bytes accounting differs.
 
     Returns
     -------
@@ -139,6 +147,7 @@ def kk_mis2(
             seed=seed,
             backend=backend,
             resident=resident,
+            changed_deltas=changed_deltas,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

@@ -38,6 +38,7 @@ def luby_mis1(
     backend: "Optional[str | ExecutionBackend]" = None,
     partitions=None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ) -> MISResult:
     """Compute a distance-1 maximal independent set with Luby's Algorithm A.
 
@@ -61,6 +62,10 @@ def luby_mis1(
         Only meaningful with ``partitions``: rank-resident execution
         (default) vs the re-ship-everything baseline; results are
         bit-identical either way.
+    changed_deltas:
+        Only meaningful with ``partitions``: changed-only halo deltas with
+        once-per-round worklist shipment (default) vs the full-halo wire
+        format; results are bit-identical either way.
     """
     if partitions is not None:
         from ..parallel.partitioned import partitioned_luby_mis1
@@ -72,6 +77,7 @@ def luby_mis1(
             seed=seed,
             backend=backend,
             resident=resident,
+            changed_deltas=changed_deltas,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

@@ -77,6 +77,7 @@ from .costmodel import (
 # repro.coloring at call time, and their module depends on .backends above.
 from .partitioned import (
     GraphPart,
+    HaloDeltaTracker,
     PartitionLayout,
     PartitionStats,
     build_partition_layout,
@@ -118,6 +119,7 @@ __all__ = [
     "shipped_nbytes",
     "shutdown_partition_pools",
     "GraphPart",
+    "HaloDeltaTracker",
     "PartitionLayout",
     "PartitionStats",
     "build_partition_layout",

@@ -188,22 +188,36 @@ atexit.register(shutdown_partition_pools)
 # part's immutable payload (local CSR, index maps, static parameters) and its
 # initial mutable state exactly once, pins part ``i`` to worker ``i % width``
 # for the life of the run, and afterwards ships only the per-superstep deltas
-# (halo values, worklist indices, phase scalars). This is the same execution
+# (changed-only halo updates, once-per-iteration worklist indices, phase
+# scalars) out and the touched-entry results back. This is the same execution
 # model a distributed backend needs — parts resident on ranks, supersteps
 # exchanging halo messages — expressed over a local process pool.
 
 
 def shipped_nbytes(obj: Any) -> int:
-    """Logical byte size of a resident payload / superstep delta.
+    """Logical byte size of a resident payload / superstep delta / result.
 
-    Counts NumPy array payloads (``nbytes``) plus one 8-byte word per numeric
-    scalar, recursing through tuples/lists/dicts. The measure is *logical* —
-    what the data costs to move, independent of how (or whether) a particular
+    Counts NumPy array payloads (``nbytes``), one 8-byte word per numeric
+    scalar, the encoded length of strings/bytes, recursing through
+    tuples/lists/dicts; ``None`` (an elided payload member, e.g. the dense
+    marker of a sparse halo update) costs 0. The measure is *logical* — what
+    the data costs to move, independent of how (or whether) a particular
     backend actually serialises it — so the shipped-bytes accounting recorded
     on partitioned results is bit-identical across backends and gateable by
     ``repro.bench compare``.
+
+    Any other type raises ``TypeError``: this function *is* the meter, so an
+    unrecognised payload member must never ship invisibly for free (it used to
+    — strings, ``None`` and object-dtype arrays all counted 0 bytes).
     """
+    if obj is None:
+        return 0
     if isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            raise TypeError(
+                "shipped_nbytes: object-dtype arrays have no well-defined "
+                "logical size; ship primitive-dtype arrays instead"
+            )
         return int(obj.nbytes)
     if isinstance(obj, dict):
         return sum(shipped_nbytes(v) for v in obj.values())
@@ -211,7 +225,15 @@ def shipped_nbytes(obj: Any) -> int:
         return sum(shipped_nbytes(v) for v in obj)
     if isinstance(obj, (bool, int, float, np.integer, np.floating, np.bool_)):
         return 8
-    return 0
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    raise TypeError(
+        f"shipped_nbytes: unsupported payload type {type(obj).__name__!r}; "
+        "every shipped member must have a defined logical size (arrays, "
+        "numeric scalars, str/bytes, None, or containers of those)"
+    )
 
 
 class ResidentSession:
@@ -226,11 +248,16 @@ class ResidentSession:
     what keeps any execution strategy deterministic).
 
     The base class implements the shipped-bytes accounting shared by every
-    implementation. In resident mode each part's payload+state is charged
-    once (``resident_bytes``) and each :meth:`run` charges only its deltas;
-    in non-resident mode (``resident=False``, the pre-affinity baseline)
-    every :meth:`run` re-charges the live parts' payload+state, which is
-    exactly what shipping the whole task per superstep costs.
+    implementation, and it charges **both directions** of each superstep: the
+    deltas shipped to the workers *and* the result arrays the workers return
+    (the owned values the coordinator scatters back into the shared state are
+    communication too — an outbound-only meter under-counts every phase). In
+    resident mode each part's payload+state is charged once
+    (``resident_bytes``) and each :meth:`run` charges deltas out + results
+    back; in non-resident mode (``resident=False``, the pre-affinity
+    baseline) every :meth:`run` additionally re-charges the live parts'
+    payload+state outbound and the (possibly mutated) state returning with
+    the results — exactly what shipping the whole task per superstep costs.
     """
 
     def __init__(
@@ -241,22 +268,49 @@ class ResidentSession:
         self.token = str(token)
         self.resident = bool(resident)
         self.num_parts = len(payloads)
-        self._part_bytes = [
-            shipped_nbytes(p) + shipped_nbytes(s) for p, s in zip(payloads, states)
-        ]
+        self._payload_bytes = [shipped_nbytes(p) for p in payloads]
         #: Bytes shipped once, at session open (0 in non-resident mode).
-        self.resident_bytes = sum(self._part_bytes) if self.resident else 0
-        #: Bytes shipped across all supersteps so far.
+        self.resident_bytes = (
+            sum(self._payload_bytes) + sum(shipped_nbytes(s) for s in states)
+            if self.resident
+            else 0
+        )
+        #: Bytes shipped across all supersteps so far (both directions).
         self.superstep_bytes = 0
-        #: Largest single-superstep shipment (the O(halo) acceptance gate).
+        #: Largest single-superstep shipment (the O(changed halo) acceptance gate).
         self.max_superstep_bytes = 0
         #: Number of :meth:`run` calls (superstep phases) so far.
         self.supersteps = 0
 
-    def _account(self, tasks: Sequence[Tuple[int, Any]]) -> None:
+    def _state_nbytes(self, part: int) -> int:
+        """Live logical size of one part's mutable state (non-resident only).
+
+        State sizes drift during a run (task functions stash worklists in
+        state), so the non-resident charge is measured from the live state,
+        not the session-open snapshot. Only the sessions that actually hold
+        states coordinator-side implement this; resident pinned sessions never
+        need it.
+        """
+        raise NotImplementedError
+
+    def _account_out(self, tasks: Sequence[Tuple[int, Any]]) -> int:
+        """Outbound bytes of one phase: deltas (+ payload & pre-phase state
+        when non-resident). Called before the tasks run."""
         step = sum(shipped_nbytes(delta) for _, delta in tasks)
         if not self.resident:
-            step += sum(self._part_bytes[i] for i, _ in tasks)
+            step += sum(
+                self._payload_bytes[i] + self._state_nbytes(i) for i, _ in tasks
+            )
+        return step
+
+    def _account_in(
+        self, outbound: int, tasks: Sequence[Tuple[int, Any]], results: Sequence
+    ) -> None:
+        """Close one phase's accounting: add the returning results (+ the
+        post-phase state riding back when non-resident) and commit the step."""
+        step = outbound + sum(shipped_nbytes(result) for result in results)
+        if not self.resident:
+            step += sum(self._state_nbytes(i) for i, _ in tasks)
         self.supersteps += 1
         self.superstep_bytes += step
         if step > self.max_superstep_bytes:
@@ -300,13 +354,19 @@ class _LocalResidentSession(ResidentSession):
         self._states = list(states)
         self._pool = pool
 
+    def _state_nbytes(self, part: int) -> int:
+        return shipped_nbytes(self._states[part])
+
     def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
         tasks = list(tasks)
-        self._account(tasks)
+        outbound = self._account_out(tasks)
         calls = [(self._payloads[i], self._states[i], delta) for i, delta in tasks]
         if self._pool is None or len(calls) <= 1:
-            return [fn(p, s, d) for p, s, d in calls]
-        return list(self._pool.map(lambda c: fn(*c), calls))
+            results = [fn(p, s, d) for p, s, d in calls]
+        else:
+            results = list(self._pool.map(lambda c: fn(*c), calls))
+        self._account_in(outbound, tasks, results)
+        return results
 
 
 def _unpinned_phase(args):
@@ -333,15 +393,19 @@ class _UnpinnedResidentSession(ResidentSession):
         self._payloads = list(payloads)
         self._states = list(states)
 
+    def _state_nbytes(self, part: int) -> int:
+        return shipped_nbytes(self._states[part])
+
     def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
         tasks = list(tasks)
-        self._account(tasks)
+        outbound = self._account_out(tasks)
         items = [(self._payloads[i], self._states[i], fn, delta) for i, delta in tasks]
         outs = self._backend.map_partitions(_unpinned_phase, items)
         results = []
         for (i, _), (result, state) in zip(tasks, outs):
             self._states[i] = state
             results.append(result)
+        self._account_in(outbound, tasks, results)
         return results
 
 
@@ -520,7 +584,7 @@ class _PinnedResidentSession(ResidentSession):
 
     def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
         tasks = list(tasks)
-        self._account(tasks)
+        outbound = self._account_out(tasks)
         futures = [
             _resident_slot(i % self._nslots).submit(
                 _resident_phase, (self.token, self._key, i, fn, delta)
@@ -547,6 +611,7 @@ class _PinnedResidentSession(ResidentSession):
                             _resident_phase, (self.token, self._key, i, fn, delta)
                         ).result()
                     )
+            self._account_in(outbound, tasks, results)
             return results
         except BrokenProcessPool:
             # A slot worker died; its resident state is unrecoverable, so the

@@ -28,17 +28,26 @@ only the exchange volume, never the result.
 through: each kernel run opens a rank-resident session that ships every
 part's loop-invariant payload (local CSR, index maps, static parameters) and
 initial state exactly once, then runs each phase as ``fn(payload, state,
-delta)`` where only the *delta* (halo values, worklist indices, phase
-scalars) crosses the boundary — the task keeps its owned state current
-itself. The session is in-process on the reference and threaded backends and
-pins part ``i`` to a persistent slot worker on the chunked backend (payloads
-cached under the layout token, so even reruns skip the CSR pickle);
+delta)`` where only the *delta* crosses the boundary — the task keeps its
+owned state current itself. Deltas are **O(changed halo)**, not O(halo): a
+coordinator-side :class:`HaloDeltaTracker` records which owned values each
+phase actually modified (the phase results are exactly the touched entries)
+and ships each part only the halo positions changed since its last refresh,
+as ``(positions, values)`` pairs with a dense fallback; each iteration's
+worklist indices ship once, with the iteration's first phase, and are
+stashed in worker-side ``state`` for the later phases that re-read them. The
+session is in-process on the reference and threaded backends and pins part
+``i`` to a persistent slot worker on the chunked backend (payloads cached
+under the layout token, so even reruns skip the CSR pickle);
 ``resident=False`` selects the non-resident baseline that re-ships
-payload+state every superstep through plain ``map_partitions``. A
+payload+state every superstep through plain ``map_partitions``, and
+``changed_deltas=False`` the full-halo wire format (whole halos, worklists
+re-sent per phase) kept runnable so the changed-delta win stays gateable. A
 distributed backend implements the same session by pinning parts to ranks
 and turning the delta exchange into halo messages — the drivers here don't
 change. Shipped bytes are accounted logically (array ``nbytes``, identical
-on every backend) and recorded on ``PartitionStats``.
+on every backend), in **both directions** — deltas out, result arrays back —
+and recorded on ``PartitionStats``.
 """
 
 from __future__ import annotations
@@ -59,6 +68,7 @@ from .costmodel import TrafficCounter
 
 __all__ = [
     "GraphPart",
+    "HaloDeltaTracker",
     "PartitionLayout",
     "PartitionStats",
     "build_partition_layout",
@@ -177,12 +187,15 @@ class PartitionStats:
     #: Logical bytes shipped once at session open (per-part CSR + index maps +
     #: initial state). 0 on non-resident runs, where everything re-ships.
     resident_bytes: int = 0
-    #: Logical bytes shipped across all supersteps (halo values, worklist
-    #: indices and phase scalars on the resident path; payload + state + delta
-    #: per phase on the non-resident baseline).
+    #: Logical bytes shipped across all supersteps, both directions: changed
+    #: halo values, once-per-iteration worklist indices and phase scalars out
+    #: plus the touched-entry result arrays back on the resident path;
+    #: payload + state + delta out and state + result back per phase on the
+    #: non-resident baseline.
     superstep_bytes: int = 0
-    #: Largest single-superstep shipment — O(halo) on the resident path once
-    #: the CSR has shipped, O(CSR) on the non-resident baseline.
+    #: Largest single-superstep shipment — O(changed halo + worklist) on the
+    #: resident path once the CSR has shipped, O(CSR) on the non-resident
+    #: baseline.
     max_superstep_bytes: int = 0
 
     def to_dict(self) -> dict:
@@ -367,6 +380,122 @@ def build_partition_layout(graph: CSRGraph, partitions: PartitionSpec) -> Partit
     )
 
 
+# ------------------------------------------------------- changed-halo tracking
+#
+# The original resident protocol shipped every part's *entire* halo on every
+# ghost-reading phase — O(halo) per superstep even when the worklist (and hence
+# the set of values that could possibly have changed) had shrunk to a handful
+# of vertices. The coordinator already learns exactly which owned values each
+# phase modified (the phase results are the touched entries), so it can track,
+# per (array, part), which halo positions changed since that part's last
+# refresh and ship only those. The delta unit is a **halo update**: a
+# ``(positions, values)`` pair where ``positions`` indexes the part's halo in
+# halo order (``None`` marks a dense update carrying the full halo values —
+# the crossover fallback when the changed set plus its index overhead would
+# outweigh a dense shipment). Cumulatively applying a part's updates to its
+# session-open halo snapshot reconstructs the full-halo exchange exactly —
+# the invariant the Hypothesis suite checks.
+
+
+def _apply_halo_update(arr: np.ndarray, halo_local: np.ndarray, update) -> None:
+    """Worker-side: refresh ``arr``'s halo entries from one halo update."""
+    positions, values = update
+    if positions is None:
+        arr[halo_local] = values
+    elif positions.size:
+        arr[halo_local[positions]] = values
+
+
+def _scatter_changed(arr: np.ndarray, idx: np.ndarray, new: np.ndarray) -> np.ndarray:
+    """Coordinator-side: scatter ``new`` into ``arr`` at ``idx`` and return the
+    ids whose value actually changed (what the halo tracker needs to mark)."""
+    changed = idx[arr[idx] != new]
+    arr[idx] = new
+    return changed
+
+
+class HaloDeltaTracker:
+    """Coordinator-side bookkeeping: which halo values must each part re-read?
+
+    One tracker serves one partitioned kernel run. ``names`` are the shared
+    per-vertex arrays the kernel ghosts (e.g. ``("T", "M")`` for MIS-2). After
+    every phase the driver calls :meth:`mark` with the ids whose value that
+    phase actually changed; before a ghost-reading phase it calls :meth:`take`
+    per live part, which returns the minimal halo update — the positions
+    dirtied since that part's last take, or a dense fallback when the sparse
+    encoding would cost more — and resets the part's dirty set.
+
+    At session open each part's state ships with its halo entries current, so
+    every dirty set starts empty. ``changed_only=False`` selects the
+    full-halo protocol (every take is dense, marking is a no-op) — the PR 4
+    wire format, kept runnable so ``bench compare`` can gate the changed-delta
+    win against it.
+    """
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        names: Sequence[str],
+        changed_only: bool = True,
+    ) -> None:
+        self._halos = [p.halo for p in layout.parts]
+        self.changed_only = bool(changed_only)
+        if self.changed_only:
+            self._dirty: Dict[str, List[np.ndarray]] = {
+                name: [np.zeros(h.size, dtype=bool) for h in self._halos]
+                for name in names
+            }
+
+    def mark(self, name: str, changed) -> None:
+        """Record that the values of ``changed`` global ids were modified.
+
+        ``changed`` may be one id array or a list of them (one per live part —
+        ownership makes them disjoint); order is irrelevant.
+        """
+        if not self.changed_only:
+            return
+        if isinstance(changed, (list, tuple)):
+            changed = [c for c in changed if c.size]
+            if not changed:
+                return
+            changed = changed[0] if len(changed) == 1 else np.concatenate(changed)
+        if changed.size == 0:
+            return
+        for dirty, halo in zip(self._dirty[name], self._halos):
+            if halo.size == 0:
+                continue
+            idx = np.searchsorted(halo, changed)
+            in_range = idx < halo.size
+            sub = idx[in_range]
+            hits = sub[halo[sub] == changed[in_range]]
+            if hits.size:
+                dirty[hits] = True
+
+    def take(self, name: str, part: int, values: np.ndarray):
+        """The halo update part ``part`` needs for array ``name``.
+
+        ``values`` is the shared *global* array being ghosted; only the
+        entries that actually ship are gathered from it — the sparse path
+        still scans the part's halo-sized dirty mask (one bool per ghost),
+        but never materialises a halo-sized value slice. The returned
+        update is ``(positions, changed_values)`` over the dirty positions,
+        or ``(None, full_halo_values)`` when dense ships fewer logical bytes
+        (positions are int64 words, so the crossover sits at
+        ``|changed| * (8 + itemsize) >= |halo| * itemsize``). Clears the
+        part's dirty set — the worker's halo copy is current once applied.
+        """
+        halo = self._halos[part]
+        if not self.changed_only:
+            return (None, values[halo])
+        dirty = self._dirty[name][part]
+        positions = np.nonzero(dirty)[0].astype(np.int64)
+        dirty[positions] = False
+        item = int(values.dtype.itemsize)
+        if halo.size and positions.size * (positions.dtype.itemsize + item) >= halo.size * item:
+            return (None, values[halo])
+        return (positions, values[halo[positions]])
+
+
 # --------------------------------------------- resident superstep task functions
 #
 # Module-level and picklable: they cross the chunked backend's pinned slot
@@ -375,11 +504,19 @@ def build_partition_layout(graph: CSRGraph, partitions: PartitionSpec) -> Partit
 # index maps, static kernel parameters; shipped once per run, cached across
 # runs under the layout token), ``state`` the part's retained per-vertex
 # arrays over the local space (the task keeps its *owned* entries current and
-# refreshes the *halo* entries from the delta), and ``delta`` the
-# per-superstep shipment (halo values + worklist indices + phase scalars).
-# The per-vertex arithmetic is copied verbatim from the unpartitioned
-# kernels, which is what makes the drivers bit-identical to them; every task
-# computes from the pre-superstep snapshot first and mutates ``state`` last.
+# refreshes the *halo* entries from the delta's halo updates), and ``delta``
+# the per-superstep shipment: changed-only halo updates, the iteration's
+# worklist indices (first phase only) and phase scalars.
+#
+# Worklist residency: the first phase of each kernel iteration receives the
+# iteration's worklist indices and *stashes them in state*; the later phases
+# of the same iteration that re-read the same worklist receive ``None`` in
+# that delta slot and use the stash (under the full-halo protocol the indices
+# are re-sent and the stash is ignored) — the coordinator never pays twice
+# for indices a worker already holds. The per-vertex arithmetic is copied
+# verbatim from the unpartitioned kernels, which is what makes the drivers
+# bit-identical to them; every task computes from the pre-superstep snapshot
+# first and mutates ``state`` last.
 
 
 def _resident_payload(part: GraphPart, **extra) -> Dict:
@@ -396,6 +533,7 @@ def _resident_payload(part: GraphPart, **extra) -> Dict:
 
 def _kk_resident_refresh_row(payload, state, delta):
     w1_local, iteration = delta
+    state["w1"] = w1_local
     from ..mis.kk import _priorities_for
 
     scheme = PriorityScheme.coerce(payload["scheme"])
@@ -408,9 +546,9 @@ def _kk_resident_refresh_row(payload, state, delta):
 
 
 def _kk_resident_refresh_column(payload, state, delta):
-    w2_local, T_halo = delta
+    w2_local, T_update = delta
     T = state["T"]
-    T[payload["halo_local"]] = T_halo
+    _apply_halo_update(T, payload["halo_local"], T_update)
     packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
     slots, seg = _ref.expand_rows(payload["rowmap"], w2_local)
@@ -422,9 +560,11 @@ def _kk_resident_refresh_column(payload, state, delta):
 
 
 def _kk_resident_decide(payload, state, delta):
-    w1_local, M_halo = delta
+    w1_local, M_update = delta
+    if w1_local is None:
+        w1_local = state["w1"]
     T, M = state["T"], state["M"]
-    M[payload["halo_local"]] = M_halo
+    _apply_halo_update(M, payload["halo_local"], M_update)
     packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
     slots, seg = _ref.expand_rows(payload["rowmap"], w1_local)
@@ -445,6 +585,7 @@ def _kk_resident_decide(payload, state, delta):
 
 def _luby_resident_priorities(payload, state, delta):
     cand_local, rounds = delta
+    state["cand"] = cand_local
     from ..hashing.priorities import fixed_priorities
     from ..hashing.xorshift import hash_iter_vertex
 
@@ -459,11 +600,13 @@ def _luby_resident_priorities(payload, state, delta):
 
 
 def _luby_resident_select(payload, state, delta):
-    cand_local, status_halo, prio_halo = delta
+    cand_local, status_update, prio_update = delta
+    if cand_local is None:
+        cand_local = state["cand"]
     status, prio = state["status"], state["priority"]
     halo_local = payload["halo_local"]
-    status[halo_local] = status_halo
-    prio[halo_local] = prio_halo
+    _apply_halo_update(status, halo_local, status_update)
+    _apply_halo_update(prio, halo_local, prio_update)
     ids = payload["ids"]
     prio_max = np.uint64(np.iinfo(np.uint64).max)
     id_max = np.int64(np.iinfo(np.int64).max)
@@ -481,9 +624,15 @@ def _luby_resident_select(payload, state, delta):
 
 
 def _luby_resident_remove(payload, state, delta):
-    remaining_local, status_halo = delta
+    remaining_local, status_update = delta
     status = state["status"]
-    status[payload["halo_local"]] = status_halo
+    _apply_halo_update(status, payload["halo_local"], status_update)
+    if remaining_local is None:
+        # The select phase set this part's winners IN worker-side, so the
+        # stashed candidate list filters to the coordinator's `remaining`
+        # without any indices crossing the boundary.
+        cand_local = state["cand"]
+        remaining_local = cand_local[status[cand_local] == payload["undecided"]]
     slots, seg = _ref.expand_rows(payload["rowmap"], remaining_local)
     losers = np.asarray(
         _ref.segmented_any_equal(
@@ -496,9 +645,10 @@ def _luby_resident_remove(payload, state, delta):
 
 
 def _color_resident_assign(payload, state, delta):
-    wl_local, colors_halo = delta
+    wl_local, colors_update = delta
+    state["wl"] = wl_local
     colors = state["colors"]
-    colors[payload["halo_local"]] = colors_halo
+    _apply_halo_update(colors, payload["halo_local"], colors_update)
     slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
     nbr_colors = colors[payload["entries"][slots]]
     owner = np.repeat(np.arange(wl_local.size), np.diff(seg))
@@ -512,9 +662,11 @@ def _color_resident_assign(payload, state, delta):
 
 
 def _color_resident_conflict(payload, state, delta):
-    wl_local, colors_halo = delta
+    wl_local, colors_update = delta
+    if wl_local is None:
+        wl_local = state["wl"]
     colors = state["colors"]
-    colors[payload["halo_local"]] = colors_halo
+    _apply_halo_update(colors, payload["halo_local"], colors_update)
     ids = payload["ids"]
     slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
     nbr = payload["entries"][slots]
@@ -533,13 +685,23 @@ def _live(worklists: List[np.ndarray]) -> List[int]:
     return [i for i, w in enumerate(worklists) if w.size]
 
 
-def _exchange_traffic(traffic: TrafficCounter, layout: PartitionLayout, value_bytes: int) -> None:
-    """Account one ghost exchange: every part re-reads its halo values."""
-    traffic.add(
-        "ghost_exchange",
-        bytes_read=value_bytes * layout.halo_vertices,
-        bytes_written=value_bytes * layout.halo_vertices,
-    )
+def _exchange_traffic(
+    traffic: TrafficCounter,
+    layout: PartitionLayout,
+    value_bytes: int,
+    parts: Sequence[int],
+) -> None:
+    """Account one ghost exchange: the *live* parts re-read their halo values.
+
+    A part whose worklist has emptied runs no further phases and re-reads
+    nothing, so charging the full ``layout.halo_vertices`` every exchange (as
+    this used to) overstates the modelled ghost traffic more and more as
+    parts converge. ``parts`` are the indices of the parts participating in
+    the exchange — deterministic driver state, so the modelled counts stay
+    identical on every backend.
+    """
+    nbytes = value_bytes * sum(layout.parts[i].num_halo for i in parts)
+    traffic.add("ghost_exchange", bytes_read=nbytes, bytes_written=nbytes)
 
 
 def partitioned_kk_mis2(
@@ -552,17 +714,23 @@ def partitioned_kk_mis2(
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ):
     """Algorithm 1 executed partition-parallel; bit-identical to :func:`kk_mis2`.
 
     Each main-loop iteration runs as three supersteps (Refresh Row, Refresh
     Column, Decide) fanned over the parts through a rank-resident
     :class:`~repro.parallel.backends.ResidentSession` — each part's local CSR
-    ships to its pinned worker once, every subsequent phase ships only the
-    halo values and worklist indices. Worklist compaction is owner-local.
-    ``resident=False`` selects the non-resident baseline that re-ships the
-    whole part every superstep (same results, pre-affinity cost profile). See
-    the module docstring for the determinism argument.
+    ships to its pinned worker once; every subsequent phase ships only the
+    halo values *changed since the part's last refresh* (dense fallback when
+    sparse would cost more) plus the iteration's worklist indices, sent once
+    by Refresh Row and stashed worker-side for Decide. Worklist compaction is
+    owner-local. ``resident=False`` selects the non-resident baseline that
+    re-ships the whole part every superstep; ``changed_deltas=False`` the
+    full-halo wire format (whole halos, worklists re-sent per phase). All
+    four combinations produce bit-identical results — only the shipped-bytes
+    accounting differs. See the module docstring for the determinism
+    argument.
     """
     from ..mis.kk import SIMD_DEGREE_THRESHOLD, _max_iterations
     from ..mis.result import MISConfig, MISResult
@@ -620,6 +788,7 @@ def partitioned_kk_mis2(
     ]
     states = [{"T": T[p.ids], "M": M[p.ids]} for p in members]
     token = f"{layout.token}/kk2/{scheme.value}/s{seed}/w{word_bits}"
+    tracker = HaloDeltaTracker(layout, ("T", "M"), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
     try:
         while True:
@@ -635,37 +804,43 @@ def partitioned_kk_mis2(
 
             # -------------------------------------------- Refresh Row (owner-local)
             live1 = _live(w1)
+            live2 = _live(w2)
             w1_loc = {i: members[i].local(w1[i]) for i in live1}
             outs = session.run(
                 _kk_resident_refresh_row,
                 [(i, (w1_loc[i], iteration)) for i in live1],
             )
-            for i, out in zip(live1, outs):
-                T[w1[i]] = out
+            tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
             supersteps += 1
-            _exchange_traffic(traffic, layout, word_bytes)
+            _exchange_traffic(traffic, layout, word_bytes, live2)
 
             # ----------------------------------- Refresh Column (reads ghost T)
-            live2 = _live(w2)
             outs = session.run(
                 _kk_resident_refresh_column,
                 [
-                    (i, (members[i].local(w2[i]), T[members[i].halo]))
+                    (i, (members[i].local(w2[i]), tracker.take("T", i, T)))
                     for i in live2
                 ],
             )
-            for i, out in zip(live2, outs):
-                M[w2[i]] = out
+            tracker.mark("M", [_scatter_changed(M, w2[i], out) for i, out in zip(live2, outs)])
             supersteps += 1
-            _exchange_traffic(traffic, layout, word_bytes)
+            _exchange_traffic(traffic, layout, word_bytes, live1)
 
             # -------------------------------------------- Decide (reads ghost M)
             outs = session.run(
                 _kk_resident_decide,
-                [(i, (w1_loc[i], M[members[i].halo])) for i in live1],
+                [
+                    (
+                        i,
+                        (
+                            None if changed_deltas else w1_loc[i],
+                            tracker.take("M", i, M),
+                        ),
+                    )
+                    for i in live1
+                ],
             )
-            for i, out in zip(live1, outs):
-                T[w1[i]] = out
+            tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
             supersteps += 1
 
             # --------------------------------------- Compaction (owner-local)
@@ -696,6 +871,7 @@ def partitioned_luby_mis1(
     seed: int = 0,
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ):
     """Luby's Algorithm A executed partition-parallel; bit-identical to
     :func:`luby_mis1`.
@@ -704,9 +880,13 @@ def partitioned_luby_mis1(
     selection (reads ghost priorities/statuses) and neighbour removal
     (owner-computes: an undecided owned vertex goes OUT when any neighbour —
     local or ghost — just joined the set). Runs through a rank-resident
-    session: the per-part CSR ships once, supersteps ship halo
-    status/priority values and candidate indices only (``resident=False``
-    restores the ship-everything baseline).
+    session: the per-part CSR ships once, supersteps ship *changed* halo
+    status/priority values, and the candidate indices ship once per round
+    (the priority phase stashes them; selection reads the stash and removal
+    filters it against the part's own post-selection statuses, so neither
+    later phase receives index arrays). ``resident=False`` restores the
+    ship-everything baseline, ``changed_deltas=False`` the full-halo wire
+    format — results are bit-identical in every combination.
     """
     import math
 
@@ -760,6 +940,7 @@ def partitioned_luby_mis1(
     ]
     states = [{"status": status[p.ids], "priority": priority[p.ids]} for p in members]
     token = f"{layout.token}/luby1/{scheme.value}/s{seed}"
+    tracker = HaloDeltaTracker(layout, ("status", "priority"), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
     try:
         while np.any(status == _UNDECIDED):
@@ -776,10 +957,12 @@ def partitioned_luby_mis1(
                 _luby_resident_priorities,
                 [(i, (cand_loc[i], rounds)) for i in live],
             )
-            for i, out in zip(live, outs):
-                priority[cand[i]] = out
+            tracker.mark(
+                "priority",
+                [_scatter_changed(priority, cand[i], out) for i, out in zip(live, outs)],
+            )
             supersteps += 1
-            _exchange_traffic(traffic, layout, 8)
+            _exchange_traffic(traffic, layout, 8, live)
 
             # ----------------------------- selection (reads ghost priorities)
             outs = session.run(
@@ -788,36 +971,50 @@ def partitioned_luby_mis1(
                     (
                         i,
                         (
-                            cand_loc[i],
-                            status[members[i].halo],
-                            priority[members[i].halo],
+                            None if changed_deltas else cand_loc[i],
+                            tracker.take("status", i, status),
+                            tracker.take("priority", i, priority),
                         ),
                     )
                     for i in live
                 ],
             )
-            for i, winners in zip(live, outs):
+            winner_lists = list(outs)
+            for winners in winner_lists:
                 status[winners] = _IN
+            # Winners were undecided a moment ago, so every one is a change.
+            tracker.mark("status", winner_lists)
             supersteps += 1
-            _exchange_traffic(traffic, layout, 1)
 
             # -------------------------------- removal (reads ghost statuses)
             remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
             live_r = [i for i in live if remaining[i].size]
+            _exchange_traffic(traffic, layout, 1, live_r)
             outs = session.run(
                 _luby_resident_remove,
                 [
-                    (i, (members[i].local(remaining[i]), status[members[i].halo]))
+                    (
+                        i,
+                        (
+                            None if changed_deltas else members[i].local(remaining[i]),
+                            tracker.take("status", i, status),
+                        ),
+                    )
                     for i in live_r
                 ],
             )
-            for i, losers in zip(live_r, outs):
-                status[remaining[i][losers]] = _OUT
+            removed = [remaining[i][losers] for i, losers in zip(live_r, outs)]
+            for ids in removed:
+                status[ids] = _OUT
+            tracker.mark("status", removed)
             supersteps += 1
             # The removal phase's OUT statuses are re-ghosted for the next
-            # round's selection snapshot — account that exchange like the
-            # others.
-            _exchange_traffic(traffic, layout, 1)
+            # round's selection snapshot — account that exchange over the
+            # parts that will actually read it, i.e. those with undecided
+            # owned candidates left (next round's live set: a candidate can
+            # only stay undecided if it was one this round).
+            live_next = [i for i in live if np.any(status[cand[i]] == _UNDECIDED)]
+            _exchange_traffic(traffic, layout, 1, live_next)
             rounds += 1
     finally:
         session.close()
@@ -839,6 +1036,7 @@ def partitioned_greedy_color(
     max_rounds: Optional[int] = None,
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
+    changed_deltas: bool = True,
 ):
     """Speculative greedy coloring executed partition-parallel; bit-identical to
     :func:`greedy_color`.
@@ -847,9 +1045,12 @@ def partitioned_greedy_color(
     colors) and conflict resolution (the higher-global-id endpoint of a
     same-color edge is uncolored by its owning part — the same deterministic
     tie-break as the unpartitioned kernel). Runs through a rank-resident
-    session: the per-part CSR ships once, supersteps ship halo colors and
-    worklist indices only (``resident=False`` restores the ship-everything
-    baseline).
+    session: the per-part CSR ships once, supersteps ship *changed* halo
+    colors, and the round's worklist indices ship once with the assignment
+    phase (the conflict phase reads the worker-side stash).
+    ``resident=False`` restores the ship-everything baseline,
+    ``changed_deltas=False`` the full-halo wire format — results are
+    bit-identical in every combination.
     """
     from ..coloring.greedy import ColoringResult
 
@@ -879,6 +1080,7 @@ def partitioned_greedy_color(
     payloads = [_resident_payload(p, max_colors=max_colors) for p in members]
     states = [{"colors": colors[p.ids]} for p in members]
     token = f"{layout.token}/greedy/m{max_colors}"
+    tracker = HaloDeltaTracker(layout, ("colors",), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
     try:
         while sum(w.size for w in worklists) > 0:
@@ -892,28 +1094,47 @@ def partitioned_greedy_color(
             # --------------------------------- speculation (reads ghost colors)
             outs = session.run(
                 _color_resident_assign,
-                [(i, (wl_loc[i], colors[members[i].halo])) for i in live],
+                [
+                    (i, (wl_loc[i], tracker.take("colors", i, colors)))
+                    for i in live
+                ],
             )
-            for i, out in zip(live, outs):
-                colors[worklists[i]] = out
+            tracker.mark(
+                "colors",
+                [_scatter_changed(colors, worklists[i], out) for i, out in zip(live, outs)],
+            )
             supersteps += 1
-            _exchange_traffic(traffic, layout, 8)
+            _exchange_traffic(traffic, layout, 8, live)
 
             # --------------------------- conflicts (reads freshly ghosted colors)
             outs = session.run(
                 _color_resident_conflict,
-                [(i, (wl_loc[i], colors[members[i].halo])) for i in live],
+                [
+                    (
+                        i,
+                        (
+                            None if changed_deltas else wl_loc[i],
+                            tracker.take("colors", i, colors),
+                        ),
+                    )
+                    for i in live
+                ],
             )
             new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
-            for i, losers in zip(live, outs):
+            loser_lists = list(outs)
+            for i, losers in zip(live, loser_lists):
                 colors[losers] = -1
                 new_worklists[i] = losers
+            # A conflict loser had just been speculatively colored >= 0, so
+            # every reset to -1 is a change.
+            tracker.mark("colors", loser_lists)
             worklists = new_worklists
             supersteps += 1
             # The conflict phase's -1 resets are re-ghosted for the next round's
             # speculation snapshot, so this round carries two exchanges like the
-            # other kernels' ghost-reading phase pairs.
-            _exchange_traffic(traffic, layout, 8)
+            # other kernels' ghost-reading phase pairs — read by exactly the
+            # parts whose worklists survived into that round.
+            _exchange_traffic(traffic, layout, 8, _live(worklists))
             rounds += 1
     finally:
         session.close()

@@ -215,6 +215,52 @@ def test_cli_rejects_no_resident_without_parts():
         main(["smoke", "--no-resident"])
 
 
+def test_cli_full_halo_writes_fh_records(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    code = main(["smoke", "--parts", "2", "--full-halo", "--json"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "full-halo deltas" in out
+    path = tmp_path / "BENCH_smoke_p2fh_numpy.json"
+    assert path.exists()
+    record = json.loads(path.read_text())
+    assert record["changed_deltas"] is False
+    assert record["resident"] is True
+    assert record["parts"] == 2
+
+
+def test_cli_rejects_full_halo_without_parts():
+    with pytest.raises(SystemExit):
+        main(["smoke", "--full-halo"])
+
+
+def test_cli_changed_deltas_shrink_bytes_vs_full_halo(capsys, tmp_path, monkeypatch):
+    # The tentpole gate: same counts, strictly fewer total bytes than the
+    # full-halo wire format, never more in the largest superstep.
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    assert main(["smoke", "--parts", "2", "--full-halo", "--json"]) == 0
+    assert main(["smoke", "--parts", "2", "--json"]) == 0
+    fh = json.loads((tmp_path / "BENCH_smoke_p2fh_numpy.json").read_text())
+    cd = json.loads((tmp_path / "BENCH_smoke_p2_numpy.json").read_text())
+    totals = [k for k in fh["counts"] if k.endswith("total_shipped_bytes")]
+    assert totals
+    for key in totals:
+        assert cd["counts"][key] < fh["counts"][key]
+    for key in (k for k in fh["counts"] if k.endswith("max_superstep_bytes")):
+        assert cd["counts"][key] <= fh["counts"][key]
+    capsys.readouterr()
+    baseline = tmp_path / "BENCH_smoke_p2fh_numpy.json"
+    candidate = tmp_path / "BENCH_smoke_p2_numpy.json"
+    assert main(["compare", str(baseline), str(candidate)]) == 0
+    out = capsys.readouterr().out
+    assert "note: delta formats differ: full-halo vs changed-only" in out
+    assert "shipped bytes: improved" in out
+    header = next(line for line in out.splitlines() if line.startswith("bench compare:"))
+    assert "full-halo" in header
+    # The reverse direction ships more -> drift.
+    assert main(["compare", str(candidate), str(baseline)]) == 1
+
+
 def test_cli_sweep_no_resident_writes_nr_sweep_records(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
     code = main(["sweep", "smoke", "--parts", "2", "--no-resident",
@@ -357,6 +403,48 @@ def test_cli_compare_gates_shipped_bytes_directionally(capsys, tmp_path, monkeyp
     assert main(["compare", str(candidate), str(baseline)]) == 1
     out = capsys.readouterr().out
     assert "DRIFT" in out
+
+
+def test_cli_compare_reports_missing_count_keys_explicitly(capsys, tmp_path, monkeypatch):
+    # Regression: a key absent from one record rendered as "5 != None",
+    # indistinguishable from a recorded null value.
+    a = _write_record(tmp_path, monkeypatch, "a")
+    record = json.loads(a.read_text())
+    dropped = sorted(record["counts"])[0]
+    value = record["counts"].pop(dropped)
+    extra_value = 42
+    record["counts"]["zzz/new_metric"] = extra_value
+    b = tmp_path / "BENCH_missing.json"
+    b.write_text(json.dumps(record))
+    capsys.readouterr()
+    assert main(["compare", str(a), str(b)]) == 1
+    out = capsys.readouterr().out
+    assert f"counts[{dropped}]: missing from candidate (baseline has {value!r})" in out
+    assert (
+        f"counts[zzz/new_metric]: missing from baseline (candidate has {extra_value!r})"
+        in out
+    )
+    assert "!= None" not in out and "None !=" not in out
+
+
+def test_cli_compare_missing_key_vs_recorded_null_is_drift(capsys, tmp_path, monkeypatch):
+    # A recorded null on one side must not mask a structurally missing key on
+    # the other (counts.get() returns None for both, so a naive equality
+    # short-circuit would pass the gate).
+    a = _write_record(tmp_path, monkeypatch, "a")
+    base = json.loads(a.read_text())
+    key = sorted(base["counts"])[0]
+    base["counts"][key] = None
+    null_baseline = tmp_path / "BENCH_null.json"
+    null_baseline.write_text(json.dumps(base))
+    cand = json.loads(a.read_text())
+    del cand["counts"][key]
+    missing_candidate = tmp_path / "BENCH_missing2.json"
+    missing_candidate.write_text(json.dumps(cand))
+    capsys.readouterr()
+    assert main(["compare", str(null_baseline), str(missing_candidate)]) == 1
+    out = capsys.readouterr().out
+    assert f"counts[{key}]: missing from candidate (baseline has None)" in out
 
 
 def test_cli_compare_same_config_bytes_undercount_is_drift(capsys, tmp_path, monkeypatch):

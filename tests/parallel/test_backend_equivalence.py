@@ -264,15 +264,20 @@ def test_nonresident_baseline_bit_identical(partition_backend, graph_name, k):
     assert np.array_equal(luby_mis1(g).in_set, luby.in_set)
 
 
+@pytest.mark.parametrize("changed_deltas", (True, False))
 @pytest.mark.parametrize("resident", (True, False))
-def test_shipped_bytes_accounting_identical_across_backends(resident):
-    """The shipped-bytes fields are *logical* (array nbytes), so every backend
-    must record exactly the same numbers for the same run — that is what makes
-    them deterministic counts gateable by `bench compare`."""
+def test_shipped_bytes_accounting_identical_across_backends(resident, changed_deltas):
+    """The shipped-bytes fields are *logical* (array nbytes, charged in both
+    directions), so every backend must record exactly the same numbers for
+    the same run — that is what makes them deterministic counts gateable by
+    `bench compare` — under every delta wire format."""
     g = SMALL_GRAPH_CASES["gnp60"]
     reference = None
     for name, backend in sorted(PARTITION_BACKENDS.items()):
-        out = kk_mis2(g, partitions=4, backend=backend, resident=resident)
+        out = kk_mis2(
+            g, partitions=4, backend=backend,
+            resident=resident, changed_deltas=changed_deltas,
+        )
         recorded = out.partition_stats.to_dict()
         if reference is None:
             reference = recorded
@@ -283,6 +288,44 @@ def test_shipped_bytes_accounting_identical_across_backends(resident):
         assert reference["max_superstep_bytes"] < reference["resident_bytes"]
     else:
         assert reference["resident_bytes"] == 0
+
+
+def test_changed_delta_accounting_identical_across_backends_all_kernels():
+    """The changed-delta protocol's byte counts agree on every backend for
+    every partitioned kernel (Luby and the coloring stash/recompute their
+    worklists worker-side — the counts must not depend on where that runs)."""
+    g = SMALL_GRAPH_CASES["gnp60"]
+    for kernel in (luby_mis1, greedy_color):
+        reference = None
+        for name, backend in sorted(PARTITION_BACKENDS.items()):
+            out = kernel(g, partitions=4, backend=backend)
+            recorded = out.partition_stats.to_dict()
+            if reference is None:
+                reference = recorded
+            assert recorded == reference, (kernel.__name__, name)
+        assert reference["superstep_bytes"] > 0
+
+
+@pytest.mark.parametrize("graph_name", PARTITION_GRAPHS)
+def test_full_halo_format_bit_identical_and_never_cheaper(partition_backend, graph_name):
+    """changed_deltas=False (the full-halo wire format kept for the CI gate)
+    produces bit-identical results on every backend, and the changed-delta
+    default never ships more than it — per phase or in total."""
+    g = SMALL_GRAPH_CASES[graph_name]
+    for kernel, extract in (
+        (kk_mis2, lambda r: r.in_set),
+        (luby_mis1, lambda r: r.in_set),
+        (greedy_color, lambda r: r.colors),
+    ):
+        ref = kernel(g)
+        changed = kernel(g, partitions=4, backend=partition_backend)
+        full = kernel(g, partitions=4, backend=partition_backend, changed_deltas=False)
+        assert np.array_equal(extract(ref), extract(changed))
+        assert np.array_equal(extract(ref), extract(full))
+        sc, sf = changed.partition_stats, full.partition_stats
+        assert sc.supersteps == sf.supersteps
+        assert sc.superstep_bytes <= sf.superstep_bytes
+        assert sc.max_superstep_bytes <= sf.max_superstep_bytes
 
 
 def test_partitioned_smoke_sweep_counts_identical():

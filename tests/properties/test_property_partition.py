@@ -14,6 +14,7 @@ from hypothesis import strategies as st
 from repro.coloring import greedy_color
 from repro.mis import kk_mis2, luby_mis1
 from repro.parallel import build_partition_layout, partition_vertices
+from repro.parallel.partitioned import HaloDeltaTracker, _scatter_changed
 
 from tests.properties.strategies import graphs
 
@@ -108,6 +109,86 @@ def test_resident_and_nonresident_paths_identical(case):
         assert sr.resident_bytes > 0
         assert sr.resident_bytes + sr.superstep_bytes <= sn.superstep_bytes
         assert sr.max_superstep_bytes <= sn.max_superstep_bytes
+
+
+@given(graph_and_labels())
+@settings(**COMMON)
+def test_changed_and_full_delta_formats_identical(case):
+    """The changed-only delta wire format and the full-halo format agree with
+    the reference bit-for-bit, run the same number of supersteps, and the
+    changed format never ships more — per phase or in total."""
+    graph, labels = case
+    ref = kk_mis2(graph)
+    changed = kk_mis2(graph, partitions=labels, changed_deltas=True)
+    full = kk_mis2(graph, partitions=labels, changed_deltas=False)
+    assert np.array_equal(ref.in_set, changed.in_set)
+    assert np.array_equal(ref.in_set, full.in_set)
+    assert ref.iterations == changed.iterations == full.iterations
+    sc, sf = changed.partition_stats, full.partition_stats
+    assert sc.supersteps == sf.supersteps
+    assert sc.resident_bytes == sf.resident_bytes
+    assert sc.superstep_bytes <= sf.superstep_bytes
+    assert sc.max_superstep_bytes <= sf.max_superstep_bytes
+
+
+@given(graph_and_labels(), st.data())
+@settings(**COMMON)
+def test_halo_tracker_reconstructs_full_halo_exchange(case, data):
+    """The reconstruction invariant of the changed-delta protocol: for any
+    interleaving of value changes and per-part refreshes, cumulatively
+    applying the tracker's updates to a part's last-known halo values always
+    rebuilds the full halo gather exactly."""
+    graph, labels = case
+    layout = build_partition_layout(graph, labels)
+    n = graph.num_vertices
+    values = np.zeros(n, dtype=np.int64)
+    tracker = HaloDeltaTracker(layout, ("A",))
+    # Each part's halo mirror starts current — exactly like session open.
+    mirrors = [values[p.halo].copy() for p in layout.parts]
+    for step in range(data.draw(st.integers(min_value=1, max_value=6), label="steps")):
+        if n:
+            idx = np.unique(
+                np.asarray(
+                    data.draw(
+                        st.lists(st.integers(0, n - 1), min_size=0, max_size=n),
+                        label="touched",
+                    ),
+                    dtype=np.int64,
+                )
+            )
+            new = values[idx] + np.asarray(
+                data.draw(
+                    st.lists(st.integers(0, 1), min_size=idx.size, max_size=idx.size),
+                    label="increments",
+                ),
+                dtype=np.int64,
+            )
+            tracker.mark("A", _scatter_changed(values, idx, new))
+        refreshed = data.draw(
+            st.lists(
+                st.integers(0, layout.num_parts - 1),
+                min_size=0,
+                max_size=layout.num_parts,
+                unique=True,
+            ),
+            label="refreshed",
+        )
+        for part in refreshed:
+            halo = layout.parts[part].halo
+            positions, vals = tracker.take("A", part, values)
+            if positions is None:
+                mirrors[part][:] = vals
+            else:
+                mirrors[part][positions] = vals
+            assert np.array_equal(mirrors[part], values[halo])
+    # Parts never refreshed above still reconstruct on a final take.
+    for part, p in enumerate(layout.parts):
+        positions, vals = tracker.take("A", part, values)
+        if positions is None:
+            mirrors[part][:] = vals
+        else:
+            mirrors[part][positions] = vals
+        assert np.array_equal(mirrors[part], values[p.halo])
 
 
 @given(graphs(), st.integers(min_value=2, max_value=5), st.randoms(use_true_random=False))
