@@ -56,7 +56,12 @@ ghost-exchange stats land in the rows and deterministic counts.
 ``--no-resident`` selects the re-ship-everything baseline (``_p<k>nr``
 records) and ``--full-halo`` the full-halo delta wire format (``_p<k>fh``
 records) — both bit-identical, kept runnable so ``compare`` can gate the
-resident and changed-delta shipped-bytes wins.
+resident and changed-delta shipped-bytes wins. ``--backend distributed``
+runs the partitioned drivers over localhost rank processes through the
+socket transport (``--jobs`` sets the rank count); results stay
+bit-identical and the logical byte counts unchanged, while the cluster
+additionally meters actual on-the-wire bytes
+(:meth:`repro.parallel.DistributedBackend.measured_stats`).
 
 Regression gate over persisted records::
 

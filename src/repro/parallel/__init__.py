@@ -62,6 +62,22 @@ from .backends import (
     shipped_nbytes,
     shutdown_partition_pools,
 )
+from .transport import (
+    MessageConnection,
+    MessageListener,
+    TransportError,
+    connect_with_retry,
+)
+
+# Importing .distributed registers the "distributed" backend; it must follow
+# .backends (whose registry it extends) and precede .partitioned (whose
+# drivers may be asked to run on it).
+from .distributed import (
+    DistributedBackend,
+    RankCluster,
+    RankDeathError,
+    shutdown_rank_clusters,
+)
 from .machine import DeviceSpec, DEVICES, device, device_names
 from .costmodel import (
     TrafficCounter,
@@ -118,6 +134,14 @@ __all__ = [
     "numba_available",
     "shipped_nbytes",
     "shutdown_partition_pools",
+    "MessageConnection",
+    "MessageListener",
+    "TransportError",
+    "connect_with_retry",
+    "DistributedBackend",
+    "RankCluster",
+    "RankDeathError",
+    "shutdown_rank_clusters",
     "GraphPart",
     "HaloDeltaTracker",
     "PartitionLayout",

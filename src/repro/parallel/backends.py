@@ -223,7 +223,13 @@ def shipped_nbytes(obj: Any) -> int:
         return sum(shipped_nbytes(v) for v in obj.values())
     if isinstance(obj, (list, tuple)):
         return sum(shipped_nbytes(v) for v in obj)
-    if isinstance(obj, (bool, int, float, np.integer, np.floating, np.bool_)):
+    # NumPy scalars carry their dtype and must be checked before the plain
+    # Python branch (np.float64 subclasses float): a np.float32 costs 4
+    # bytes, a np.int8 or np.bool_ one — the flat 8-byte word this used to
+    # charge over-counted every narrow scalar.
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return int(obj.itemsize)
+    if isinstance(obj, (bool, int, float)):
         return 8
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
@@ -433,11 +439,16 @@ def _resident_install(args) -> bool:
     else:
         _RESIDENT_PAYLOADS[key] = payload
     _RESIDENT_PAYLOADS.move_to_end(key)
-    while len(_RESIDENT_PAYLOADS) > _RESIDENT_PAYLOAD_CAPACITY:
-        oldest = next(iter(_RESIDENT_PAYLOADS))
-        if oldest[0] == token:
-            break
-        del _RESIDENT_PAYLOADS[oldest]
+    if len(_RESIDENT_PAYLOADS) > _RESIDENT_PAYLOAD_CAPACITY:
+        # Evict oldest-first, *skipping* (never stopping at) entries of the
+        # token being installed: stopping at a protected head entry used to
+        # leave the store over capacity with other tokens' stale payloads
+        # parked behind it forever.
+        evictable = [k for k in _RESIDENT_PAYLOADS if k[0] != token]
+        for stale in evictable:
+            if len(_RESIDENT_PAYLOADS) <= _RESIDENT_PAYLOAD_CAPACITY:
+                break
+            del _RESIDENT_PAYLOADS[stale]
     _RESIDENT_STATES[(session_key, part)] = state
     return True
 
@@ -484,6 +495,16 @@ def _resident_forget(args) -> bool:
     for part in parts:
         _RESIDENT_STATES.pop((session_key, part), None)
     return True
+
+
+# How many restore-and-retry rounds a session attempts when a phase reports a
+# payload miss before giving up. One round is almost always enough (the
+# coordinator re-installs, the retry hits), but under a crowded slot a
+# *concurrent* session's installs can re-evict the payload between the restore
+# and the retry — a single-shot recovery then surfaces the raw miss as an
+# opaque failure. Bounded so two sessions ping-ponging a slot's LRU cannot
+# livelock the coordinator.
+_RESIDENT_MISS_ATTEMPTS = 3
 
 
 # Coordinator-side slot pools: slot ``j`` is a persistent single-worker
@@ -599,18 +620,37 @@ class _PinnedResidentSession(ResidentSession):
                 except _ResidentPayloadMiss:
                     # The worker still has this part's state but another
                     # session's installs evicted the payload; re-ship it and
-                    # retry the phase (the task has not run yet).
+                    # retry the phase (the task has not run yet). A concurrent
+                    # session crowding the slot can re-evict between the
+                    # restore and the retry, so the recovery loops — bounded,
+                    # with a clear error on exhaustion.
                     slot = i % self._nslots
-                    pool = _resident_slot(slot)
-                    pool.submit(
-                        _resident_restore_payload, (self.token, i, self._payloads[i])
-                    ).result()
-                    _slot_mark(slot, (self.token, i), present=True)
-                    results.append(
+                    for attempt in range(_RESIDENT_MISS_ATTEMPTS):
+                        pool = _resident_slot(slot)
                         pool.submit(
-                            _resident_phase, (self.token, self._key, i, fn, delta)
+                            _resident_restore_payload,
+                            (self.token, i, self._payloads[i]),
                         ).result()
-                    )
+                        _slot_mark(slot, (self.token, i), present=True)
+                        try:
+                            results.append(
+                                pool.submit(
+                                    _resident_phase,
+                                    (self.token, self._key, i, fn, delta),
+                                ).result()
+                            )
+                            break
+                        except _ResidentPayloadMiss:
+                            continue
+                    else:
+                        raise RuntimeError(
+                            f"payload of part {i} (token {self.token!r}) was "
+                            f"evicted again after each of "
+                            f"{_RESIDENT_MISS_ATTEMPTS} restore attempts — "
+                            f"slot {slot}'s worker store is too crowded for "
+                            f"the concurrent sessions sharing it; raise "
+                            f"_RESIDENT_PAYLOAD_CAPACITY or serialise the runs"
+                        ) from None
             self._account_in(outbound, tasks, results)
             return results
         except BrokenProcessPool:

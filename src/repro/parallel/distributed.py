@@ -1,0 +1,728 @@
+"""Multi-host distributed execution: the ``ResidentSession`` over real sockets.
+
+Everything below ``map_partitions_resident`` was already in its final wire
+shape — per-part payloads keyed by ``PartitionLayout.token``, ``(positions,
+values)`` changed-only halo deltas, worker-resident worklists. This module
+takes that session protocol over *actual transport*: a coordinator process
+connects to N long-lived **rank processes** through the byte-metered socket
+seam in :mod:`repro.parallel.transport`, ships each part's payload once into a
+per-rank payload cache, and runs every superstep phase as ``(token, session,
+part, fn, delta)`` messages whose results return over the wire. The rank
+processes run on localhost here (so CI exercises the full path), but nothing
+in the protocol assumes it — the transport seam is where an MPI or multi-host
+implementation drops in.
+
+Protocol (one coordinator connection per rank, request/response, pipelined):
+
+``("install", token, part, payload|None, session_key, state)``
+    Session open. ``payload=None`` when the coordinator believes the rank
+    already caches ``(token, part)``; the rank acks ``("ok", False)`` if it
+    does not (restarted rank, LRU eviction) and the coordinator re-sends the
+    payload. States always ship — they are per-session.
+``("phase", seq, token, session_key, part, fn, delta)``
+    One superstep phase for one part. The rank executes ``fn(payload, state,
+    delta)`` against its resident part and replies ``("result", value)``.
+    ``seq`` makes retries after a reconnect **exactly-once**: the rank caches
+    the last ``(seq, result)`` per ``(session, part)`` and answers a replayed
+    phase from the cache instead of re-running it (state is mutated once no
+    matter how often the message is re-sent). A rank that lost the payload
+    replies ``("miss",)`` — the coordinator restores it and retries, bounded;
+    one that lost the *state* replies ``("error", ...)`` (states are not
+    reconstructible — see the rank-death story below).
+``("restore", token, part, payload)`` / ``("forget", session_key, parts)``
+    Payload re-install after an LRU miss; session close (drops states and the
+    phase dedup cache, payloads stay cached for reruns on the same layout).
+``("ping",)`` / ``("shutdown",)``
+    Liveness probe; orderly rank exit.
+
+Rank-side storage *is* the process-global resident store of
+:mod:`repro.parallel.backends` (``_resident_install`` / ``_resident_phase`` /
+``_resident_forget``), so the cache semantics — payloads keyed by ``(layout
+token, part)`` surviving across sessions, states keyed by ``(session, part)``
+living for exactly one, LRU bounded by ``_RESIDENT_PAYLOAD_CAPACITY`` — are
+identical to the chunked backend's slot workers by construction.
+
+Failure story, in two tiers:
+
+* **Transient transport failures** (dropped connection, rank mid-accept):
+  every request retries through :func:`transport.connect_with_retry` with
+  exponential backoff while the rank *process* is alive; the rank's listening
+  socket outlives client connections, the re-sent batch is deduplicated by
+  ``seq``, and the run continues with bit-identical results.
+* **Rank death** (process gone): the mutable session states on that rank are
+  unrecoverable by design — reconstructing them would mean the coordinator
+  shadowing every state mutation, which is exactly the traffic the resident
+  protocol exists to avoid. The current run fails *loudly* with
+  :class:`RankDeathError` (never silently wrong results), the cluster
+  respawns a fresh rank with empty caches, and the next session — including
+  an immediate rerun of the failed kernel — proceeds normally, re-shipping
+  payloads as its install acks demand.
+
+Byte accounting is two-ledger: the session's logical ``shipped_nbytes``
+accounting (inherited from :class:`ResidentSession`, bit-identical across
+backends) and the transport's **measured** socket-byte counters.
+``DistributedBackend.measured_stats()`` exposes the latter, and the
+distributed test suite gates measured against logical — same ordering,
+bounded constant-factor overhead — which is what makes the logical meter an
+honest model of real wire traffic.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import backends as _B
+from .backends import ExecutionBackend, ResidentSession
+from .transport import (
+    Address,
+    MessageConnection,
+    MessageListener,
+    TransportError,
+    connect_with_retry,
+)
+
+__all__ = [
+    "DistributedBackend",
+    "RankCluster",
+    "RankDeathError",
+    "shutdown_rank_clusters",
+]
+
+#: Rank count when ``DistributedBackend(ranks=None)`` (CI runs two-rank
+#: clusters; ``with_jobs`` / ``--jobs`` reconfigure it).
+_DEFAULT_RANKS = 2
+
+
+class RankDeathError(RuntimeError):
+    """A rank process died (or stayed unreachable through the whole retry
+    schedule) while a session needed it.
+
+    The resident states that rank held are gone, so the current kernel run
+    cannot continue — but the cluster has already respawned a replacement
+    rank, so rerunning the kernel succeeds (payloads re-ship on demand).
+    """
+
+
+# --------------------------------------------------------------- rank process
+#
+# Each rank is a daemon child process running an accept/serve loop. The
+# resident stores are the module globals of repro.parallel.backends, reused
+# verbatim so rank-side cache behaviour is identical to a chunked slot worker.
+
+#: Rank-side phase dedup: ``(session_key, part) -> (seq, result)``. A phase
+#: message replayed after a reconnect (same seq) is answered from here without
+#: re-running fn — the exactly-once guarantee that makes blind re-sends safe.
+_PHASE_DONE: "Dict[Tuple[int, int], Tuple[int, Any]]" = {}
+
+
+class _RankShutdown(Exception):
+    """Raised inside the serve loop on an orderly ``shutdown`` message."""
+
+
+def _rank_handle_message(conn: MessageConnection, msg: tuple) -> None:
+    """Dispatch one coordinator message and send exactly one reply."""
+    kind = msg[0]
+    if kind == "phase":
+        _, seq, token, session_key, part, fn, delta = msg
+        done = _PHASE_DONE.get((session_key, part))
+        if done is not None and done[0] == seq:
+            conn.send(("result", done[1]))
+            return
+        try:
+            result = _B._resident_phase((token, session_key, part, fn, delta))
+        except _B._ResidentPayloadMiss:
+            conn.send(("miss",))
+            return
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            return
+        _PHASE_DONE[(session_key, part)] = (seq, result)
+        conn.send(("result", result))
+    elif kind == "install":
+        try:
+            conn.send(("ok", _B._resident_install(msg[1:])))
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    elif kind == "restore":
+        _B._resident_restore_payload(msg[1:])
+        conn.send(("ok", True))
+    elif kind == "forget":
+        _, session_key, parts = msg
+        _B._resident_forget((session_key, parts))
+        for part in parts:
+            _PHASE_DONE.pop((session_key, part), None)
+        conn.send(("ok", True))
+    elif kind == "ping":
+        conn.send(("pong", os.getpid()))
+    elif kind == "shutdown":
+        conn.send(("ok", True))
+        raise _RankShutdown
+    else:
+        conn.send(("error", f"unknown message kind {kind!r}"))
+
+
+def _rank_main(ready) -> None:
+    """Entry point of one rank process: bind, report the address, serve.
+
+    The listener outlives client connections: when the coordinator's
+    connection drops (transient failure, coordinator-side reconnect) the rank
+    returns to ``accept`` with all resident stores intact — which is exactly
+    what makes the coordinator's reconnect path correct.
+    """
+    listener = MessageListener()
+    ready.send(listener.address)
+    ready.close()
+    try:
+        while True:
+            try:
+                conn = listener.accept()
+            except TransportError:  # pragma: no cover - listener torn down
+                return
+            try:
+                while True:
+                    _rank_handle_message(conn, conn.recv())
+            except TransportError:
+                # Client gone (EOF / reset): keep stores, await a reconnect.
+                pass
+            finally:
+                conn.close()
+    except _RankShutdown:
+        return
+    finally:
+        listener.close()
+
+
+# ------------------------------------------------------------ rank management
+class _RankHandle:
+    """Coordinator-side view of one rank: process, address, live connection,
+    payload-cache mirror and the byte counters of retired connections."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: Optional[multiprocessing.Process] = None
+        self.address: Optional[Address] = None
+        self.conn: Optional[MessageConnection] = None
+        self.lock = threading.Lock()
+        #: Mirror of which ``(token, part)`` payloads the rank is believed to
+        #: hold (LRU-bounded like the worker store; self-heals through the
+        #: install ack in both directions — see the chunked slot mirror).
+        self.known: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        #: Bytes/messages accumulated by connections since closed or replaced.
+        self.retired = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "messages_sent": 0,
+            "messages_received": 0,
+        }
+
+    def retire_connection(self) -> None:
+        """Fold the live connection's meters into the totals and drop it."""
+        conn = self.conn
+        if conn is None:
+            return
+        self.conn = None
+        self.retired["bytes_sent"] += conn.bytes_sent
+        self.retired["bytes_received"] += conn.bytes_received
+        self.retired["messages_sent"] += conn.messages_sent
+        self.retired["messages_received"] += conn.messages_received
+        conn.close()
+
+    def stats(self) -> Dict[str, int]:
+        out = dict(self.retired)
+        if self.conn is not None:
+            out["bytes_sent"] += self.conn.bytes_sent
+            out["bytes_received"] += self.conn.bytes_received
+            out["messages_sent"] += self.conn.messages_sent
+            out["messages_received"] += self.conn.messages_received
+        return out
+
+
+class RankCluster:
+    """N localhost rank processes plus the coordinator-side request machinery.
+
+    One cluster exists per rank count and is shared by every
+    :class:`DistributedBackend` instance in the process (like the chunked
+    backend's slot pools) — which is what lets payload caches survive across
+    sessions and runs. Requests are batched per rank (send all, then receive
+    all) so ranks compute concurrently while the coordinator drains replies.
+    """
+
+    def __init__(self, nranks: int, retry_attempts: int = 4, retry_delay: float = 0.05) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = int(nranks)
+        self.retry_attempts = int(retry_attempts)
+        self.retry_delay = float(retry_delay)
+        self._handles = [_RankHandle(i) for i in range(self.nranks)]
+        for handle in self._handles:
+            self._spawn(handle)
+
+    # -------------------------------------------------------------- lifecycle
+    def _spawn(self, handle: _RankHandle) -> None:
+        """Start (or replace) the rank process behind ``handle``.
+
+        A replacement rank has empty stores, so the payload mirror is cleared
+        — the next session's install acks re-ship whatever it needs.
+        """
+        ready_recv, ready_send = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(
+            target=_rank_main, args=(ready_send,), daemon=True,
+            name=f"repro-rank-{handle.index}",
+        )
+        proc.start()
+        ready_send.close()
+        try:
+            if not ready_recv.poll(30.0):
+                raise RankDeathError(
+                    f"rank {handle.index} did not report its address within 30s"
+                )
+            address = ready_recv.recv()
+        finally:
+            ready_recv.close()
+        handle.process = proc
+        handle.address = address
+        handle.known.clear()
+        handle.retire_connection()
+
+    def _alive(self, handle: _RankHandle) -> bool:
+        return handle.process is not None and handle.process.is_alive()
+
+    def _connection(self, handle: _RankHandle) -> MessageConnection:
+        if handle.conn is None:
+            handle.conn = connect_with_retry(
+                handle.address,
+                attempts=self.retry_attempts,
+                delay=self.retry_delay,
+                abort=lambda: not self._alive(handle),
+            )
+        return handle.conn
+
+    def _declare_dead(self, handle: _RankHandle, cause: Exception) -> "RankDeathError":
+        """Respawn a replacement for a dead rank and build the caller's error."""
+        handle.retire_connection()
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - unreachable in tests
+                handle.process.terminate()
+        self._spawn(handle)
+        return RankDeathError(
+            f"rank {handle.index} died mid-run ({cause}); its resident session "
+            f"states are unrecoverable, so this kernel run cannot continue. A "
+            f"replacement rank is already serving — rerun the kernel (payloads "
+            f"re-ship automatically)."
+        )
+
+    # --------------------------------------------------------------- requests
+    def request(self, rank: int, messages: Sequence[tuple]) -> List[tuple]:
+        """Send a batch to one rank and collect one reply per message.
+
+        On a transient transport failure the *whole batch* is re-sent over a
+        fresh connection — safe because every message in the protocol is
+        idempotent (installs/restores/forgets by content, phases by ``seq``).
+        A rank that is dead, or unreachable through the entire retry
+        schedule, raises :class:`RankDeathError` after a replacement has been
+        spawned for future sessions.
+        """
+        messages = list(messages)
+        handle = self._handles[rank]
+        with handle.lock:
+            last: Optional[Exception] = None
+            for _ in range(max(1, self.retry_attempts)):
+                if not self._alive(handle):
+                    raise self._declare_dead(
+                        handle, last if last is not None else RuntimeError("process exited")
+                    )
+                try:
+                    conn = self._connection(handle)
+                except TransportError as exc:
+                    last = exc
+                    continue
+                try:
+                    for msg in messages:
+                        conn.send(msg)
+                    return [conn.recv() for _ in messages]
+                except TransportError as exc:
+                    last = exc
+                    handle.retire_connection()
+                    continue
+            if not self._alive(handle):
+                raise self._declare_dead(handle, last)
+            raise RankDeathError(
+                f"rank {rank} at {handle.address} stayed unreachable through "
+                f"{self.retry_attempts} reconnect attempt(s): {last}"
+            )
+
+    # ------------------------------------------------------------ cache mirror
+    def known(self, rank: int, key: Tuple[str, int]) -> bool:
+        handle = self._handles[rank]
+        with handle.lock:
+            return key in handle.known
+
+    def mark(self, rank: int, key: Tuple[str, int], present: bool) -> None:
+        handle = self._handles[rank]
+        with handle.lock:
+            if not present:
+                handle.known.pop(key, None)
+                return
+            handle.known[key] = None
+            handle.known.move_to_end(key)
+            while len(handle.known) > _B._RESIDENT_PAYLOAD_CAPACITY:
+                handle.known.popitem(last=False)
+
+    # ------------------------------------------------------------------ meters
+    def stats(self) -> Dict[str, int]:
+        """Measured on-the-wire totals across all ranks (headers included),
+        accumulated over the cluster's whole lifetime including retired and
+        replaced connections."""
+        totals = {
+            "bytes_sent": 0,
+            "bytes_received": 0,
+            "messages_sent": 0,
+            "messages_received": 0,
+        }
+        for handle in self._handles:
+            with handle.lock:
+                for key, value in handle.stats().items():
+                    totals[key] += value
+        return totals
+
+    def shutdown(self) -> None:
+        """Orderly stop: ask every rank to exit, then make sure it did."""
+        for handle in self._handles:
+            with handle.lock:
+                if self._alive(handle):
+                    try:
+                        conn = self._connection(handle)
+                        conn.send(("shutdown",))
+                        conn.recv()
+                    except TransportError:
+                        pass
+                handle.retire_connection()
+                if handle.process is not None:
+                    handle.process.join(timeout=2.0)
+                    if handle.process.is_alive():
+                        handle.process.terminate()
+                        handle.process.join(timeout=2.0)
+                    handle.process = None
+
+
+#: Process-wide cluster registry, one per rank count — shared by every
+#: DistributedBackend instance so payload caches persist across sessions.
+_CLUSTERS: "Dict[int, RankCluster]" = {}
+_CLUSTER_LOCK = threading.Lock()
+
+
+def _get_cluster(nranks: int, retry_attempts: int, retry_delay: float) -> RankCluster:
+    with _CLUSTER_LOCK:
+        cluster = _CLUSTERS.get(nranks)
+        if cluster is None:
+            cluster = RankCluster(
+                nranks, retry_attempts=retry_attempts, retry_delay=retry_delay
+            )
+            _CLUSTERS[nranks] = cluster
+        return cluster
+
+
+def shutdown_rank_clusters() -> None:
+    """Stop every rank process started by this coordinator (idempotent)."""
+    with _CLUSTER_LOCK:
+        clusters = list(_CLUSTERS.values())
+        _CLUSTERS.clear()
+    for cluster in clusters:
+        cluster.shutdown()
+
+
+atexit.register(shutdown_rank_clusters)
+
+
+def _drop_inherited_clusters() -> None:
+    # A fork-started child inherits handle objects whose processes and socket
+    # fds belong to the parent; drop the references so the child builds its
+    # own cluster if it ever needs one (shutting them down here would kill
+    # the parent's ranks).
+    _CLUSTERS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_drop_inherited_clusters)
+
+
+# ------------------------------------------------------------------- sessions
+class _DistributedResidentSession(ResidentSession):
+    """Socket-transport session: part ``i`` resides on rank ``i % nranks``.
+
+    Session open ships each part's payload (unless the rank's cache mirror
+    says it already holds the layout token) and fresh state; every later
+    superstep ships only ``(token, session, part, fn, delta)`` messages.
+    Inherits the logical shipped-bytes accounting unchanged — the logical
+    ledger must be bit-identical across backends — while the transport
+    underneath meters the actual socket bytes (see ``measured_stats``).
+    """
+
+    def __init__(
+        self,
+        cluster: RankCluster,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        miss_attempts: int = _B._RESIDENT_MISS_ATTEMPTS,
+    ) -> None:
+        super().__init__(token, payloads, states, resident=True)
+        self._cluster = cluster
+        #: Retained so an LRU-evicted payload can be restored transparently.
+        self._payloads = list(payloads)
+        self._key = next(_B._RESIDENT_SESSION_KEYS)
+        self._nranks = max(1, min(cluster.nranks, len(payloads)))
+        self._miss_attempts = int(miss_attempts)
+        self._seq = 0
+        self._closed = False
+        self._stats_open = cluster.stats()
+        by_rank: Dict[int, List[int]] = {}
+        for part in range(self.num_parts):
+            by_rank.setdefault(part % self._nranks, []).append(part)
+        for rank, parts in by_rank.items():
+            try:
+                self._install_on_rank(rank, parts, states)
+            except RankDeathError:
+                # Nothing of this session had landed on that rank yet, so a
+                # session-open failure is recoverable: the cluster already
+                # spawned a replacement (with empty caches — its mirror was
+                # cleared), install again from scratch.
+                self._install_on_rank(rank, parts, states)
+
+    def _install_on_rank(self, rank: int, parts: Sequence[int], states: Sequence) -> None:
+        cluster = self._cluster
+        entries = [(part, cluster.known(rank, (self.token, part))) for part in parts]
+        replies = cluster.request(
+            rank,
+            [
+                ("install", self.token, part,
+                 None if known else self._payloads[part], self._key, states[part])
+                for part, known in entries
+            ],
+        )
+        resend = []
+        for (part, known), reply in zip(entries, replies):
+            if not self._expect_ok(reply, "install", part):
+                # Stale mirror (rank restarted or evicted underneath us):
+                # drop the entry and ship the payload after all.
+                cluster.mark(rank, (self.token, part), present=False)
+                resend.append(part)
+        if resend:
+            for part, reply in zip(
+                resend,
+                cluster.request(
+                    rank,
+                    [
+                        ("install", self.token, part, self._payloads[part],
+                         self._key, states[part])
+                        for part in resend
+                    ],
+                ),
+            ):
+                self._expect_ok(reply, "install", part, required=True)
+        for part in parts:
+            cluster.mark(rank, (self.token, part), present=True)
+
+    # ------------------------------------------------------------------ helpers
+    def _expect_ok(self, reply: tuple, what: str, part: int, required: bool = False) -> bool:
+        if reply[0] == "ok":
+            if required and not reply[1]:
+                raise RuntimeError(
+                    f"rank rejected a full {what} of part {part} "
+                    f"(token {self.token!r}) — rank-side store failure"
+                )
+            return bool(reply[1])
+        raise RuntimeError(
+            f"rank-side {what} of part {part} (token {self.token!r}) failed: "
+            f"{reply[1] if len(reply) > 1 else reply!r}"
+        )
+
+    def _resolve_reply(self, rank: int, seq: int, part: int, fn: Callable, delta) -> Any:
+        """Turn one phase reply into a result, recovering bounded payload misses."""
+        reply = self._pending.pop((rank, part))
+        for _ in range(self._miss_attempts):
+            if reply[0] != "miss":
+                break
+            # The rank still holds this part's state but a concurrent
+            # session's installs evicted the payload; restore it and retry
+            # the phase (same seq — the phase never ran, and if a reconnect
+            # replayed it meanwhile the dedup cache answers consistently).
+            self._cluster.request(
+                rank, [("restore", self.token, part, self._payloads[part])]
+            )
+            self._cluster.mark(rank, (self.token, part), present=True)
+            reply = self._cluster.request(
+                rank, [("phase", seq, self.token, self._key, part, fn, delta)]
+            )[0]
+        if reply[0] == "miss":
+            raise RuntimeError(
+                f"payload of part {part} (token {self.token!r}) was evicted "
+                f"again after each of {self._miss_attempts} restore attempts — "
+                f"rank {rank}'s payload cache is too crowded for the concurrent "
+                f"sessions sharing it"
+            )
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"rank-side phase of part {part} (token {self.token!r}) "
+                f"failed: {reply[1]}"
+            )
+        if reply[0] != "result":
+            raise RuntimeError(f"malformed rank reply {reply!r}")
+        return reply[1]
+
+    # --------------------------------------------------------------------- api
+    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
+        tasks = list(tasks)
+        outbound = self._account_out(tasks)
+        self._seq += 1
+        seq = self._seq
+        by_rank: Dict[int, List[Tuple[int, Any]]] = {}
+        for part, delta in tasks:
+            by_rank.setdefault(part % self._nranks, []).append((part, delta))
+        self._pending: Dict[Tuple[int, int], tuple] = {}
+        for rank, entries in by_rank.items():
+            replies = self._cluster.request(
+                rank,
+                [
+                    ("phase", seq, self.token, self._key, part, fn, delta)
+                    for part, delta in entries
+                ],
+            )
+            for (part, _), reply in zip(entries, replies):
+                self._pending[(rank, part)] = reply
+        results_by_part = {
+            part: self._resolve_reply(part % self._nranks, seq, part, fn, delta)
+            for part, delta in tasks
+        }
+        results = [results_by_part[part] for part, _ in tasks]
+        self._account_in(outbound, tasks, results)
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        by_rank: Dict[int, List[int]] = {}
+        for part in range(self.num_parts):
+            by_rank.setdefault(part % self._nranks, []).append(part)
+        for rank, parts in by_rank.items():
+            try:
+                self._cluster.request(rank, [("forget", self._key, parts)])
+            except (RankDeathError, RuntimeError):
+                # Best effort: a dead/replaced rank has lost the states anyway.
+                pass
+
+    # ------------------------------------------------------------------ meters
+    def measured_stats(self) -> Dict[str, int]:
+        """Measured socket bytes/messages attributable to this session so far.
+
+        Computed as the cluster-meter delta since session open — exact while
+        sessions run sequentially (the drivers' usage pattern); concurrent
+        sessions on the same cluster see a shared total.
+        """
+        now = self._cluster.stats()
+        return {key: now[key] - self._stats_open[key] for key in now}
+
+
+# -------------------------------------------------------------------- backend
+class DistributedBackend(ExecutionBackend):
+    """Socket-distributed backend: resident sessions over rank processes.
+
+    Per-graph primitives are the NumPy reference (bit-identical by
+    construction); what this backend changes is *where partitioned kernel
+    runs live*: ``map_partitions_resident`` pins part ``i`` to rank process
+    ``i % ranks`` and speaks the resident-session protocol over the
+    :mod:`repro.parallel.transport` seam. Rank processes are localhost
+    children here — the multi-host story is the same protocol with the
+    transport pointed at remote addresses.
+
+    Parameters
+    ----------
+    ranks:
+        Rank-process count sessions fan over. ``None`` uses the default
+        two-rank cluster; 1 executes in-process. (``with_jobs``/``--jobs``
+        reconfigure it, mirroring the pooled backends.)
+    retry_attempts / retry_delay:
+        Transient-failure reconnect schedule (exponential backoff), forwarded
+        to the cluster. See the module docstring for the failure story.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        ranks: Optional[int] = None,
+        retry_attempts: int = 4,
+        retry_delay: float = 0.05,
+    ) -> None:
+        if ranks is not None and ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if retry_delay < 0:
+            raise ValueError("retry_delay must be >= 0")
+        self.ranks = ranks
+        self.retry_attempts = int(retry_attempts)
+        self.retry_delay = float(retry_delay)
+
+    def _nranks(self) -> int:
+        return self.ranks if self.ranks is not None else _DEFAULT_RANKS
+
+    def cluster(self) -> RankCluster:
+        """The (shared, lazily spawned) rank cluster this backend fans over."""
+        return _get_cluster(self._nranks(), self.retry_attempts, self.retry_delay)
+
+    def map_partitions_resident(
+        self,
+        token: str,
+        payloads: Sequence,
+        states: Sequence,
+        resident: bool = True,
+    ) -> ResidentSession:
+        """Open a rank-pinned session over the socket transport.
+
+        Single-rank configurations, single-part layouts and calls from inside
+        a ``map_graphs`` pool worker fall back to the in-process session
+        (mirroring the chunked backend); ``resident=False`` selects the
+        non-resident accounting baseline, which re-ships payload+state every
+        superstep through ``map_partitions``.
+        """
+        if self._nranks() <= 1 or len(payloads) <= 1 or _B._in_worker_process():
+            return _B._LocalResidentSession(token, payloads, states, resident=resident)
+        if not resident:
+            return _B._UnpinnedResidentSession(self, token, payloads, states)
+        return _DistributedResidentSession(self.cluster(), token, payloads, states)
+
+    def with_jobs(self, jobs: Optional[int]) -> "DistributedBackend":
+        if jobs is None:
+            return self
+        return DistributedBackend(
+            ranks=jobs,
+            retry_attempts=self.retry_attempts,
+            retry_delay=self.retry_delay,
+        )
+
+    def measured_stats(self) -> Dict[str, int]:
+        """Measured on-the-wire totals of this backend's cluster (zeros when
+        no session has spawned it yet) — the CI byte-correspondence gate reads
+        deltas of this around kernel runs."""
+        with _CLUSTER_LOCK:
+            cluster = _CLUSTERS.get(self._nranks())
+        if cluster is None:
+            return {
+                "bytes_sent": 0,
+                "bytes_received": 0,
+                "messages_sent": 0,
+                "messages_received": 0,
+            }
+        return cluster.stats()
+
+
+_B.register_backend(DistributedBackend())

@@ -42,10 +42,12 @@ under the layout token, so even reruns skip the CSR pickle);
 ``resident=False`` selects the non-resident baseline that re-ships
 payload+state every superstep through plain ``map_partitions``, and
 ``changed_deltas=False`` the full-halo wire format (whole halos, worklists
-re-sent per phase) kept runnable so the changed-delta win stays gateable. A
-distributed backend implements the same session by pinning parts to ranks
-and turning the delta exchange into halo messages — the drivers here don't
-change. Shipped bytes are accounted logically (array ``nbytes``, identical
+re-sent per phase) kept runnable so the changed-delta win stays gateable.
+The distributed backend (:mod:`repro.parallel.distributed`) runs the same
+session over sockets — parts pinned to rank processes, the delta exchange
+carried as framed messages with measured on-the-wire byte counters — and
+the drivers here don't change, which is exactly what this seam is for.
+Shipped bytes are accounted logically (array ``nbytes``, identical
 on every backend), in **both directions** — deltas out, result arrays back —
 and recorded on ``PartitionStats``.
 """

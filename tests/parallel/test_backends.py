@@ -1,5 +1,7 @@
 """Tests for the ExecutionBackend registry, selection machinery and backends."""
 
+from collections import OrderedDict
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,7 @@ from repro.parallel import (
     resolve_backend,
     set_default_backend,
 )
+from repro.parallel import backends
 from repro.parallel.backends import _REGISTRY
 
 
@@ -30,7 +33,13 @@ def _graph_mis_size(graph):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert available_backends() == ["numpy", "chunked", "threaded", "numba"]
+        assert available_backends() == [
+            "numpy",
+            "chunked",
+            "threaded",
+            "numba",
+            "distributed",
+        ]
 
     def test_get_backend_by_name_and_instance(self):
         np_backend = get_backend("numpy")
@@ -300,6 +309,135 @@ class TestNumbaBackend:
         values = np.arange(4, dtype=np.int64)
         none = np.array([0], dtype=np.int64)
         assert B.segmented_min(values, none, 0).dtype == ref.segmented_min(values, none, 0).dtype
+
+
+def _install(token, part, payload, session_key, state):
+    """Shorthand for the worker-side install task, called in-process."""
+    return backends._resident_install((token, part, payload, session_key, state))
+
+
+class TestResidentInstallEviction:
+    """Regression tests for the LRU eviction scan of ``_resident_install``."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self, monkeypatch):
+        monkeypatch.setattr(backends, "_RESIDENT_PAYLOADS", OrderedDict())
+        monkeypatch.setattr(backends, "_RESIDENT_STATES", {})
+        monkeypatch.setattr(backends, "_RESIDENT_PAYLOAD_CAPACITY", 3)
+
+    def test_protected_head_entry_does_not_block_eviction(self):
+        # Interleave two tokens past capacity so the installing token's own
+        # entry sits at the LRU head when capacity is exceeded. The eviction
+        # scan used to *stop* at that protected head entry, leaving the store
+        # over capacity with token B's stale payloads parked behind it forever.
+        _install("A", 0, "pA0", 1, "sA0")
+        _install("B", 0, "pB0", 2, "sB0")
+        _install("B", 1, "pB1", 2, "sB1")
+        _install("A", 1, "pA1", 1, "sA1")  # head is now ("A", 0): protected
+        store = backends._RESIDENT_PAYLOADS
+        assert len(store) <= backends._RESIDENT_PAYLOAD_CAPACITY
+        # The oldest *other-token* entry was evicted; A's entries survive.
+        assert ("B", 0) not in store
+        assert set(store) == {("A", 0), ("B", 1), ("A", 1)}
+
+    def test_installing_token_never_evicts_its_own_parts(self):
+        # A session with more parts than capacity must keep every one of its
+        # own payloads resident (over capacity is the lesser evil — evicting a
+        # live session's parts would make it thrash within a single superstep).
+        for part in range(5):
+            _install("A", part, f"p{part}", 1, f"s{part}")
+        store = backends._RESIDENT_PAYLOADS
+        assert set(store) == {("A", part) for part in range(5)}
+
+    def test_eviction_is_oldest_first_among_unprotected(self):
+        _install("B", 0, "pB0", 2, "sB0")
+        _install("C", 0, "pC0", 3, "sC0")
+        _install("B", 1, "pB1", 2, "sB1")
+        _install("A", 0, "pA0", 1, "sA0")
+        assert ("B", 0) not in backends._RESIDENT_PAYLOADS  # oldest went first
+        assert ("C", 0) in backends._RESIDENT_PAYLOADS
+
+
+# ---- worker-side helpers for the payload-miss retry tests (module level so
+# ---- the single-worker slot pool can unpickle them by reference)
+
+def _drop_payload(args):
+    """Worker task: evict one payload behind the coordinator's back."""
+    token, part = args
+    backends._RESIDENT_PAYLOADS.pop((token, part), None)
+    return True
+
+
+_FLAKY_RESTORE_FAILURES = 0
+
+# Bound at import time: a slot worker forked while the coordinator's
+# monkeypatch is active would otherwise resolve the patched module attribute
+# and recurse into the stand-in instead of the real restore.
+_REAL_RESTORE = backends._resident_restore_payload
+
+
+def _arm_flaky_restore(failures):
+    """Worker task: make the next ``failures`` restores silently do nothing."""
+    global _FLAKY_RESTORE_FAILURES
+    _FLAKY_RESTORE_FAILURES = failures
+    return True
+
+
+def _flaky_restore(args):
+    """Worker task standing in for ``_resident_restore_payload``: drops the
+    first N restore requests on the floor (as if a concurrent session re-evicted
+    the payload between the restore and the retry), then behaves normally."""
+    global _FLAKY_RESTORE_FAILURES
+    if _FLAKY_RESTORE_FAILURES > 0:
+        _FLAKY_RESTORE_FAILURES -= 1
+        return True
+    return _REAL_RESTORE(args)
+
+
+def _never_restore(args):
+    """Worker task: every restore is lost — the exhaustion path."""
+    return True
+
+
+def _double_state(payload, state, delta):
+    state["x"] = state["x"] * 2 + delta
+    return state["x"].copy()
+
+
+class TestPinnedSessionMissRetry:
+    """The `_ResidentPayloadMiss` recovery must survive repeated evictions."""
+
+    def _session(self):
+        payloads = [{"w": np.arange(3)}]
+        states = [{"x": np.ones(3, dtype=np.int64)}]
+        return backends._PinnedResidentSession(
+            f"tok/miss-retry/{next(backends._RESIDENT_SESSION_KEYS)}",
+            payloads,
+            states,
+            width=1,
+        )
+
+    def test_double_eviction_recovers(self, monkeypatch):
+        # Force the phase to miss, then make the first restore vanish too (a
+        # concurrent session re-evicting between restore and retry). The old
+        # single-shot recovery surfaced the second miss as a raw failure; the
+        # bounded loop must recover and produce the right result.
+        monkeypatch.setattr(backends, "_resident_restore_payload", _flaky_restore)
+        with self._session() as session:
+            pool = backends._resident_slot(0)
+            pool.submit(_drop_payload, (session.token, 0)).result()
+            pool.submit(_arm_flaky_restore, 1).result()
+            (result,) = session.run(_double_state, [(0, 5)])
+        assert np.array_equal(result, np.ones(3, dtype=np.int64) * 2 + 5)
+
+    def test_exhaustion_raises_clear_error(self, monkeypatch):
+        monkeypatch.setattr(backends, "_resident_restore_payload", _never_restore)
+        with self._session() as session:
+            backends._resident_slot(0).submit(
+                _drop_payload, (session.token, 0)
+            ).result()
+            with pytest.raises(RuntimeError, match="evicted again after each of"):
+                session.run(_double_state, [(0, 5)])
 
 
 def test_every_registered_backend_is_an_execution_backend():

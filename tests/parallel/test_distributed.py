@@ -1,0 +1,310 @@
+"""Tests for the socket-distributed backend: transport, sessions, failures.
+
+The partition-equivalence matrix already drives ``backend=distributed``
+through every kernel x k combination (it enumerates all registered
+backends); this file covers what the matrix cannot see — the wire itself:
+measured-vs-logical byte correspondence, reconnect after transient
+connection loss, exactly-once phase replay, and the rank-death story.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import elasticity3d, laplace3d
+from repro.mis import kk_mis2
+from repro.parallel import (
+    DistributedBackend,
+    RankDeathError,
+    TransportError,
+    get_backend,
+    partitioned_kk_mis2,
+)
+from repro.parallel import backends as backends_mod
+from repro.parallel import distributed as distributed_mod
+from repro.parallel.transport import MessageConnection, MessageListener, connect_with_retry
+
+
+# ---- module-level task functions (pickled by reference to rank processes)
+
+def _weighted_sum(payload, state, delta):
+    state["acc"] += payload["w"] * delta
+    return state["acc"].copy()
+
+
+def _count_calls(payload, state, delta):
+    state["calls"] += 1
+    return int(state["calls"])
+
+
+def _make_session(backend, token, parts=4, n=8):
+    payloads = [{"w": np.arange(n, dtype=np.int64) + part} for part in range(parts)]
+    states = [{"acc": np.zeros(n, dtype=np.int64)} for _ in range(parts)]
+    return payloads, backend.map_partitions_resident(token, payloads, states)
+
+
+class TestTransport:
+    def test_roundtrip_and_byte_meters_are_symmetric(self):
+        listener = MessageListener()
+        client = connect_with_retry(listener.address)
+        server = listener.accept()
+        try:
+            payload = {"a": np.arange(100), "b": "text", "c": (1, 2.5, None)}
+            client.send(payload)
+            received = server.recv()
+            assert np.array_equal(received["a"], payload["a"])
+            assert received["b"] == "text" and received["c"] == (1, 2.5, None)
+            # The receiver counts exactly the bytes the sender counted.
+            assert server.bytes_received == client.bytes_sent > 100 * 8
+            assert client.messages_sent == server.messages_received == 1
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_peer_close_raises_transport_error(self):
+        listener = MessageListener()
+        client = connect_with_retry(listener.address)
+        server = listener.accept()
+        client.close()
+        with pytest.raises(TransportError):
+            server.recv()
+        server.close()
+        listener.close()
+
+    def test_connect_with_retry_exhaustion(self):
+        listener = MessageListener()
+        address = listener.address
+        listener.close()
+        with pytest.raises(TransportError, match="could not connect"):
+            connect_with_retry(address, attempts=2, delay=0.01)
+
+    def test_connect_with_retry_abort_stops_early(self):
+        listener = MessageListener()
+        address = listener.address
+        listener.close()
+        calls = []
+
+        def abort():
+            calls.append(True)
+            return True
+
+        with pytest.raises(TransportError):
+            connect_with_retry(address, attempts=50, delay=10.0, abort=abort)
+        # Aborted on the first retry check instead of sleeping 50 rounds.
+        assert len(calls) == 1
+
+
+class TestDistributedSession:
+    def test_session_results_match_local_reference(self):
+        B = get_backend("distributed")
+        token = "tok/test-dist/basic"
+        payloads, session = _make_session(B, token)
+        ref_payloads, ref_session = _make_session(get_backend("numpy"), token)
+        with session, ref_session:
+            for delta in (2, 3, 5):
+                tasks = [(part, delta) for part in range(4)]
+                got = session.run(_weighted_sum, tasks)
+                want = ref_session.run(_weighted_sum, tasks)
+                for g, w in zip(got, want):
+                    assert np.array_equal(g, w)
+            # Logical accounting is bit-identical across backends.
+            assert session.resident_bytes == ref_session.resident_bytes
+            assert session.superstep_bytes == ref_session.superstep_bytes
+
+    def test_rerun_on_same_token_skips_payload_shipping(self):
+        B = get_backend("distributed")
+        token = "tok/test-dist/cache"
+        # Payloads large enough (32 KiB/part) that skipping them dominates the
+        # per-message protocol overhead the meter also sees.
+        payloads, first = _make_session(B, token, n=4096)
+        with first:
+            first.run(_weighted_sum, [(part, 1) for part in range(4)])
+        before = B.measured_stats()["bytes_sent"]
+        _, second = _make_session(B, token, n=4096)
+        with second:
+            second.run(_weighted_sum, [(part, 1) for part in range(4)])
+        shipped = B.measured_stats()["bytes_sent"] - before
+        # The rerun ships install acks, fresh states and phase messages — but
+        # not the payloads, which are half the session's resident footprint.
+        assert shipped < first.resident_bytes
+
+    def test_fallbacks(self):
+        payloads = [{"w": np.arange(4)} for _ in range(3)]
+        states = [{"acc": np.zeros(4, dtype=np.int64)} for _ in range(3)]
+        # Single-rank configurations stay in-process.
+        local = DistributedBackend(ranks=1).map_partitions_resident(
+            "tok/test-dist/local", payloads, states
+        )
+        assert isinstance(local, backends_mod._LocalResidentSession)
+        # Single-part layouts have nothing to fan out.
+        single = get_backend("distributed").map_partitions_resident(
+            "tok/test-dist/single", payloads[:1], states[:1]
+        )
+        assert isinstance(single, backends_mod._LocalResidentSession)
+        # The non-resident baseline uses the accounting-only unpinned session.
+        unpinned = get_backend("distributed").map_partitions_resident(
+            "tok/test-dist/unpinned", payloads, states, resident=False
+        )
+        assert isinstance(unpinned, backends_mod._UnpinnedResidentSession)
+
+    def test_with_jobs_reconfigures_ranks(self):
+        B = get_backend("distributed")
+        assert B.ranks is None
+        clone = B.with_jobs(3)
+        assert clone is not B and clone.ranks == 3
+        assert B.with_jobs(None) is B
+
+    def test_backend_instances_pickle_without_cluster_state(self):
+        import pickle
+
+        B = DistributedBackend(ranks=2)
+        clone = pickle.loads(pickle.dumps(B))
+        assert isinstance(clone, DistributedBackend) and clone.ranks == 2
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            DistributedBackend(ranks=0)
+        with pytest.raises(ValueError):
+            DistributedBackend(retry_attempts=0)
+        with pytest.raises(ValueError):
+            DistributedBackend(retry_delay=-1.0)
+
+
+class TestExactlyOnce:
+    def test_replayed_phase_message_is_answered_from_the_dedup_cache(self):
+        # A reconnect re-sends the whole in-flight batch; the rank must answer
+        # a replayed (same seq) phase from its dedup cache instead of running
+        # fn — and mutating the state — a second time.
+        B = get_backend("distributed")
+        token = "tok/test-dist/dedup"
+        parts = 2
+        payloads = [{"w": np.arange(2)} for _ in range(parts)]
+        states = [{"calls": 0} for _ in range(parts)]
+        with B.map_partitions_resident(token, payloads, states) as session:
+            first = session.run(_count_calls, [(part, None) for part in range(parts)])
+            assert first == [1, 1]
+            cluster = session._cluster
+            seq = session._seq
+            for part in range(parts):
+                rank = part % session._nranks
+                (reply,) = cluster.request(
+                    rank,
+                    [("phase", seq, token, session._key, part, _count_calls, None)],
+                )
+                # Replay returns the cached result; the counter did not move.
+                assert reply == ("result", 1)
+            assert session.run(_count_calls, [(p, None) for p in range(parts)]) == [2, 2]
+
+
+class TestFaultInjection:
+    """Failure-path behaviour: transient drops recover, rank death is loud."""
+
+    # A dedicated rank count so killing processes here never races the shared
+    # two-rank cluster the equivalence matrix and byte tests run on.
+    RANKS = 3
+
+    def _backend(self):
+        return DistributedBackend(ranks=self.RANKS, retry_delay=0.01)
+
+    def test_transient_connection_loss_recovers_bit_identically(self):
+        B = self._backend()
+        token = "tok/test-dist/reconnect"
+        payloads, session = _make_session(B, token)
+        _, ref_session = _make_session(get_backend("numpy"), token)
+        with session, ref_session:
+            session.run(_weighted_sum, [(part, 2) for part in range(4)])
+            ref_session.run(_weighted_sum, [(part, 2) for part in range(4)])
+            # Sever every coordinator connection mid-session (the rank
+            # processes stay alive and return to accept()).
+            for handle in session._cluster._handles:
+                with handle.lock:
+                    handle.retire_connection()
+            got = session.run(_weighted_sum, [(part, 3) for part in range(4)])
+            want = ref_session.run(_weighted_sum, [(part, 3) for part in range(4)])
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w)
+
+    def test_rank_death_mid_session_fails_loudly_then_recovers(self):
+        B = self._backend()
+        token = "tok/test-dist/rank-death"
+        payloads, session = _make_session(B, token)
+        with session:
+            session.run(_weighted_sum, [(part, 1) for part in range(4)])
+            victim = session._cluster._handles[0]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            # Never silent wrong results: the run dies with the rank.
+            with pytest.raises(RankDeathError, match="resident session states"):
+                session.run(_weighted_sum, [(part, 1) for part in range(4)])
+        # The cluster respawned a replacement, so a fresh run on the *same*
+        # token succeeds (the install acks re-ship what the new rank lacks)
+        # and produces reference results.
+        _, retry = _make_session(B, token)
+        _, ref_session = _make_session(get_backend("numpy"), token)
+        with retry, ref_session:
+            for delta in (1, 2):
+                got = retry.run(_weighted_sum, [(part, delta) for part in range(4)])
+                want = ref_session.run(_weighted_sum, [(part, delta) for part in range(4)])
+                for g, w in zip(got, want):
+                    assert np.array_equal(g, w)
+
+    def test_partitioned_kernel_recovers_after_rank_death(self):
+        B = self._backend()
+        graph = laplace3d(5, 5, 5)
+        reference = kk_mis2(graph)
+        result = partitioned_kk_mis2(graph, 4, backend=B)
+        assert np.array_equal(result.in_set, reference.in_set)
+        cluster = B.cluster()
+        cluster._handles[1].process.terminate()
+        cluster._handles[1].process.join(timeout=5.0)
+        # The dead rank is discovered and replaced on the next session; the
+        # kernel run still matches the serial reference bit for bit.
+        again = partitioned_kk_mis2(graph, 4, backend=B)
+        assert np.array_equal(again.in_set, reference.in_set)
+
+
+class TestMeasuredVsLogicalBytes:
+    """The acceptance gate: socket bytes track the logical accounting."""
+
+    SMOKE = (
+        ("laplace3d", laplace3d, (10, 10, 10)),
+        ("elasticity3d", elasticity3d, (6, 6, 6)),
+    )
+
+    def _run(self, generator, shape):
+        graph = generator(*shape)
+        B = get_backend("distributed")
+        before = B.measured_stats()
+        result = partitioned_kk_mis2(graph, 4, backend=B, changed_deltas=True)
+        after = B.measured_stats()
+        measured = (after["bytes_sent"] - before["bytes_sent"]) + (
+            after["bytes_received"] - before["bytes_received"]
+        )
+        stats = result.partition_stats
+        return result, graph, measured, stats.resident_bytes + stats.superstep_bytes
+
+    @pytest.mark.parametrize("name,generator,shape", SMOKE, ids=[s[0] for s in SMOKE])
+    def test_measured_within_constant_factor_of_logical(self, name, generator, shape):
+        result, graph, measured, logical = self._run(generator, shape)
+        # Correctness first: the distributed run is bit-identical to serial.
+        assert np.array_equal(result.in_set, kk_mis2(graph).in_set)
+        # Every logical byte crosses the wire (arrays pickle with their full
+        # buffers), plus bounded per-message overhead: frame headers, the
+        # token/function references of each phase message, pickle framing.
+        # Observed ratios are ~1.04-1.17; gate at 2x so the test pins the
+        # correspondence without flaking on protocol-overhead drift.
+        assert logical > 0
+        assert measured >= logical, (name, measured, logical)
+        assert measured <= 2 * logical, (name, measured, logical)
+
+    def test_ordering_matches_logical_accounting(self):
+        # The graph that ships more logical bytes also costs more on the wire
+        # — the "same ordering" half of the correspondence guarantee.
+        totals = {
+            name: self._run(generator, shape)[2:]
+            for name, generator, shape in self.SMOKE
+        }
+        (laplace_measured, laplace_logical) = totals["laplace3d"]
+        (elast_measured, elast_logical) = totals["elasticity3d"]
+        assert laplace_logical < elast_logical
+        assert laplace_measured < elast_measured

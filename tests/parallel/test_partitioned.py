@@ -428,7 +428,12 @@ class TestShippedNbytes:
         assert shipped_nbytes(None) == 0
         assert shipped_nbytes(np.zeros(10, dtype=np.int64)) == 80
         assert shipped_nbytes(7) == 8 and shipped_nbytes(1.5) == 8
-        assert shipped_nbytes(np.int32(3)) == 8 and shipped_nbytes(True) == 8
+        # NumPy scalars are charged by their dtype's itemsize (a flat 8-byte
+        # word used to over-charge every narrow scalar); plain Python
+        # bool/int/float remain one 8-byte word.
+        assert shipped_nbytes(np.int32(3)) == 4 and shipped_nbytes(np.float32(1.0)) == 4
+        assert shipped_nbytes(np.uint8(2)) == 1 and shipped_nbytes(np.bool_(True)) == 1
+        assert shipped_nbytes(np.int64(3)) == 8 and shipped_nbytes(True) == 8
         assert shipped_nbytes("xorstar") == 7
         assert shipped_nbytes("héllo") == len("héllo".encode("utf-8"))
         assert shipped_nbytes(b"abc") == 3

@@ -1,0 +1,111 @@
+"""Property-based tests of the logical shipped-bytes meter.
+
+``shipped_nbytes`` is the single source of truth for every byte count the
+partitioned kernels record, so the strategy builds arbitrarily nested
+payloads *together with* their independently-computed size — each leaf is
+generated as a ``(value, size)`` pair and containers sum their children —
+and asserts the meter agrees exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.parallel import shipped_nbytes
+
+_SCALAR_DTYPES = [
+    np.dtype(np.int8),
+    np.dtype(np.uint16),
+    np.dtype(np.int32),
+    np.dtype(np.int64),
+    np.dtype(np.uint64),
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+    np.dtype(np.bool_),
+]
+
+
+def _numpy_scalars():
+    def build(dtype, value):
+        # Wrap into the dtype's scalar type; sizes come from the dtype, not
+        # from the meter under test.
+        return (dtype.type(value), dtype.itemsize)
+
+    return st.tuples(
+        st.sampled_from(_SCALAR_DTYPES), st.integers(min_value=0, max_value=100)
+    ).map(lambda t: build(*t))
+
+
+def _arrays():
+    def build(dtype, length):
+        arr = np.arange(length).astype(dtype)
+        return (arr, arr.nbytes)
+
+    return st.tuples(
+        st.sampled_from(_SCALAR_DTYPES), st.integers(min_value=0, max_value=32)
+    ).map(lambda t: build(*t))
+
+
+_LEAVES = st.one_of(
+    st.just((None, 0)),
+    st.booleans().map(lambda b: (b, 8)),
+    st.integers(min_value=-(2**62), max_value=2**62).map(lambda i: (i, 8)),
+    st.floats(allow_nan=False, allow_infinity=False).map(lambda f: (f, 8)),
+    st.text(max_size=16).map(lambda s: (s, len(s.encode("utf-8")))),
+    st.binary(max_size=16).map(lambda b: (b, len(b))),
+    _numpy_scalars(),
+    _arrays(),
+)
+
+
+def _containers(children):
+    def as_list(pairs):
+        return ([value for value, _ in pairs], sum(size for _, size in pairs))
+
+    def as_tuple(pairs):
+        return (tuple(value for value, _ in pairs), sum(size for _, size in pairs))
+
+    def as_dict(pairs):
+        # Dict keys are metadata, not payload: only values are charged.
+        return (
+            {f"k{i}": value for i, (value, _) in enumerate(pairs)},
+            sum(size for _, size in pairs),
+        )
+
+    pair_lists = st.lists(children, max_size=5)
+    return st.one_of(
+        pair_lists.map(as_list), pair_lists.map(as_tuple), pair_lists.map(as_dict)
+    )
+
+
+_PAYLOADS = st.recursive(_LEAVES, _containers, max_leaves=40)
+
+
+@given(_PAYLOADS)
+@settings(max_examples=150, deadline=None)
+def test_meter_equals_sum_of_element_sizes(payload_and_size):
+    payload, expected = payload_and_size
+    assert shipped_nbytes(payload) == expected
+
+
+def test_numpy_scalars_charged_by_itemsize():
+    # Regression: every numeric scalar used to cost a flat 8-byte word.
+    assert shipped_nbytes(np.float32(1.5)) == 4
+    assert shipped_nbytes(np.int8(-3)) == 1
+    assert shipped_nbytes(np.uint16(9)) == 2
+    assert shipped_nbytes(np.bool_(True)) == 1
+    assert shipped_nbytes(np.float64(2.5)) == 8
+    assert shipped_nbytes(np.int64(7)) == 8
+    # Plain Python scalars keep the 8-byte word.
+    assert shipped_nbytes(True) == 8
+    assert shipped_nbytes(42) == 8
+    assert shipped_nbytes(2.5) == 8
+
+
+def test_unsupported_payloads_are_loud():
+    with pytest.raises(TypeError):
+        shipped_nbytes({"bad": object()})
+    with pytest.raises(TypeError):
+        shipped_nbytes(np.array([object()]))
