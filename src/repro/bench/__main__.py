@@ -54,9 +54,12 @@ coloring / aggregation kernels through the partition-parallel drivers, and
 *verifies bit-identicality against the unpartitioned reference*; boundary and
 ghost-exchange stats land in the rows and deterministic counts.
 ``--no-resident`` selects the re-ship-everything baseline (``_p<k>nr``
-records) and ``--full-halo`` the full-halo delta wire format (``_p<k>fh``
-records) — both bit-identical, kept runnable so ``compare`` can gate the
-resident and changed-delta shipped-bytes wins. ``--backend distributed``
+records), ``--full-halo`` the full-halo delta wire format (``_p<k>fh``
+records) and ``--no-overlap`` the barrier superstep schedule (``_p<k>nv``
+records) — all bit-identical, kept runnable so ``compare`` can gate the
+resident and changed-delta shipped-bytes wins and the overlap wall-clock
+win (overlap leaves every deterministic count and byte field unchanged by
+construction). ``--backend distributed``
 runs the partitioned drivers over localhost rank processes through the
 socket transport (``--jobs`` sets the rank count); results stay
 bit-identical and the logical byte counts unchanged, while the cluster
@@ -175,6 +178,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(bit-identical results; records persist with a "
                              "_p<k>fh infix so the changed-delta win is "
                              "comparable)")
+    parser.add_argument("--no-overlap", action="store_true",
+                        help="with --parts: run the barrier superstep schedule "
+                             "(every phase a full sync point) instead of the "
+                             "overlapped boundary/interior sub-phases "
+                             "(bit-identical results, supersteps and shipped "
+                             "bytes; records persist with a _p<k>nv infix so "
+                             "the wall-clock overlap win is comparable)")
     parser.add_argument("--json", action="store_true",
                         help="persist each run as benchmarks/results/BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.25,
@@ -193,6 +203,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--no-resident is only meaningful with --parts / 'partitioned'")
     if args.full_halo and args.parts is None and args.experiment != "partitioned":
         parser.error("--full-halo is only meaningful with --parts / 'partitioned'")
+    if args.no_overlap and args.parts is None and args.experiment != "partitioned":
+        parser.error("--no-overlap is only meaningful with --parts / 'partitioned'")
     if args.candidate is not None and args.experiment != "compare":
         parser.error("a third positional argument is only valid with 'compare'")
 
@@ -235,6 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parts=args.parts,
         resident=not args.no_resident,
         changed_deltas=not args.full_halo,
+        overlap=not args.no_overlap,
     )
 
     if args.experiment == "sweep":
@@ -285,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         mode = "rank-resident" if config.resident else "non-resident baseline"
         if not config.changed_deltas:
             mode += ", full-halo deltas"
+        if not config.overlap:
+            mode += ", barrier supersteps"
         print(
             f"parts: {config.parts} (partition-parallel, {mode}, "
             f"verified vs reference)"

@@ -10,7 +10,8 @@
 * **shipped-bytes counts are gated directionally across execution
   configurations** — keys ending in ``_bytes`` measure communication volume,
   not algorithmic output, so when the records differ in resident mode, delta
-  wire format (changed-only vs full-halo) or partition count a *smaller*
+  wire format (changed-only vs full-halo), superstep schedule or partition
+  count a *smaller*
   candidate value is reported as an improvement (this is how the resident
   path's win over the non-resident baseline and the changed-delta protocol's
   win over full-halo shipping are gated in CI) while a *larger* one still
@@ -24,10 +25,13 @@
   baseline (default 25%) is reported loudly but does not fail the gate
   (``--strict-elapsed`` promotes it to a failure for curated trajectories).
 
-Records whose run context differs (``backend``, ``parts``, ``resident`` mode
-or delta wire format) are still comparable — the counts must match
-regardless — but the mismatch is called out explicitly in the rendered
-output so a wrong-pair comparison never gates silently.
+Records whose run context differs (``backend``, ``parts``, ``resident`` mode,
+delta wire format or superstep schedule) are still comparable — the counts
+must match regardless — but the mismatch is called out explicitly in the
+rendered output so a wrong-pair comparison never gates silently. The
+overlap-vs-barrier pair is the extreme case: the schedules are byte-identical
+by construction, so that comparison gates *zero* count drift while the
+wall-clock line shows the overlap win.
 """
 
 from __future__ import annotations
@@ -87,6 +91,8 @@ class ComparisonReport:
                 parts += ", non-resident"
             if result.parts and not result.changed_deltas:
                 parts += ", full-halo"
+            if result.parts and not result.overlap:
+                parts += ", no-overlap"
             return f"{result.experiment} ({result.backend}{parts})"
 
         lines = [f"bench compare: {label(self.baseline)} vs {label(self.candidate)}"]
@@ -164,6 +170,13 @@ def compare_results(
             f"{'changed-only' if baseline.changed_deltas else 'full-halo'} vs "
             f"{'changed-only' if candidate.changed_deltas else 'full-halo'}"
         )
+    if baseline.overlap != candidate.overlap:
+        context.append(
+            f"superstep schedules differ: "
+            f"{'overlapped' if baseline.overlap else 'barrier'} vs "
+            f"{'overlapped' if candidate.overlap else 'barrier'} "
+            f"(byte counts must still match — the schedules ship identical bytes)"
+        )
     # The directional bytes exemption applies only across *different*
     # execution configurations (resident vs non-resident, changed-only vs
     # full-halo deltas, different part counts), where shipping less is the
@@ -174,6 +187,7 @@ def compare_results(
         baseline.resident != candidate.resident
         or baseline.parts != candidate.parts
         or baseline.changed_deltas != candidate.changed_deltas
+        or baseline.overlap != candidate.overlap
     )
     for key in sorted(set(baseline.counts) | set(candidate.counts)):
         a, b = baseline.counts.get(key), candidate.counts.get(key)

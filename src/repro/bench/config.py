@@ -71,6 +71,14 @@ class BenchConfig:
     #: either way; only the recorded shipped-bytes counts differ. Ignored
     #: when ``parts`` is None.
     changed_deltas: bool = True
+    #: Partitioned superstep schedule: overlapped boundary/interior
+    #: sub-phases (default — the next phase's halo deltas ship while workers
+    #: compute interior sub-worklists) or the barrier baseline (``False`` —
+    #: every phase is a full sync point). Results, supersteps and
+    #: shipped-byte counts are bit-identical either way; only wall-clock
+    #: differs. Ignored when ``parts`` is None (and on non-resident runs,
+    #: which always use the barrier schedule).
+    overlap: bool = True
 
     def matrix_names(self) -> List[str]:
         """Names of the matrices this configuration covers, in Table II order."""

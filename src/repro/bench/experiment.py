@@ -106,8 +106,10 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def _record_infix(parts: Optional[int], resident: bool, changed_deltas: bool) -> str:
-    """The ``_p<k>[nr][fh]`` filename infix distinguishing partitioned-run
+def _record_infix(
+    parts: Optional[int], resident: bool, changed_deltas: bool, overlap: bool = True
+) -> str:
+    """The ``_p<k>[nr][fh][nv]`` filename infix distinguishing partitioned-run
     records (shared by per-backend results and sweep summaries — the CI
     compare gates rely on the two staying pairable)."""
     if not parts:
@@ -117,6 +119,8 @@ def _record_infix(parts: Optional[int], resident: bool, changed_deltas: bool) ->
         infix += "nr"
     if not changed_deltas:
         infix += "fh"
+    if not overlap:
+        infix += "nv"
     return infix
 
 
@@ -149,6 +153,11 @@ class ExperimentResult:
     #: default) or the full-halo wire format. Always True for unpartitioned
     #: runs.
     changed_deltas: bool = True
+    #: Whether a partitioned run used the overlapped boundary/interior
+    #: superstep schedule (True, the default) or the barrier baseline.
+    #: Always True for unpartitioned runs. Overlap changes only wall-clock —
+    #: every deterministic count and byte field is identical either way.
+    overlap: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         rows = [
@@ -166,6 +175,7 @@ class ExperimentResult:
             "parts": self.parts,
             "resident": self.resident,
             "changed_deltas": self.changed_deltas,
+            "overlap": self.overlap,
             "elapsed_seconds": self.elapsed_seconds,
             "counts": _jsonable(self.counts),
             "rows": rows,
@@ -190,6 +200,7 @@ class ExperimentResult:
             parts=data.get("parts"),
             resident=data.get("resident", True),
             changed_deltas=data.get("changed_deltas", True),
+            overlap=data.get("overlap", True),
         )
 
     @classmethod
@@ -202,10 +213,11 @@ class ExperimentResult:
 
         Partitioned runs get a ``_p<k>`` infix (``_p<k>nr`` on the
         non-resident baseline path, ``_p<k>fh`` under the full-halo wire
-        format) so they never clobber the unpartitioned — or each other's —
-        trajectory records.
+        format, ``_p<k>nv`` under the no-overlap barrier schedule) so they
+        never clobber the unpartitioned — or each other's — trajectory
+        records.
         """
-        infix = _record_infix(self.parts, self.resident, self.changed_deltas)
+        infix = _record_infix(self.parts, self.resident, self.changed_deltas, self.overlap)
         return f"BENCH_{self.experiment}{infix}_{self.backend}.json"
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
@@ -342,6 +354,7 @@ class Experiment:
             parts=config.parts,
             resident=config.resident if config.parts is not None else True,
             changed_deltas=config.changed_deltas if config.parts is not None else True,
+            overlap=config.overlap if config.parts is not None else True,
         )
 
     def run_and_render(
@@ -424,16 +437,17 @@ class SweepResult:
             "parts": self.reference.parts,
             "resident": self.reference.resident,
             "changed_deltas": self.reference.changed_deltas,
+            "overlap": self.reference.overlap,
             "elapsed_seconds": {r.backend: r.elapsed_seconds for r in self.results},
             "speedups": _jsonable({r.backend: self.speedup(r) for r in self.results}),
         }
 
     def save(self, directory: "Optional[Path | str]" = None) -> Path:
-        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>[nr][fh]].json``."""
+        """Persist the sweep summary as ``BENCH_sweep_<exp>[_p<k>[nr][fh][nv]].json``."""
         directory = Path(directory) if directory is not None else default_results_dir()
         directory.mkdir(parents=True, exist_ok=True)
         ref = self.reference
-        infix = _record_infix(ref.parts, ref.resident, ref.changed_deltas)
+        infix = _record_infix(ref.parts, ref.resident, ref.changed_deltas, ref.overlap)
         path = directory / f"BENCH_sweep_{self.experiment}{infix}.json"
         path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
         return path
@@ -505,6 +519,8 @@ def sweep_table(result: SweepResult) -> Table:
         partitioned += " (non-resident)"
     if result.reference.parts and not result.reference.changed_deltas:
         partitioned += " (full-halo)"
+    if result.reference.parts and not result.reference.overlap:
+        partitioned += " (no-overlap)"
     table = Table(
         ["backend", "jobs", "units", "wall-clock", "speedup", "counts"],
         title=(

@@ -65,6 +65,17 @@ class SmokeRow:
     #: row-level detail (a one-time cost is not comparable *per key* across
     #: execution paths).
     total_shipped_bytes: int = 0
+    #: Coordinator wall-clock the partitioned MIS + coloring runs spent
+    #: computing between session calls. Like the two meters below this is
+    #: ``perf_counter``-based and machine-varying — the timing triple is
+    #: deliberately NOT a deterministic field; it exists so the overlap win
+    #: is measurable, not asserted.
+    compute_seconds: float = 0.0
+    #: Wall-clock spent preparing/shipping phase deltas across those runs.
+    exchange_seconds: float = 0.0
+    #: Wall-clock the coordinator spent blocked on phase results — the
+    #: number the overlapped schedule exists to shrink.
+    idle_seconds: float = 0.0
 
 
 def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int]]:
@@ -111,6 +122,9 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
     resident_bytes = 0
     superstep_bytes = 0
     max_superstep_bytes = 0
+    compute_seconds = 0.0
+    exchange_seconds = 0.0
+    idle_seconds = 0.0
     if config.parts is not None:
         # Partition-parallel runs must be bit-identical to the unpartitioned
         # results computed above — the intra-graph sharding contract. One
@@ -125,6 +139,7 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
             partitions=layout,
             resident=config.resident,
             changed_deltas=config.changed_deltas,
+            overlap=config.overlap,
         )
         if not (np.array_equal(pmis.in_set, mis.in_set) and pmis.iterations == mis.iterations):
             raise RuntimeError(
@@ -135,6 +150,7 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
             partitions=layout,
             resident=config.resident,
             changed_deltas=config.changed_deltas,
+            overlap=config.overlap,
         )
         if not (
             np.array_equal(pcoloring.colors, coloring.colors)
@@ -153,6 +169,7 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
             partitions=layout,
             resident=config.resident,
             changed_deltas=config.changed_deltas,
+            overlap=config.overlap,
         )
         if not (
             np.array_equal(pagg.labels, agg.labels)
@@ -167,6 +184,9 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         resident_bytes = sum(s.resident_bytes for s in pstats)
         superstep_bytes = sum(s.superstep_bytes for s in pstats)
         max_superstep_bytes = max(s.max_superstep_bytes for s in pstats)
+        compute_seconds = sum(s.compute_seconds for s in pstats)
+        exchange_seconds = sum(s.exchange_seconds for s in pstats)
+        idle_seconds = sum(s.idle_seconds for s in pstats)
     return SmokeRow(
         graph=label,
         num_vertices=graph.num_vertices,
@@ -184,6 +204,9 @@ def smoke_task(unit: Tuple[str, int, int, int], config: BenchConfig) -> SmokeRow
         superstep_bytes=superstep_bytes,
         max_superstep_bytes=max_superstep_bytes,
         total_shipped_bytes=resident_bytes + superstep_bytes,
+        compute_seconds=compute_seconds,
+        exchange_seconds=exchange_seconds,
+        idle_seconds=idle_seconds,
     )
 
 
@@ -193,7 +216,8 @@ def smoke_table(rows: List[SmokeRow]) -> Table:
     columns = ["graph", "|V|", "|MIS-2|", "iters", "colors", "rounds", "aggregates",
                "V100 (us)", "backend"]
     if partitioned:
-        columns += ["parts", "boundary", "exchanges", "resident B", "step B", "max step B"]
+        columns += ["parts", "boundary", "exchanges", "resident B", "step B",
+                    "max step B", "compute ms", "exchange ms", "idle ms"]
     title = "smoke check: OK (all kernel layers verified"
     title += "; partitioned runs bit-identical)" if partitioned else ")"
     table = Table(columns, title=title)
@@ -203,7 +227,10 @@ def smoke_table(rows: List[SmokeRow]) -> Table:
                  round(row.predicted_v100_us, 1), row.backend]
         if partitioned:
             cells += [row.parts, row.boundary_vertices, row.ghost_supersteps,
-                      row.resident_bytes, row.superstep_bytes, row.max_superstep_bytes]
+                      row.resident_bytes, row.superstep_bytes, row.max_superstep_bytes,
+                      round(row.compute_seconds * 1e3, 2),
+                      round(row.exchange_seconds * 1e3, 2),
+                      round(row.idle_seconds * 1e3, 2)]
         table.add_row(cells)
     return table
 

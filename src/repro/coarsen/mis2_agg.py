@@ -43,6 +43,7 @@ def mis2_aggregation(
     partitions=None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ) -> Aggregation:
     """Coarsen ``graph`` with Algorithm 3 (the paper's "MIS2 Agg" scheme).
 
@@ -75,6 +76,10 @@ def mis2_aggregation(
         Only meaningful with ``partitions``: forwarded to the partitioned
         MIS-2 computations (changed-only halo deltas by default; the
         full-halo wire format with ``False``).
+    overlap:
+        Only meaningful with ``partitions``: forwarded to the partitioned
+        MIS-2 computations (overlapped boundary/interior schedule by
+        default; the barrier schedule with ``False``).
     """
     B = resolve_backend(backend)
     n = graph.num_vertices
@@ -91,6 +96,7 @@ def mis2_aggregation(
             partitions=layout,
             resident=resident,
             changed_deltas=changed_deltas,
+            overlap=overlap,
         )
     roots = np.asarray(mis.in_set, dtype=np.int64)
     labels = -np.ones(n, dtype=np.int64)
@@ -119,6 +125,7 @@ def mis2_aggregation(
             partitions=None if layout is None else layout.labels[mapping],
             resident=resident,
             changed_deltas=changed_deltas,
+            overlap=overlap,
         )
         candidates = mapping[sub_mis.in_set]
         # Count each candidate root's unaggregated neighbours against the phase-1

@@ -85,6 +85,7 @@ def greedy_color(
     partitions=None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ) -> ColoringResult:
     """Distance-1 greedy coloring of ``graph``.
 
@@ -110,6 +111,10 @@ def greedy_color(
         Only meaningful with ``partitions``: changed-only halo deltas with
         once-per-round worklist shipment (default) vs the full-halo wire
         format; results are bit-identical either way.
+    overlap:
+        Only meaningful with ``partitions`` and ``resident=True``: the
+        overlapped boundary/interior schedule (default) vs the barrier
+        schedule; results and shipped-byte counts are identical either way.
 
     Returns
     -------
@@ -126,6 +131,7 @@ def greedy_color(
             backend=backend,
             resident=resident,
             changed_deltas=changed_deltas,
+            overlap=overlap,
         )
     B = resolve_backend(backend)
     n = graph.num_vertices

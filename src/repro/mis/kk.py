@@ -78,6 +78,7 @@ def kk_mis2(
     partitions=None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ) -> MISResult:
     """Compute a distance-2 maximal independent set with Algorithm 1.
 
@@ -128,6 +129,13 @@ def kk_mis2(
         later phases); ``False`` keeps the full-halo wire format that ships
         whole halos and re-sends worklists every phase. Results are
         bit-identical either way — only the shipped-bytes accounting differs.
+    overlap:
+        Only meaningful with ``partitions`` and ``resident=True``: ``True``
+        (default) runs the overlapped schedule that splits each superstep
+        into boundary and interior sub-phases so the next phase's deltas
+        ship while workers compute; ``False`` keeps the barrier schedule.
+        Results, supersteps and shipped-byte counts are identical either
+        way — only wall-clock differs.
 
     Returns
     -------
@@ -148,6 +156,7 @@ def kk_mis2(
             backend=backend,
             resident=resident,
             changed_deltas=changed_deltas,
+            overlap=overlap,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

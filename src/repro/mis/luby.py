@@ -39,6 +39,7 @@ def luby_mis1(
     partitions=None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ) -> MISResult:
     """Compute a distance-1 maximal independent set with Luby's Algorithm A.
 
@@ -66,6 +67,10 @@ def luby_mis1(
         Only meaningful with ``partitions``: changed-only halo deltas with
         once-per-round worklist shipment (default) vs the full-halo wire
         format; results are bit-identical either way.
+    overlap:
+        Only meaningful with ``partitions`` and ``resident=True``: the
+        overlapped boundary/interior schedule (default) vs the barrier
+        schedule; results and shipped-byte counts are identical either way.
     """
     if partitions is not None:
         from ..parallel.partitioned import partitioned_luby_mis1
@@ -78,6 +83,7 @@ def luby_mis1(
             backend=backend,
             resident=resident,
             changed_deltas=changed_deltas,
+            overlap=overlap,
         )
     scheme = PriorityScheme.coerce(priority_scheme)
     B = resolve_backend(backend)

@@ -51,6 +51,7 @@ from .backends import (
     ChunkedBackend,
     ThreadedBackend,
     NumbaBackend,
+    PhaseFuture,
     ResidentSession,
     register_backend,
     get_backend,
@@ -124,6 +125,7 @@ __all__ = [
     "ChunkedBackend",
     "ThreadedBackend",
     "NumbaBackend",
+    "PhaseFuture",
     "ResidentSession",
     "register_backend",
     "get_backend",

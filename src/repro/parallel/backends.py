@@ -49,6 +49,7 @@ import atexit
 import itertools
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -64,6 +65,7 @@ __all__ = [
     "ChunkedBackend",
     "ThreadedBackend",
     "NumbaBackend",
+    "PhaseFuture",
     "ResidentSession",
     "register_backend",
     "get_backend",
@@ -242,6 +244,76 @@ def shipped_nbytes(obj: Any) -> int:
     )
 
 
+class _StepGroup:
+    """Accounting unit joining the sub-phases of one logical superstep.
+
+    An overlapped driver splits a superstep phase into a boundary and an
+    interior :meth:`ResidentSession.run_async` call; both must land in the
+    *same* superstep of the byte accounting (one ``supersteps`` increment,
+    one combined byte total, completion-order independent) or the overlap
+    schedule would drift from the barrier baseline on every gated count.
+    """
+
+    __slots__ = ("bytes", "pending", "closed")
+
+    def __init__(self) -> None:
+        #: Bytes accumulated by the group's resolved sub-phases so far.
+        self.bytes = 0
+        #: Sub-phases submitted but not yet resolved.
+        self.pending = 0
+        #: True once the committing (final) sub-phase has been submitted.
+        self.closed = False
+
+
+class PhaseFuture:
+    """Handle for an in-flight :meth:`ResidentSession.run_async` phase.
+
+    :meth:`result` blocks until the phase's results are available, closes its
+    share of the superstep byte accounting, and returns the per-task results
+    in task order. Calling it again returns the cached results. The wait time
+    spent inside :meth:`result` is metered on the session as ``idle_seconds``
+    — coordinator time not hidden behind worker compute.
+    """
+
+    __slots__ = ("_session", "_group", "_tasks", "_outbound", "_collect", "_results", "_done")
+
+    def __init__(self, session, group, tasks, outbound, collect) -> None:
+        self._session = session
+        self._group = group
+        self._tasks = tasks
+        self._outbound = outbound
+        self._collect = collect
+        self._results: List = []
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`result` has already resolved this phase."""
+        return self._done
+
+    def result(self) -> List:
+        if self._done:
+            return self._results
+        session = self._session
+        start = time.perf_counter()
+        results = self._collect()
+        session.idle_seconds += time.perf_counter() - start
+        step = self._outbound + sum(shipped_nbytes(r) for r in results)
+        if not session.resident:
+            step += sum(session._state_nbytes(i) for i, _ in self._tasks)
+        group = self._group
+        group.bytes += step
+        group.pending -= 1
+        if group.closed and group.pending == 0:
+            session.supersteps += 1
+            session.superstep_bytes += group.bytes
+            if group.bytes > session.max_superstep_bytes:
+                session.max_superstep_bytes = group.bytes
+        self._results = results
+        self._done = True
+        return results
+
+
 class ResidentSession:
     """One partitioned kernel run's part-pinned execution handle.
 
@@ -252,6 +324,17 @@ class ResidentSession:
     a pure function of the payload, the part's retained state and the delta
     that may mutate ``state`` in place (only its own part's state, which is
     what keeps any execution strategy deterministic).
+
+    :meth:`run_async` is the overlap seam: it ships a phase and returns a
+    :class:`PhaseFuture` immediately, so the driver can compute (or submit
+    more phases) while workers chew. Two ordering guarantees make overlapped
+    schedules deterministic: tasks for the *same part* execute in submission
+    order (every implementation is per-part FIFO), and a phase's results are
+    only observed through :meth:`PhaseFuture.result`. ``commit=False`` joins
+    the next ``run_async`` call into the same accounting superstep — the
+    boundary/interior halves of a split phase count as one superstep with one
+    combined byte total, identical to the barrier schedule regardless of
+    completion order.
 
     The base class implements the shipped-bytes accounting shared by every
     implementation, and it charges **both directions** of each superstep: the
@@ -287,6 +370,12 @@ class ResidentSession:
         self.max_superstep_bytes = 0
         #: Number of :meth:`run` calls (superstep phases) so far.
         self.supersteps = 0
+        #: Coordinator wall-clock spent shipping phases (account + submit).
+        self.ship_seconds = 0.0
+        #: Coordinator wall-clock spent blocked in :meth:`PhaseFuture.result`.
+        self.idle_seconds = 0.0
+        #: Open accounting group for an uncommitted (``commit=False``) phase.
+        self._group: Optional[_StepGroup] = None
 
     def _state_nbytes(self, part: int) -> int:
         """Live logical size of one part's mutable state (non-resident only).
@@ -309,22 +398,47 @@ class ResidentSession:
             )
         return step
 
-    def _account_in(
-        self, outbound: int, tasks: Sequence[Tuple[int, Any]], results: Sequence
-    ) -> None:
-        """Close one phase's accounting: add the returning results (+ the
-        post-phase state riding back when non-resident) and commit the step."""
-        step = outbound + sum(shipped_nbytes(result) for result in results)
-        if not self.resident:
-            step += sum(self._state_nbytes(i) for i, _ in tasks)
-        self.supersteps += 1
-        self.superstep_bytes += step
-        if step > self.max_superstep_bytes:
-            self.max_superstep_bytes = step
+    def _submit(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> Callable[[], List]:
+        """Ship one phase's tasks and return a zero-argument collector.
+
+        The collector blocks until the phase's results are available and
+        returns them in task order. Implementations must execute same-part
+        tasks in submission order (per-part FIFO) — that ordering is what
+        lets overlapped drivers chain a boundary phase's worker-side stashes
+        into the interior phase of the same superstep.
+        """
+        raise NotImplementedError
+
+    def run_async(
+        self, fn: Callable, tasks: Sequence[Tuple[int, Any]], commit: bool = True
+    ) -> PhaseFuture:
+        """Ship one superstep phase and return immediately with its future.
+
+        ``commit=False`` leaves the accounting superstep open: the next
+        ``run_async`` call joins the same :class:`_StepGroup`, and the group
+        commits (one ``supersteps`` increment, combined byte total) only when
+        every member future has resolved. The outbound charge (deltas, plus
+        payload+pre-phase state in non-resident mode) is measured here, before
+        anything executes; the inbound charge lands in
+        :meth:`PhaseFuture.result`.
+        """
+        tasks = list(tasks)
+        start = time.perf_counter()
+        outbound = self._account_out(tasks)
+        group = self._group if self._group is not None else _StepGroup()
+        group.pending += 1
+        if commit:
+            group.closed = True
+            self._group = None
+        else:
+            self._group = group
+        collect = self._submit(fn, tasks)
+        self.ship_seconds += time.perf_counter() - start
+        return PhaseFuture(self, group, tasks, outbound, collect)
 
     def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
         """Execute one superstep phase: ``fn(payload, state, delta)`` per task."""
-        raise NotImplementedError
+        return self.run_async(fn, tasks).result()
 
     def close(self) -> None:
         """Release per-session worker state (idempotent)."""
@@ -363,16 +477,16 @@ class _LocalResidentSession(ResidentSession):
     def _state_nbytes(self, part: int) -> int:
         return shipped_nbytes(self._states[part])
 
-    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
-        tasks = list(tasks)
-        outbound = self._account_out(tasks)
+    def _submit(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> Callable[[], List]:
+        # Lazy: nothing runs until the future is resolved, so pending phases
+        # execute in result() order — which the drivers call in submission
+        # order per part, preserving the per-part FIFO guarantee even with a
+        # thread pool fanning out the tasks *within* one phase.
         calls = [(self._payloads[i], self._states[i], delta) for i, delta in tasks]
-        if self._pool is None or len(calls) <= 1:
-            results = [fn(p, s, d) for p, s, d in calls]
-        else:
-            results = list(self._pool.map(lambda c: fn(*c), calls))
-        self._account_in(outbound, tasks, results)
-        return results
+        pool = self._pool
+        if pool is None or len(calls) <= 1:
+            return lambda: [fn(p, s, d) for p, s, d in calls]
+        return lambda: list(pool.map(lambda c: fn(*c), calls))
 
 
 def _unpinned_phase(args):
@@ -402,17 +516,20 @@ class _UnpinnedResidentSession(ResidentSession):
     def _state_nbytes(self, part: int) -> int:
         return shipped_nbytes(self._states[part])
 
-    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
-        tasks = list(tasks)
-        outbound = self._account_out(tasks)
-        items = [(self._payloads[i], self._states[i], fn, delta) for i, delta in tasks]
-        outs = self._backend.map_partitions(_unpinned_phase, items)
-        results = []
-        for (i, _), (result, state) in zip(tasks, outs):
-            self._states[i] = state
-            results.append(result)
-        self._account_in(outbound, tasks, results)
-        return results
+    def _submit(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> Callable[[], List]:
+        # Lazy like the local session, and additionally the items are built at
+        # collect time so each task ships the *current* state object (a prior
+        # pending phase on the same part may reassign it).
+        def collect() -> List:
+            items = [(self._payloads[i], self._states[i], fn, delta) for i, delta in tasks]
+            outs = self._backend.map_partitions(_unpinned_phase, items)
+            results = []
+            for (i, _), (result, state) in zip(tasks, outs):
+                self._states[i] = state
+                results.append(result)
+            return results
+
+        return collect
 
 
 # Worker-side process-global resident store. Payloads are keyed by
@@ -562,10 +679,12 @@ def _evict_resident_slot(idx: int) -> None:
 class _PinnedResidentSession(ResidentSession):
     """Chunked-backend session: part ``i`` resides in slot ``i % width``.
 
-    Session open ships each part's payload (unless its slot already caches the
-    layout token) and fresh state to its slot worker; every later superstep
-    ships only ``(token, session, part, fn, delta)`` — the CSR never crosses
-    the pickle boundary again.
+    Session open *submits* each part's payload (unless its slot already caches
+    the layout token) and fresh state to its slot worker without waiting — the
+    install acks resolve at the first phase submission (:meth:`_finish_install`),
+    so install latency overlaps the coordinator's superstep-0 preparation.
+    Every later superstep ships only ``(token, session, part, fn, delta)`` —
+    the CSR never crosses the pickle boundary again.
     """
 
     def __init__(
@@ -588,30 +707,49 @@ class _PinnedResidentSession(ResidentSession):
                 (token, part, None if known else payload, self._key, state),
             )
             pending.append((slot, part, payload, state, fut))
+        self._pending_installs: Optional[List] = pending
+
+    def _finish_install(self) -> None:
+        """Resolve the deferred install acks (idempotent).
+
+        Must complete before any phase ships: a False ack means the worker
+        holds *neither* the payload nor this session's state (the install
+        task installs nothing on a payload miss), so the full install is
+        re-sent synchronously here. The single-worker slot pools are FIFO, so
+        even though the acks resolve late, the installs themselves executed
+        before any phase submitted after this call.
+        """
+        pending, self._pending_installs = self._pending_installs, None
+        if not pending:
+            return
         for slot, part, payload, state, fut in pending:
             try:
                 ok = fut.result()
                 if not ok:
                     # Stale coordinator view (worker restarted or evicted the
                     # payload underneath us); drop the entry, ship the payload.
-                    _slot_mark(slot, (token, part), present=False)
+                    _slot_mark(slot, (self.token, part), present=False)
                     _resident_slot(slot).submit(
-                        _resident_install, (token, part, payload, self._key, state)
+                        _resident_install,
+                        (self.token, part, payload, self._key, state),
                     ).result()
             except BrokenProcessPool:
                 _evict_resident_slot(slot)
                 raise
-            _slot_mark(slot, (token, part), present=True)
+            _slot_mark(slot, (self.token, part), present=True)
 
-    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
-        tasks = list(tasks)
-        outbound = self._account_out(tasks)
+    def _submit(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> Callable[[], List]:
+        if self._pending_installs is not None:
+            self._finish_install()
         futures = [
             _resident_slot(i % self._nslots).submit(
                 _resident_phase, (self.token, self._key, i, fn, delta)
             )
             for i, delta in tasks
         ]
+        return lambda: self._collect(fn, tasks, futures)
+
+    def _collect(self, fn: Callable, tasks: Sequence[Tuple[int, Any]], futures) -> List:
         try:
             results = []
             for (i, delta), fut in zip(tasks, futures):
@@ -651,7 +789,6 @@ class _PinnedResidentSession(ResidentSession):
                             f"the concurrent sessions sharing it; raise "
                             f"_RESIDENT_PAYLOAD_CAPACITY or serialise the runs"
                         ) from None
-            self._account_in(outbound, tasks, results)
             return results
         except BrokenProcessPool:
             # A slot worker died; its resident state is unrecoverable, so the
@@ -665,6 +802,15 @@ class _PinnedResidentSession(ResidentSession):
         if self._closed:
             return
         self._closed = True
+        if self._pending_installs is not None:
+            # A session closed before its first phase still owes the ack
+            # resolution (a False ack left the worker without this session's
+            # state; resolving makes the forget below exact). Best effort —
+            # a broken slot has lost the states anyway.
+            try:
+                self._finish_install()
+            except Exception:
+                pass
         by_slot: Dict[int, List[int]] = {}
         for part in range(self.num_parts):
             by_slot.setdefault(part % self._nslots, []).append(part)

@@ -35,6 +35,14 @@ Protocol (one coordinator connection per rank, request/response, pipelined):
 ``("ping",)`` / ``("shutdown",)``
     Liveness probe; orderly rank exit.
 
+Every coordinator request normally ships wrapped as ``("req", rid, message)``
+and is answered as ``("resp", rid, reply)`` — the **multiplexing layer** that
+lets several phases stay in flight per rank at once (the overlap seam's
+requirement): the coordinator collects replies by request id in any order,
+parking early arrivals for their own collect, and a reconnect re-sends
+exactly the unanswered backlog. Untagged messages remain understood for the
+shutdown path and direct protocol probes.
+
 Rank-side storage *is* the process-global resident store of
 :mod:`repro.parallel.backends` (``_resident_install`` / ``_resident_phase`` /
 ``_resident_forget``), so the cache semantics — payloads keyed by ``(layout
@@ -115,56 +123,86 @@ class RankDeathError(RuntimeError):
 # resident stores are the module globals of repro.parallel.backends, reused
 # verbatim so rank-side cache behaviour is identical to a chunked slot worker.
 
-#: Rank-side phase dedup: ``(session_key, part) -> (seq, result)``. A phase
-#: message replayed after a reconnect (same seq) is answered from here without
-#: re-running fn — the exactly-once guarantee that makes blind re-sends safe.
-_PHASE_DONE: "Dict[Tuple[int, int], Tuple[int, Any]]" = {}
+#: Rank-side phase dedup: ``(session_key, part, seq) -> result``. A phase
+#: message replayed after a reconnect is answered from here without re-running
+#: fn — the exactly-once guarantee that makes blind re-sends safe. Keyed by
+#: ``seq`` (not last-seq-per-part) because the multiplexed coordinator keeps
+#: several phases per part in flight: a reconnect can replay an *older* phase
+#: after a newer one already ran, and answering it from the cache is the only
+#: correct response (re-running it against the mutated state would corrupt
+#: the part).
+_PHASE_DONE: "OrderedDict[Tuple[int, int, int], Any]" = OrderedDict()
+
+#: LRU backstop for ``_PHASE_DONE``. A session's ``forget`` drops its entries
+#: exactly, but forgets are best-effort (a coordinator can die mid-session),
+#: so without a bound the cache grows for the rank's lifetime. Oldest-first
+#: eviction is safe because only the most recently submitted phases per part
+#: can still be replayed — the coordinator's pipelining depth (a handful of
+#: in-flight phases per part) is orders of magnitude below this capacity.
+_PHASE_DONE_CAPACITY = 4096
 
 
 class _RankShutdown(Exception):
     """Raised inside the serve loop on an orderly ``shutdown`` message."""
 
 
-def _rank_handle_message(conn: MessageConnection, msg: tuple) -> None:
-    """Dispatch one coordinator message and send exactly one reply."""
+def _rank_reply(msg: tuple) -> tuple:
+    """Compute the reply to one coordinator message (pure dispatch, no I/O)."""
     kind = msg[0]
     if kind == "phase":
         _, seq, token, session_key, part, fn, delta = msg
-        done = _PHASE_DONE.get((session_key, part))
-        if done is not None and done[0] == seq:
-            conn.send(("result", done[1]))
-            return
+        done_key = (session_key, part, seq)
+        if done_key in _PHASE_DONE:
+            _PHASE_DONE.move_to_end(done_key)
+            return ("result", _PHASE_DONE[done_key])
         try:
             result = _B._resident_phase((token, session_key, part, fn, delta))
         except _B._ResidentPayloadMiss:
-            conn.send(("miss",))
-            return
+            return ("miss",)
         except Exception as exc:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-            return
-        _PHASE_DONE[(session_key, part)] = (seq, result)
-        conn.send(("result", result))
-    elif kind == "install":
+            return ("error", f"{type(exc).__name__}: {exc}")
+        _PHASE_DONE[done_key] = result
+        while len(_PHASE_DONE) > _PHASE_DONE_CAPACITY:
+            _PHASE_DONE.popitem(last=False)
+        return ("result", result)
+    if kind == "install":
         try:
-            conn.send(("ok", _B._resident_install(msg[1:])))
+            return ("ok", _B._resident_install(msg[1:]))
         except Exception as exc:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
-    elif kind == "restore":
+            return ("error", f"{type(exc).__name__}: {exc}")
+    if kind == "restore":
         _B._resident_restore_payload(msg[1:])
-        conn.send(("ok", True))
-    elif kind == "forget":
+        return ("ok", True)
+    if kind == "forget":
         _, session_key, parts = msg
         _B._resident_forget((session_key, parts))
-        for part in parts:
-            _PHASE_DONE.pop((session_key, part), None)
-        conn.send(("ok", True))
-    elif kind == "ping":
-        conn.send(("pong", os.getpid()))
-    elif kind == "shutdown":
+        for done_key in [k for k in _PHASE_DONE if k[0] == session_key]:
+            del _PHASE_DONE[done_key]
+        return ("ok", True)
+    if kind == "ping":
+        return ("pong", os.getpid())
+    return ("error", f"unknown message kind {kind!r}")
+
+
+def _rank_handle_message(conn: MessageConnection, msg: tuple) -> None:
+    """Dispatch one coordinator message and send exactly one reply.
+
+    ``("req", rid, inner)`` is the multiplexed form: the reply ships as
+    ``("resp", rid, reply)`` so the coordinator can match out-of-order
+    collections against in-flight request ids. Untagged messages (the
+    shutdown path and direct protocol tests) are answered bare.
+    """
+    if msg[0] == "req":
+        _, rid, inner = msg
+        if inner[0] == "shutdown":
+            conn.send(("resp", rid, ("ok", True)))
+            raise _RankShutdown
+        conn.send(("resp", rid, _rank_reply(inner)))
+        return
+    if msg[0] == "shutdown":
         conn.send(("ok", True))
         raise _RankShutdown
-    else:
-        conn.send(("error", f"unknown message kind {kind!r}"))
+    conn.send(_rank_reply(msg))
 
 
 def _rank_main(ready) -> None:
@@ -213,6 +251,20 @@ class _RankHandle:
         #: hold (LRU-bounded like the worker store; self-heals through the
         #: install ack in both directions — see the chunked slot mirror).
         self.known: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        #: Request-id source for the multiplexed request/response protocol.
+        self.rids = itertools.count(1)
+        #: Unanswered requests, ``rid -> message`` in submission order — the
+        #: resend set after a reconnect (every protocol message is idempotent:
+        #: installs/restores/forgets by content, phases by ``seq`` dedup).
+        self.outstanding: "OrderedDict[int, tuple]" = OrderedDict()
+        #: Request ids actually written to the *current* connection (cleared
+        #: on retire, which is what marks the rest of ``outstanding`` for
+        #: resend over the replacement connection).
+        self.inflight: set = set()
+        #: Responses received but not yet collected, ``rid -> reply`` — a
+        #: collect for a later submission drains earlier responses here so an
+        #: out-of-submission-order collect never loses them.
+        self.arrived: Dict[int, tuple] = {}
         #: Bytes/messages accumulated by connections since closed or replaced.
         self.retired = {
             "bytes_sent": 0,
@@ -223,6 +275,7 @@ class _RankHandle:
 
     def retire_connection(self) -> None:
         """Fold the live connection's meters into the totals and drop it."""
+        self.inflight.clear()
         conn = self.conn
         if conn is None:
             return
@@ -288,6 +341,11 @@ class RankCluster:
         handle.process = proc
         handle.address = address
         handle.known.clear()
+        # A replacement rank has empty stores and never saw the in-flight
+        # requests; dropping them here keeps a later session's traffic from
+        # replaying a dead session's phases against the fresh rank.
+        handle.outstanding.clear()
+        handle.arrived.clear()
         handle.retire_connection()
 
     def _alive(self, handle: _RankHandle) -> bool:
@@ -319,19 +377,45 @@ class RankCluster:
         )
 
     # --------------------------------------------------------------- requests
-    def request(self, rank: int, messages: Sequence[tuple]) -> List[tuple]:
-        """Send a batch to one rank and collect one reply per message.
+    def _flush_locked(self, handle: _RankHandle, conn: MessageConnection) -> None:
+        """Write every outstanding request not yet on the current connection.
 
-        On a transient transport failure the *whole batch* is re-sent over a
-        fresh connection — safe because every message in the protocol is
-        idempotent (installs/restores/forgets by content, phases by ``seq``).
-        A rank that is dead, or unreachable through the entire retry
-        schedule, raises :class:`RankDeathError` after a replacement has been
-        spawned for future sessions.
+        After a reconnect ``inflight`` is empty, so this re-sends the whole
+        unanswered backlog — safe because every message in the protocol is
+        idempotent (installs/restores/forgets by content, phases by ``seq``
+        dedup). Caller holds ``handle.lock``.
         """
-        messages = list(messages)
+        for rid, msg in handle.outstanding.items():
+            if rid not in handle.inflight:
+                conn.send(("req", rid, msg))
+                handle.inflight.add(rid)
+
+    def _unreachable(self, handle: _RankHandle, last: Optional[Exception]) -> RankDeathError:
+        """Terminal error once the retry schedule is exhausted."""
+        if not self._alive(handle):
+            return self._declare_dead(
+                handle, last if last is not None else RuntimeError("process exited")
+            )
+        return RankDeathError(
+            f"rank {handle.index} at {handle.address} stayed unreachable through "
+            f"{self.retry_attempts} reconnect attempt(s): {last}"
+        )
+
+    def submit(self, rank: int, messages: Sequence[tuple]) -> List[int]:
+        """Ship a batch to one rank without waiting; returns its request ids.
+
+        The requests go on the wire tagged ``("req", rid, message)``; the rank
+        answers each with ``("resp", rid, reply)`` in its own (FIFO) order.
+        Pass the ids to :meth:`collect` — in any order relative to other
+        in-flight submissions — to obtain the replies.
+        """
         handle = self._handles[rank]
         with handle.lock:
+            rids = []
+            for msg in messages:
+                rid = next(handle.rids)
+                handle.outstanding[rid] = msg
+                rids.append(rid)
             last: Optional[Exception] = None
             for _ in range(max(1, self.retry_attempts)):
                 if not self._alive(handle):
@@ -339,24 +423,60 @@ class RankCluster:
                         handle, last if last is not None else RuntimeError("process exited")
                     )
                 try:
-                    conn = self._connection(handle)
-                except TransportError as exc:
-                    last = exc
-                    continue
-                try:
-                    for msg in messages:
-                        conn.send(msg)
-                    return [conn.recv() for _ in messages]
+                    self._flush_locked(handle, self._connection(handle))
+                    return rids
                 except TransportError as exc:
                     last = exc
                     handle.retire_connection()
                     continue
-            if not self._alive(handle):
-                raise self._declare_dead(handle, last)
-            raise RankDeathError(
-                f"rank {rank} at {handle.address} stayed unreachable through "
-                f"{self.retry_attempts} reconnect attempt(s): {last}"
-            )
+            raise self._unreachable(handle, last)
+
+    def collect(self, rank: int, rids: Sequence[int]) -> List[tuple]:
+        """Block until every request in ``rids`` has a reply; return them in
+        ``rids`` order.
+
+        Responses for *other* in-flight requests that arrive meanwhile are
+        parked in the handle's ``arrived`` buffer for their own collect, so
+        collection order is free — the overlap seam's requirement. On a
+        transient transport failure the unanswered backlog is re-sent over a
+        fresh connection; a dead rank raises :class:`RankDeathError` after a
+        replacement has been spawned for future sessions.
+        """
+        rids = list(rids)
+        handle = self._handles[rank]
+        with handle.lock:
+            last: Optional[Exception] = None
+            for _ in range(max(1, self.retry_attempts)):
+                if all(rid in handle.arrived for rid in rids):
+                    break
+                if not self._alive(handle):
+                    raise self._declare_dead(
+                        handle, last if last is not None else RuntimeError("process exited")
+                    )
+                try:
+                    conn = self._connection(handle)
+                    self._flush_locked(handle, conn)
+                    while not all(rid in handle.arrived for rid in rids):
+                        frame = conn.recv()
+                        if frame[0] != "resp":
+                            raise TransportError(f"malformed rank frame {frame[:1]!r}")
+                        _, rid, reply = frame
+                        if handle.outstanding.pop(rid, None) is not None:
+                            handle.inflight.discard(rid)
+                            handle.arrived[rid] = reply
+                    break
+                except TransportError as exc:
+                    last = exc
+                    handle.retire_connection()
+                    continue
+            else:
+                raise self._unreachable(handle, last)
+            return [handle.arrived.pop(rid) for rid in rids]
+
+    def request(self, rank: int, messages: Sequence[tuple]) -> List[tuple]:
+        """Send a batch to one rank and wait for one reply per message
+        (:meth:`submit` + :meth:`collect`)."""
+        return self.collect(rank, self.submit(rank, list(messages)))
 
     # ------------------------------------------------------------ cache mirror
     def known(self, rank: int, key: Tuple[str, int]) -> bool:
@@ -483,18 +603,90 @@ class _DistributedResidentSession(ResidentSession):
         self._seq = 0
         self._closed = False
         self._stats_open = cluster.stats()
+        self._init_states = list(states)
         by_rank: Dict[int, List[int]] = {}
         for part in range(self.num_parts):
             by_rank.setdefault(part % self._nranks, []).append(part)
+        # Pipelined install: the payload/state batches are *submitted* here but
+        # their acks resolve at the first phase submission (_finish_install),
+        # so the install latency overlaps the coordinator's superstep-0 prep.
+        pending: Dict[int, Tuple[List[Tuple[int, bool]], List[int]]] = {}
         for rank, parts in by_rank.items():
             try:
-                self._install_on_rank(rank, parts, states)
+                pending[rank] = self._submit_install(rank, parts)
             except RankDeathError:
                 # Nothing of this session had landed on that rank yet, so a
                 # session-open failure is recoverable: the cluster already
                 # spawned a replacement (with empty caches — its mirror was
-                # cleared), install again from scratch.
-                self._install_on_rank(rank, parts, states)
+                # cleared), submit the installs again from scratch.
+                pending[rank] = self._submit_install(rank, parts)
+        self._pending_install: Optional[Dict] = pending
+
+    def _submit_install(
+        self, rank: int, parts: Sequence[int]
+    ) -> Tuple[List[Tuple[int, bool]], List[int]]:
+        """Ship one rank's install batch without waiting for the acks."""
+        cluster = self._cluster
+        entries = [(part, cluster.known(rank, (self.token, part))) for part in parts]
+        rids = cluster.submit(
+            rank,
+            [
+                ("install", self.token, part,
+                 None if known else self._payloads[part], self._key,
+                 self._init_states[part])
+                for part, known in entries
+            ],
+        )
+        return entries, rids
+
+    def _finish_install(self) -> None:
+        """Resolve the deferred install acks (idempotent).
+
+        Must complete before any phase ships: a False ack means the rank
+        holds *neither* the payload nor this session's state (the install
+        installs nothing on a payload miss), so the full install re-ships
+        synchronously here. Per-connection FIFO on the rank guarantees the
+        installs themselves ran before any phase submitted after this call.
+        A rank that died while the installs were in flight is retried once
+        from scratch — nothing of this session had landed on the replacement
+        yet, so a fresh synchronous install is safe.
+        """
+        pending, self._pending_install = self._pending_install, None
+        if not pending:
+            return
+        for rank, (entries, rids) in pending.items():
+            try:
+                self._finish_install_on_rank(rank, entries, rids)
+            except RankDeathError:
+                self._install_on_rank(rank, [part for part, _ in entries], self._init_states)
+
+    def _finish_install_on_rank(
+        self, rank: int, entries: Sequence[Tuple[int, bool]], rids: Sequence[int]
+    ) -> None:
+        cluster = self._cluster
+        replies = cluster.collect(rank, rids)
+        resend = []
+        for (part, known), reply in zip(entries, replies):
+            if not self._expect_ok(reply, "install", part):
+                # Stale mirror (rank restarted or evicted underneath us):
+                # drop the entry and ship the payload after all.
+                cluster.mark(rank, (self.token, part), present=False)
+                resend.append(part)
+        if resend:
+            for part, reply in zip(
+                resend,
+                cluster.request(
+                    rank,
+                    [
+                        ("install", self.token, part, self._payloads[part],
+                         self._key, self._init_states[part])
+                        for part in resend
+                    ],
+                ),
+            ):
+                self._expect_ok(reply, "install", part, required=True)
+        for part, _ in entries:
+            cluster.mark(rank, (self.token, part), present=True)
 
     def _install_on_rank(self, rank: int, parts: Sequence[int], states: Sequence) -> None:
         cluster = self._cluster
@@ -544,9 +736,10 @@ class _DistributedResidentSession(ResidentSession):
             f"{reply[1] if len(reply) > 1 else reply!r}"
         )
 
-    def _resolve_reply(self, rank: int, seq: int, part: int, fn: Callable, delta) -> Any:
+    def _resolve_reply(
+        self, rank: int, seq: int, part: int, fn: Callable, delta, reply: tuple
+    ) -> Any:
         """Turn one phase reply into a result, recovering bounded payload misses."""
-        reply = self._pending.pop((rank, part))
         for _ in range(self._miss_attempts):
             if reply[0] != "miss":
                 break
@@ -578,37 +771,54 @@ class _DistributedResidentSession(ResidentSession):
         return reply[1]
 
     # --------------------------------------------------------------------- api
-    def run(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> List:
-        tasks = list(tasks)
-        outbound = self._account_out(tasks)
+    def _submit(self, fn: Callable, tasks: Sequence[Tuple[int, Any]]) -> Callable[[], List]:
+        if self._pending_install is not None:
+            self._finish_install()
         self._seq += 1
         seq = self._seq
         by_rank: Dict[int, List[Tuple[int, Any]]] = {}
         for part, delta in tasks:
             by_rank.setdefault(part % self._nranks, []).append((part, delta))
-        self._pending: Dict[Tuple[int, int], tuple] = {}
-        for rank, entries in by_rank.items():
-            replies = self._cluster.request(
+        submitted = [
+            (
                 rank,
-                [
-                    ("phase", seq, self.token, self._key, part, fn, delta)
-                    for part, delta in entries
-                ],
+                entries,
+                self._cluster.submit(
+                    rank,
+                    [
+                        ("phase", seq, self.token, self._key, part, fn, delta)
+                        for part, delta in entries
+                    ],
+                ),
             )
-            for (part, _), reply in zip(entries, replies):
-                self._pending[(rank, part)] = reply
-        results_by_part = {
-            part: self._resolve_reply(part % self._nranks, seq, part, fn, delta)
-            for part, delta in tasks
-        }
-        results = [results_by_part[part] for part, _ in tasks]
-        self._account_in(outbound, tasks, results)
-        return results
+            for rank, entries in by_rank.items()
+        ]
+
+        def collect() -> List:
+            replies_by_part: Dict[int, tuple] = {}
+            for rank, entries, rids in submitted:
+                for (part, _), reply in zip(entries, self._cluster.collect(rank, rids)):
+                    replies_by_part[part] = reply
+            return [
+                self._resolve_reply(
+                    part % self._nranks, seq, part, fn, delta, replies_by_part[part]
+                )
+                for part, delta in tasks
+            ]
+
+        return collect
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        if self._pending_install is not None:
+            # A session closed before its first phase still owes the install
+            # ack resolution (it makes the forget below exact); best effort.
+            try:
+                self._finish_install()
+            except (RankDeathError, RuntimeError):
+                pass
         by_rank: Dict[int, List[int]] = {}
         for part in range(self.num_parts):
             by_rank.setdefault(part % self._nranks, []).append(part)

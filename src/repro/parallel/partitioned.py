@@ -50,13 +50,33 @@ the drivers here don't change, which is exactly what this seam is for.
 Shipped bytes are accounted logically (array ``nbytes``, identical
 on every backend), in **both directions** — deltas out, result arrays back —
 and recorded on ``PartitionStats``.
+
+``overlap=True`` (the default on resident runs) breaks the per-phase barrier:
+each superstep phase splits into a *boundary* sub-phase (the owned vertices
+with foreign neighbours, carrying all halo updates and scalars) and an
+*interior* sub-phase (a bare sub-worklist), submitted back-to-back through
+:meth:`ResidentSession.run_async` so the next phase's deltas ship while
+workers still chew interior worklists. Determinism survives because an
+interior vertex appears in **no other part's halo** — marking only boundary
+changes before a ``take`` dirties exactly the same positions as the barrier
+schedule — and because sessions execute each part's sub-phases FIFO, so a
+phase that reads owned values written by the previous phase's interior
+sub-task always runs after it. Phases whose writes could feed a sibling
+sub-phase's reads (Luby selection, coloring assignment/conflict) defer their
+state commits to the interior sub-task, keeping both halves pure functions
+of the pre-superstep snapshot. Sub-phase pairs share one accounting group,
+so supersteps, shipped bytes and the per-superstep maximum are identical to
+the barrier baseline — only wall-clock differs, which is what the
+``--no-overlap`` bench baseline gates.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import time
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -140,6 +160,18 @@ class GraphPart:
         """Global ids of the owned vertices adjacent to another part."""
         return self.owned[~self.interior_mask]
 
+    @cached_property
+    def interior_local(self) -> np.ndarray:
+        """Boolean mask over the local vertex space: True on interior rows.
+
+        Lets the overlapped drivers split a worklist with one O(w) gather
+        from already-computed local indices instead of re-searching the
+        owned array every phase. Coordinator-side only — never shipped.
+        """
+        mask = np.zeros(self.ids.size, dtype=bool)
+        mask[self.owned_local[self.interior_mask]] = True
+        return mask
+
     def local(self, vertices: np.ndarray) -> np.ndarray:
         """Local indices of ``vertices`` (global ids that must lie in ``ids``).
 
@@ -199,6 +231,17 @@ class PartitionStats:
     #: resident path once the CSR has shipped, O(CSR) on the non-resident
     #: baseline.
     max_superstep_bytes: int = 0
+    #: Coordinator wall-clock spent computing between session calls (elapsed
+    #: minus exchange minus idle). ``perf_counter``-based and machine-varying —
+    #: unlike every field above, the ``*_seconds`` triple is NOT deterministic
+    #: and must never join the gated counts.
+    compute_seconds: float = 0.0
+    #: Wall-clock spent preparing and shipping phase deltas (the
+    #: ``run_async`` submit path: byte accounting + serialisation + send).
+    exchange_seconds: float = 0.0
+    #: Wall-clock the coordinator spent blocked waiting for phase results —
+    #: the time the overlap schedule exists to shrink.
+    idle_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -211,6 +254,9 @@ class PartitionStats:
             "resident_bytes": self.resident_bytes,
             "superstep_bytes": self.superstep_bytes,
             "max_superstep_bytes": self.max_superstep_bytes,
+            "compute_seconds": self.compute_seconds,
+            "exchange_seconds": self.exchange_seconds,
+            "idle_seconds": self.idle_seconds,
         }
 
 
@@ -262,13 +308,24 @@ class PartitionLayout:
         return sum(p.num_halo for p in self.parts)
 
     def stats(
-        self, supersteps: int, session: "Optional[ResidentSession]" = None
+        self,
+        supersteps: int,
+        session: "Optional[ResidentSession]" = None,
+        elapsed_seconds: Optional[float] = None,
     ) -> PartitionStats:
         """Snapshot of the layout's measurables after a ``supersteps``-long run.
 
         ``session`` (when the run went through the resident seam) contributes
-        the shipped-bytes accounting; without one the byte fields are zero.
+        the shipped-bytes accounting and the exchange/idle wall-clock meters;
+        without one the byte and timing fields are zero. ``elapsed_seconds``
+        (the driver's total kernel-loop wall-clock) additionally yields
+        ``compute_seconds`` as the remainder not spent shipping or waiting.
         """
+        exchange = 0.0 if session is None else float(session.ship_seconds)
+        idle = 0.0 if session is None else float(session.idle_seconds)
+        compute = 0.0
+        if elapsed_seconds is not None:
+            compute = max(0.0, float(elapsed_seconds) - exchange - idle)
         return PartitionStats(
             num_parts=self.num_parts,
             interior_vertices=self.interior_vertices,
@@ -279,6 +336,9 @@ class PartitionLayout:
             resident_bytes=0 if session is None else int(session.resident_bytes),
             superstep_bytes=0 if session is None else int(session.superstep_bytes),
             max_superstep_bytes=0 if session is None else int(session.max_superstep_bytes),
+            compute_seconds=compute,
+            exchange_seconds=exchange,
+            idle_seconds=idle,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -533,9 +593,7 @@ def _resident_payload(part: GraphPart, **extra) -> Dict:
     return payload
 
 
-def _kk_resident_refresh_row(payload, state, delta):
-    w1_local, iteration = delta
-    state["w1"] = w1_local
+def _kk_refresh_row_compute(payload, state, w1_local, iteration):
     from ..mis.kk import _priorities_for
 
     scheme = PriorityScheme.coerce(payload["scheme"])
@@ -547,10 +605,8 @@ def _kk_resident_refresh_row(payload, state, delta):
     return out
 
 
-def _kk_resident_refresh_column(payload, state, delta):
-    w2_local, T_update = delta
+def _kk_refresh_column_compute(payload, state, w2_local):
     T = state["T"]
-    _apply_halo_update(T, payload["halo_local"], T_update)
     packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
     slots, seg = _ref.expand_rows(payload["rowmap"], w2_local)
@@ -561,12 +617,8 @@ def _kk_resident_refresh_column(payload, state, delta):
     return out
 
 
-def _kk_resident_decide(payload, state, delta):
-    w1_local, M_update = delta
-    if w1_local is None:
-        w1_local = state["w1"]
+def _kk_decide_compute(payload, state, w1_local):
     T, M = state["T"], state["M"]
-    _apply_halo_update(M, payload["halo_local"], M_update)
     packer = TuplePacking(payload["n"], word_bits=payload["word_bits"])
     IN, OUT = packer.in_value, packer.out_value
     slots, seg = _ref.expand_rows(payload["rowmap"], w1_local)
@@ -585,9 +637,27 @@ def _kk_resident_decide(payload, state, delta):
     return newT
 
 
-def _luby_resident_priorities(payload, state, delta):
-    cand_local, rounds = delta
-    state["cand"] = cand_local
+def _kk_resident_refresh_row(payload, state, delta):
+    w1_local, iteration = delta
+    state["w1"] = w1_local
+    return _kk_refresh_row_compute(payload, state, w1_local, iteration)
+
+
+def _kk_resident_refresh_column(payload, state, delta):
+    w2_local, T_update = delta
+    _apply_halo_update(state["T"], payload["halo_local"], T_update)
+    return _kk_refresh_column_compute(payload, state, w2_local)
+
+
+def _kk_resident_decide(payload, state, delta):
+    w1_local, M_update = delta
+    if w1_local is None:
+        w1_local = state["w1"]
+    _apply_halo_update(state["M"], payload["halo_local"], M_update)
+    return _kk_decide_compute(payload, state, w1_local)
+
+
+def _luby_priorities_compute(payload, state, cand_local, rounds):
     from ..hashing.priorities import fixed_priorities
     from ..hashing.xorshift import hash_iter_vertex
 
@@ -601,14 +671,14 @@ def _luby_resident_priorities(payload, state, delta):
     return out
 
 
-def _luby_resident_select(payload, state, delta):
-    cand_local, status_update, prio_update = delta
-    if cand_local is None:
-        cand_local = state["cand"]
+def _luby_select_compute(payload, state, cand_local):
+    """Winner selection over ``cand_local`` from the current snapshot.
+
+    Pure read — returns the winning *local* indices without touching
+    ``status``, so the overlap schedule can evaluate both sub-phases against
+    the same pre-superstep snapshot before committing.
+    """
     status, prio = state["status"], state["priority"]
-    halo_local = payload["halo_local"]
-    _apply_halo_update(status, halo_local, status_update)
-    _apply_halo_update(prio, halo_local, prio_update)
     ids = payload["ids"]
     prio_max = np.uint64(np.iinfo(np.uint64).max)
     id_max = np.int64(np.iinfo(np.int64).max)
@@ -621,8 +691,38 @@ def _luby_resident_select(payload, state, delta):
     own = prio[cand_local]
     cand_global = ids[cand_local]
     own_better = (own < min_p) | ((own == min_p) & (cand_global < min_i))
-    status[cand_local[own_better]] = payload["in_value"]
-    return cand_global[own_better]
+    return cand_local[own_better]
+
+
+def _luby_remove_compute(payload, state, remaining_local):
+    status = state["status"]
+    slots, seg = _ref.expand_rows(payload["rowmap"], remaining_local)
+    losers = np.asarray(
+        _ref.segmented_any_equal(
+            status[payload["entries"][slots]], payload["in_value"], seg
+        ),
+        dtype=bool,
+    )
+    status[remaining_local[losers]] = payload["out_value"]
+    return losers
+
+
+def _luby_resident_priorities(payload, state, delta):
+    cand_local, rounds = delta
+    state["cand"] = cand_local
+    return _luby_priorities_compute(payload, state, cand_local, rounds)
+
+
+def _luby_resident_select(payload, state, delta):
+    cand_local, status_update, prio_update = delta
+    if cand_local is None:
+        cand_local = state["cand"]
+    halo_local = payload["halo_local"]
+    _apply_halo_update(state["status"], halo_local, status_update)
+    _apply_halo_update(state["priority"], halo_local, prio_update)
+    winners_local = _luby_select_compute(payload, state, cand_local)
+    state["status"][winners_local] = payload["in_value"]
+    return payload["ids"][winners_local]
 
 
 def _luby_resident_remove(payload, state, delta):
@@ -635,22 +735,14 @@ def _luby_resident_remove(payload, state, delta):
         # without any indices crossing the boundary.
         cand_local = state["cand"]
         remaining_local = cand_local[status[cand_local] == payload["undecided"]]
-    slots, seg = _ref.expand_rows(payload["rowmap"], remaining_local)
-    losers = np.asarray(
-        _ref.segmented_any_equal(
-            status[payload["entries"][slots]], payload["in_value"], seg
-        ),
-        dtype=bool,
-    )
-    status[remaining_local[losers]] = payload["out_value"]
-    return losers
+    return _luby_remove_compute(payload, state, remaining_local)
 
 
-def _color_resident_assign(payload, state, delta):
-    wl_local, colors_update = delta
-    state["wl"] = wl_local
+def _color_assign_compute(payload, state, wl_local):
+    """Speculative colors for ``wl_local`` from the current snapshot — pure
+    read; the caller decides when the writes land (immediately on the barrier
+    path, deferred to the interior sub-phase on the overlap path)."""
     colors = state["colors"]
-    _apply_halo_update(colors, payload["halo_local"], colors_update)
     slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
     nbr_colors = colors[payload["entries"][slots]]
     owner = np.repeat(np.arange(wl_local.size), np.diff(seg))
@@ -658,7 +750,29 @@ def _color_resident_assign(payload, state, delta):
     forbidden = np.zeros((wl_local.size, max_colors + 1), dtype=bool)
     valid = nbr_colors >= 0
     forbidden[owner[valid], np.minimum(nbr_colors[valid], max_colors)] = True
-    out = np.argmin(forbidden, axis=1).astype(np.int64)
+    return np.argmin(forbidden, axis=1).astype(np.int64)
+
+
+def _color_conflict_compute(payload, state, wl_local):
+    """Conflict losers among ``wl_local`` from the current snapshot — pure
+    read, same deferred-commit contract as :func:`_color_assign_compute`."""
+    colors = state["colors"]
+    ids = payload["ids"]
+    slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
+    nbr = payload["entries"][slots]
+    lens = np.diff(seg)
+    owners_local = np.repeat(wl_local, lens)
+    owners_global = np.repeat(ids[wl_local], lens)
+    conflict = (colors[owners_local] == colors[nbr]) & (owners_global > ids[nbr])
+    return np.unique(owners_local[conflict])
+
+
+def _color_resident_assign(payload, state, delta):
+    wl_local, colors_update = delta
+    state["wl"] = wl_local
+    colors = state["colors"]
+    _apply_halo_update(colors, payload["halo_local"], colors_update)
+    out = _color_assign_compute(payload, state, wl_local)
     colors[wl_local] = out
     return out
 
@@ -669,22 +783,197 @@ def _color_resident_conflict(payload, state, delta):
         wl_local = state["wl"]
     colors = state["colors"]
     _apply_halo_update(colors, payload["halo_local"], colors_update)
-    ids = payload["ids"]
-    slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
-    nbr = payload["entries"][slots]
-    lens = np.diff(seg)
-    owners_local = np.repeat(wl_local, lens)
-    owners_global = np.repeat(ids[wl_local], lens)
-    conflict = (colors[owners_local] == colors[nbr]) & (owners_global > ids[nbr])
-    losers_local = np.unique(owners_local[conflict])
+    losers_local = _color_conflict_compute(payload, state, wl_local)
     colors[losers_local] = -1
-    return ids[losers_local]
+    return payload["ids"][losers_local]
+
+
+# ----------------------------------------- overlapped sub-phase task functions
+#
+# The overlap schedule splits every superstep phase into a *boundary* and an
+# *interior* sub-task per part. Conventions, relied on by the drivers:
+#
+# - the boundary sub-task carries everything that crosses the halo seam —
+#   halo updates and the phase's explicit worklist indices under the
+#   full-halo protocol — and always ships, even with an empty sub-worklist,
+#   because its halo update must land to keep the tracker's "worker halo is
+#   current after take" invariant;
+# - the interior sub-task's delta is the bare interior sub-worklist; any
+#   scalar the compute needs (iteration / round counter) rides with the
+#   boundary half only and is stashed worker-side, because
+#   ``shipped_nbytes`` charges scalars too and shipping one twice would
+#   break the overlap-vs-barrier shipped-byte equality;
+# - sessions run each part's sub-tasks FIFO, so the interior sub-task may
+#   read boundary stashes from the same superstep, and phases whose writes
+#   would leak into a sibling's snapshot (Luby select, coloring assign /
+#   conflict) stash their boundary writes under a ``_ov_pending*`` state key
+#   and commit them in the interior sub-task, after both halves computed.
+
+
+def _kk_overlap_refresh_row_boundary(payload, state, delta):
+    w1_local, iteration = delta
+    state["w1b"] = w1_local
+    state["_ov_iter"] = iteration
+    return _kk_refresh_row_compute(payload, state, w1_local, iteration)
+
+
+def _kk_overlap_refresh_row_interior(payload, state, delta):
+    # Bare sub-worklist: the iteration scalar rode with the boundary half
+    # (FIFO — it already ran on this part) so the split ships exactly the
+    # barrier phase's bytes.
+    w1_local = delta
+    state["w1i"] = w1_local
+    return _kk_refresh_row_compute(payload, state, w1_local, state["_ov_iter"])
+
+
+def _kk_overlap_refresh_column_boundary(payload, state, delta):
+    w2_local, T_update = delta
+    _apply_halo_update(state["T"], payload["halo_local"], T_update)
+    return _kk_refresh_column_compute(payload, state, w2_local)
+
+
+def _kk_overlap_refresh_column_interior(payload, state, delta):
+    # Interior vertices have no ghost neighbours; their owned T reads were
+    # refreshed by this part's Refresh Row sub-tasks (FIFO order).
+    return _kk_refresh_column_compute(payload, state, delta)
+
+
+def _kk_overlap_decide_boundary(payload, state, delta):
+    w1_local, M_update = delta
+    if w1_local is None:
+        w1_local = state["w1b"]
+    _apply_halo_update(state["M"], payload["halo_local"], M_update)
+    return _kk_decide_compute(payload, state, w1_local)
+
+
+def _kk_overlap_decide_interior(payload, state, delta):
+    w1_local = state["w1i"] if delta is None else delta
+    # Decide reads only its own T/M rows and neighbour M values; the
+    # boundary sub-task writes T rows disjoint from these, so no deferral.
+    return _kk_decide_compute(payload, state, w1_local)
+
+
+def _luby_overlap_priorities_boundary(payload, state, delta):
+    cand_local, rounds = delta
+    state["cand_b"] = cand_local
+    state["_ov_rounds"] = rounds
+    return _luby_priorities_compute(payload, state, cand_local, rounds)
+
+
+def _luby_overlap_priorities_interior(payload, state, delta):
+    # Bare sub-worklist; the round scalar rode with the boundary half (FIFO).
+    cand_local = delta
+    state["cand_i"] = cand_local
+    return _luby_priorities_compute(payload, state, cand_local, state["_ov_rounds"])
+
+
+def _luby_overlap_select_boundary(payload, state, delta):
+    cand_local, status_update, prio_update = delta
+    if cand_local is None:
+        cand_local = state["cand_b"]
+    halo_local = payload["halo_local"]
+    _apply_halo_update(state["status"], halo_local, status_update)
+    _apply_halo_update(state["priority"], halo_local, prio_update)
+    winners_local = _luby_select_compute(payload, state, cand_local)
+    # Selection reads neighbour statuses, so committing IN here would leak
+    # into the interior sub-task's snapshot — defer to the interior commit.
+    state["_ov_pending_in"] = winners_local
+    return payload["ids"][winners_local]
+
+
+def _luby_overlap_select_interior(payload, state, delta):
+    cand_local = state["cand_i"] if delta is None else delta
+    winners_local = _luby_select_compute(payload, state, cand_local)
+    status = state["status"]
+    status[state.pop("_ov_pending_in")] = payload["in_value"]
+    status[winners_local] = payload["in_value"]
+    return payload["ids"][winners_local]
+
+
+def _luby_overlap_remove_boundary(payload, state, delta):
+    remaining_local, status_update = delta
+    status = state["status"]
+    _apply_halo_update(status, payload["halo_local"], status_update)
+    if remaining_local is None:
+        cand_local = state["cand_b"]
+        remaining_local = cand_local[status[cand_local] == payload["undecided"]]
+    # Removal reads `== IN` and writes OUT to previously-undecided vertices,
+    # so its commits cannot alter the sibling sub-task's reads: no deferral.
+    return _luby_remove_compute(payload, state, remaining_local)
+
+
+def _luby_overlap_remove_interior(payload, state, delta):
+    status = state["status"]
+    if delta is None:
+        cand_local = state["cand_i"]
+        remaining_local = cand_local[status[cand_local] == payload["undecided"]]
+    else:
+        remaining_local = delta
+    return _luby_remove_compute(payload, state, remaining_local)
+
+
+def _color_overlap_assign_boundary(payload, state, delta):
+    wl_local, colors_update = delta
+    state["wl_b"] = wl_local
+    _apply_halo_update(state["colors"], payload["halo_local"], colors_update)
+    out = _color_assign_compute(payload, state, wl_local)
+    # Assignment reads neighbour colors, owned ones included — defer the
+    # write so the interior sub-task sees the pre-superstep snapshot.
+    state["_ov_pending_colors"] = out
+    return out
+
+
+def _color_overlap_assign_interior(payload, state, delta):
+    wl_local = delta
+    state["wl_i"] = wl_local
+    out = _color_assign_compute(payload, state, wl_local)
+    colors = state["colors"]
+    colors[state["wl_b"]] = state.pop("_ov_pending_colors")
+    colors[wl_local] = out
+    return out
+
+
+def _color_overlap_conflict_boundary(payload, state, delta):
+    wl_local, colors_update = delta
+    if wl_local is None:
+        wl_local = state["wl_b"]
+    _apply_halo_update(state["colors"], payload["halo_local"], colors_update)
+    losers_local = _color_conflict_compute(payload, state, wl_local)
+    # Conflict detection compares both endpoints' colors — resetting a
+    # boundary loser to -1 here would erase conflicts the interior sub-task
+    # must still see, so the -1 writes are deferred like the assignments.
+    state["_ov_pending_losers"] = losers_local
+    return payload["ids"][losers_local]
+
+
+def _color_overlap_conflict_interior(payload, state, delta):
+    wl_local = state["wl_i"] if delta is None else delta
+    losers_local = _color_conflict_compute(payload, state, wl_local)
+    colors = state["colors"]
+    colors[state.pop("_ov_pending_losers")] = -1
+    colors[losers_local] = -1
+    return payload["ids"][losers_local]
 
 
 # ------------------------------------------------------------------- drivers
 def _live(worklists: List[np.ndarray]) -> List[int]:
     """Indices of the parts with a non-empty worklist (no-op parts are skipped)."""
     return [i for i, w in enumerate(worklists) if w.size]
+
+
+def _split_interior(
+    part: GraphPart, vertices: np.ndarray, local: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split an owned worklist into its boundary and interior sub-worklists.
+
+    ``vertices`` are part-owned global ids with ``local`` their local indices
+    (element-aligned). Returns ``(boundary, boundary_local, interior,
+    interior_local)`` — both splits preserve the input order, so barrier and
+    overlap schedules enumerate the same vertices in the same order.
+    """
+    mask = part.interior_local[local]
+    outside = ~mask
+    return vertices[outside], local[outside], vertices[mask], local[mask]
 
 
 def _exchange_traffic(
@@ -717,6 +1006,7 @@ def partitioned_kk_mis2(
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ):
     """Algorithm 1 executed partition-parallel; bit-identical to :func:`kk_mis2`.
 
@@ -729,10 +1019,12 @@ def partitioned_kk_mis2(
     by Refresh Row and stashed worker-side for Decide. Worklist compaction is
     owner-local. ``resident=False`` selects the non-resident baseline that
     re-ships the whole part every superstep; ``changed_deltas=False`` the
-    full-halo wire format (whole halos, worklists re-sent per phase). All
-    four combinations produce bit-identical results — only the shipped-bytes
-    accounting differs. See the module docstring for the determinism
-    argument.
+    full-halo wire format (whole halos, worklists re-sent per phase);
+    ``overlap=False`` the barrier schedule (overlap requires the resident
+    seam and is ignored on non-resident runs). All combinations produce
+    bit-identical results and identical shipped-byte/superstep counts per
+    wire format — only wall-clock differs. See the module docstring for the
+    determinism argument.
     """
     from ..mis.kk import SIMD_DEGREE_THRESHOLD, _max_iterations
     from ..mis.result import MISConfig, MISResult
@@ -792,6 +1084,8 @@ def partitioned_kk_mis2(
     token = f"{layout.token}/kk2/{scheme.value}/s{seed}/w{word_bits}"
     tracker = HaloDeltaTracker(layout, ("T", "M"), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    ov = bool(overlap) and resident
+    t0 = time.perf_counter()
     try:
         while True:
             total1 = sum(w.size for w in w1)
@@ -804,46 +1098,128 @@ def partitioned_kk_mis2(
                 )
             worklist_sizes.append((int(total1), int(sum(w.size for w in w2))))
 
-            # -------------------------------------------- Refresh Row (owner-local)
             live1 = _live(w1)
             live2 = _live(w2)
             w1_loc = {i: members[i].local(w1[i]) for i in live1}
-            outs = session.run(
-                _kk_resident_refresh_row,
-                [(i, (w1_loc[i], iteration)) for i in live1],
-            )
-            tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
-            supersteps += 1
-            _exchange_traffic(traffic, layout, word_bytes, live2)
-
-            # ----------------------------------- Refresh Column (reads ghost T)
-            outs = session.run(
-                _kk_resident_refresh_column,
-                [
-                    (i, (members[i].local(w2[i]), tracker.take("T", i, T)))
-                    for i in live2
-                ],
-            )
-            tracker.mark("M", [_scatter_changed(M, w2[i], out) for i, out in zip(live2, outs)])
-            supersteps += 1
-            _exchange_traffic(traffic, layout, word_bytes, live1)
-
-            # -------------------------------------------- Decide (reads ghost M)
-            outs = session.run(
-                _kk_resident_decide,
-                [
-                    (
-                        i,
-                        (
-                            None if changed_deltas else w1_loc[i],
-                            tracker.take("M", i, M),
-                        ),
+            if ov:
+                # Overlapped schedule: each phase splits boundary/interior and
+                # the next phase's deltas ship while interior sub-tasks run.
+                # Interior results scatter late — an interior vertex is in no
+                # part's halo, so its marks never dirty a take.
+                w1b, w1b_loc, w1i, w1i_loc = {}, {}, {}, {}
+                for i in live1:
+                    w1b[i], w1b_loc[i], w1i[i], w1i_loc[i] = _split_interior(
+                        members[i], w1[i], w1_loc[i]
                     )
-                    for i in live1
-                ],
-            )
-            tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
-            supersteps += 1
+                w2b, w2b_loc, w2i, w2i_loc = {}, {}, {}, {}
+                for i in live2:
+                    w2b[i], w2b_loc[i], w2i[i], w2i_loc[i] = _split_interior(
+                        members[i], w2[i], members[i].local(w2[i])
+                    )
+
+                # ---------------------------------- Refresh Row (owner-local)
+                fb = session.run_async(
+                    _kk_overlap_refresh_row_boundary,
+                    [(i, (w1b_loc[i], iteration)) for i in live1],
+                    commit=False,
+                )
+                fi = session.run_async(
+                    _kk_overlap_refresh_row_interior,
+                    [(i, w1i_loc[i]) for i in live1],
+                )
+                tracker.mark(
+                    "T", [_scatter_changed(T, w1b[i], out) for i, out in zip(live1, fb.result())]
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, word_bytes, live2)
+
+                # ------------------------------- Refresh Column (reads ghost T)
+                gb = session.run_async(
+                    _kk_overlap_refresh_column_boundary,
+                    [(i, (w2b_loc[i], tracker.take("T", i, T))) for i in live2],
+                    commit=False,
+                )
+                gi = session.run_async(
+                    _kk_overlap_refresh_column_interior,
+                    [(i, w2i_loc[i]) for i in live2],
+                )
+                # Interior results scatter with no change tracking: an
+                # interior vertex is in no part's halo, so marking it is
+                # provably a no-op on every dirty mask — the skip is what
+                # makes the split cheaper, not just equivalent.
+                for i, out in zip(live1, fi.result()):
+                    T[w1i[i]] = out
+                tracker.mark(
+                    "M", [_scatter_changed(M, w2b[i], out) for i, out in zip(live2, gb.result())]
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, word_bytes, live1)
+
+                # ---------------------------------- Decide (reads ghost M)
+                hb = session.run_async(
+                    _kk_overlap_decide_boundary,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else w1b_loc[i],
+                                tracker.take("M", i, M),
+                            ),
+                        )
+                        for i in live1
+                    ],
+                    commit=False,
+                )
+                hi = session.run_async(
+                    _kk_overlap_decide_interior,
+                    [(i, None if changed_deltas else w1i_loc[i]) for i in live1],
+                )
+                for i, out in zip(live2, gi.result()):
+                    M[w2i[i]] = out
+                tracker.mark(
+                    "T", [_scatter_changed(T, w1b[i], out) for i, out in zip(live1, hb.result())]
+                )
+                for i, out in zip(live1, hi.result()):
+                    T[w1i[i]] = out
+                supersteps += 1
+            else:
+                # ---------------------------------- Refresh Row (owner-local)
+                outs = session.run(
+                    _kk_resident_refresh_row,
+                    [(i, (w1_loc[i], iteration)) for i in live1],
+                )
+                tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
+                supersteps += 1
+                _exchange_traffic(traffic, layout, word_bytes, live2)
+
+                # ------------------------------- Refresh Column (reads ghost T)
+                outs = session.run(
+                    _kk_resident_refresh_column,
+                    [
+                        (i, (members[i].local(w2[i]), tracker.take("T", i, T)))
+                        for i in live2
+                    ],
+                )
+                tracker.mark("M", [_scatter_changed(M, w2[i], out) for i, out in zip(live2, outs)])
+                supersteps += 1
+                _exchange_traffic(traffic, layout, word_bytes, live1)
+
+                # ---------------------------------- Decide (reads ghost M)
+                outs = session.run(
+                    _kk_resident_decide,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else w1_loc[i],
+                                tracker.take("M", i, M),
+                            ),
+                        )
+                        for i in live1
+                    ],
+                )
+                tracker.mark("T", [_scatter_changed(T, w1[i], out) for i, out in zip(live1, outs)])
+                supersteps += 1
 
             # --------------------------------------- Compaction (owner-local)
             for i in live1:
@@ -853,6 +1229,7 @@ def partitioned_kk_mis2(
             iteration += 1
     finally:
         session.close()
+    elapsed = time.perf_counter() - t0
 
     in_mask = packer.is_in(T)
     return MISResult(
@@ -862,7 +1239,7 @@ def partitioned_kk_mis2(
         worklist_sizes=worklist_sizes,
         traffic=traffic,
         config=config,
-        partition_stats=layout.stats(supersteps, session=session),
+        partition_stats=layout.stats(supersteps, session=session, elapsed_seconds=elapsed),
     )
 
 
@@ -874,6 +1251,7 @@ def partitioned_luby_mis1(
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ):
     """Luby's Algorithm A executed partition-parallel; bit-identical to
     :func:`luby_mis1`.
@@ -888,7 +1266,8 @@ def partitioned_luby_mis1(
     filters it against the part's own post-selection statuses, so neither
     later phase receives index arrays). ``resident=False`` restores the
     ship-everything baseline, ``changed_deltas=False`` the full-halo wire
-    format — results are bit-identical in every combination.
+    format, ``overlap=False`` the barrier schedule — results are
+    bit-identical in every combination.
     """
     import math
 
@@ -944,6 +1323,8 @@ def partitioned_luby_mis1(
     token = f"{layout.token}/luby1/{scheme.value}/s{seed}"
     tracker = HaloDeltaTracker(layout, ("status", "priority"), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    ov = bool(overlap) and resident
+    t0 = time.perf_counter()
     try:
         while np.any(status == _UNDECIDED):
             if rounds >= max_rounds:
@@ -954,62 +1335,153 @@ def partitioned_luby_mis1(
             live = _live(cand)
             cand_loc = {i: members[i].local(cand[i]) for i in live}
 
-            # -------------------------------------- priorities (owner-local)
-            outs = session.run(
-                _luby_resident_priorities,
-                [(i, (cand_loc[i], rounds)) for i in live],
-            )
-            tracker.mark(
-                "priority",
-                [_scatter_changed(priority, cand[i], out) for i, out in zip(live, outs)],
-            )
-            supersteps += 1
-            _exchange_traffic(traffic, layout, 8, live)
-
-            # ----------------------------- selection (reads ghost priorities)
-            outs = session.run(
-                _luby_resident_select,
-                [
-                    (
-                        i,
-                        (
-                            None if changed_deltas else cand_loc[i],
-                            tracker.take("status", i, status),
-                            tracker.take("priority", i, priority),
-                        ),
+            if ov:
+                cb, cb_loc, ci, ci_loc = {}, {}, {}, {}
+                for i in live:
+                    cb[i], cb_loc[i], ci[i], ci_loc[i] = _split_interior(
+                        members[i], cand[i], cand_loc[i]
                     )
-                    for i in live
-                ],
-            )
-            winner_lists = list(outs)
-            for winners in winner_lists:
-                status[winners] = _IN
-            # Winners were undecided a moment ago, so every one is a change.
-            tracker.mark("status", winner_lists)
-            supersteps += 1
 
-            # -------------------------------- removal (reads ghost statuses)
-            remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
-            live_r = [i for i in live if remaining[i].size]
-            _exchange_traffic(traffic, layout, 1, live_r)
-            outs = session.run(
-                _luby_resident_remove,
-                [
-                    (
-                        i,
+                # ---------------------------------- priorities (owner-local)
+                fb = session.run_async(
+                    _luby_overlap_priorities_boundary,
+                    [(i, (cb_loc[i], rounds)) for i in live],
+                    commit=False,
+                )
+                fi = session.run_async(
+                    _luby_overlap_priorities_interior,
+                    [(i, ci_loc[i]) for i in live],
+                )
+                tracker.mark(
+                    "priority",
+                    [_scatter_changed(priority, cb[i], out) for i, out in zip(live, fb.result())],
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, 8, live)
+
+                # ------------------------- selection (reads ghost priorities)
+                gb = session.run_async(
+                    _luby_overlap_select_boundary,
+                    [
                         (
-                            None if changed_deltas else members[i].local(remaining[i]),
-                            tracker.take("status", i, status),
-                        ),
+                            i,
+                            (
+                                None if changed_deltas else cb_loc[i],
+                                tracker.take("status", i, status),
+                                tracker.take("priority", i, priority),
+                            ),
+                        )
+                        for i in live
+                    ],
+                    commit=False,
+                )
+                gi = session.run_async(
+                    _luby_overlap_select_interior,
+                    [(i, None if changed_deltas else ci_loc[i]) for i in live],
+                )
+                # Interior results are in no part's halo: scatter plainly and
+                # skip both the changed-comparison and the (no-op) mark.
+                for i, out in zip(live, fi.result()):
+                    priority[ci[i]] = out
+                boundary_winners = list(gb.result())
+                interior_winners = list(gi.result())
+                for winners in boundary_winners + interior_winners:
+                    status[winners] = _IN
+                # Winners were undecided a moment ago, so every boundary one
+                # is a change; interior winners need no mark.
+                tracker.mark("status", boundary_winners)
+                supersteps += 1
+
+                # ---------------------------- removal (reads ghost statuses)
+                remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
+                live_r = [i for i in live if remaining[i].size]
+                _exchange_traffic(traffic, layout, 1, live_r)
+                rb, rb_loc, ri, ri_loc = {}, {}, {}, {}
+                for i in live_r:
+                    rb[i], rb_loc[i], ri[i], ri_loc[i] = _split_interior(
+                        members[i], remaining[i], members[i].local(remaining[i])
                     )
-                    for i in live_r
-                ],
-            )
-            removed = [remaining[i][losers] for i, losers in zip(live_r, outs)]
-            for ids in removed:
-                status[ids] = _OUT
-            tracker.mark("status", removed)
-            supersteps += 1
+                hb = session.run_async(
+                    _luby_overlap_remove_boundary,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else rb_loc[i],
+                                tracker.take("status", i, status),
+                            ),
+                        )
+                        for i in live_r
+                    ],
+                    commit=False,
+                )
+                hi = session.run_async(
+                    _luby_overlap_remove_interior,
+                    [(i, None if changed_deltas else ri_loc[i]) for i in live_r],
+                )
+                removed_b = [rb[i][losers] for i, losers in zip(live_r, hb.result())]
+                removed_i = [ri[i][losers] for i, losers in zip(live_r, hi.result())]
+                for ids in removed_b + removed_i:
+                    status[ids] = _OUT
+                tracker.mark("status", removed_b)
+                supersteps += 1
+            else:
+                # ---------------------------------- priorities (owner-local)
+                outs = session.run(
+                    _luby_resident_priorities,
+                    [(i, (cand_loc[i], rounds)) for i in live],
+                )
+                tracker.mark(
+                    "priority",
+                    [_scatter_changed(priority, cand[i], out) for i, out in zip(live, outs)],
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, 8, live)
+
+                # ------------------------- selection (reads ghost priorities)
+                outs = session.run(
+                    _luby_resident_select,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else cand_loc[i],
+                                tracker.take("status", i, status),
+                                tracker.take("priority", i, priority),
+                            ),
+                        )
+                        for i in live
+                    ],
+                )
+                winner_lists = list(outs)
+                for winners in winner_lists:
+                    status[winners] = _IN
+                # Winners were undecided a moment ago, so every one is a change.
+                tracker.mark("status", winner_lists)
+                supersteps += 1
+
+                # ---------------------------- removal (reads ghost statuses)
+                remaining = {i: cand[i][status[cand[i]] == _UNDECIDED] for i in live}
+                live_r = [i for i in live if remaining[i].size]
+                _exchange_traffic(traffic, layout, 1, live_r)
+                outs = session.run(
+                    _luby_resident_remove,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else members[i].local(remaining[i]),
+                                tracker.take("status", i, status),
+                            ),
+                        )
+                        for i in live_r
+                    ],
+                )
+                removed = [remaining[i][losers] for i, losers in zip(live_r, outs)]
+                for ids in removed:
+                    status[ids] = _OUT
+                tracker.mark("status", removed)
+                supersteps += 1
             # The removal phase's OUT statuses are re-ghosted for the next
             # round's selection snapshot — account that exchange over the
             # parts that will actually read it, i.e. those with undecided
@@ -1020,6 +1492,7 @@ def partitioned_luby_mis1(
             rounds += 1
     finally:
         session.close()
+    elapsed = time.perf_counter() - t0
 
     in_mask = status == _IN
     return MISResult(
@@ -1028,7 +1501,7 @@ def partitioned_luby_mis1(
         iterations=rounds,
         traffic=traffic,
         config=config,
-        partition_stats=layout.stats(supersteps, session=session),
+        partition_stats=layout.stats(supersteps, session=session, elapsed_seconds=elapsed),
     )
 
 
@@ -1039,6 +1512,7 @@ def partitioned_greedy_color(
     backend: "Optional[str | ExecutionBackend]" = None,
     resident: bool = True,
     changed_deltas: bool = True,
+    overlap: bool = True,
 ):
     """Speculative greedy coloring executed partition-parallel; bit-identical to
     :func:`greedy_color`.
@@ -1051,8 +1525,8 @@ def partitioned_greedy_color(
     colors, and the round's worklist indices ship once with the assignment
     phase (the conflict phase reads the worker-side stash).
     ``resident=False`` restores the ship-everything baseline,
-    ``changed_deltas=False`` the full-halo wire format — results are
-    bit-identical in every combination.
+    ``changed_deltas=False`` the full-halo wire format, ``overlap=False``
+    the barrier schedule — results are bit-identical in every combination.
     """
     from ..coloring.greedy import ColoringResult
 
@@ -1084,6 +1558,8 @@ def partitioned_greedy_color(
     token = f"{layout.token}/greedy/m{max_colors}"
     tracker = HaloDeltaTracker(layout, ("colors",), changed_only=changed_deltas)
     session = B.map_partitions_resident(token, payloads, states, resident=resident)
+    ov = bool(overlap) and resident
+    t0 = time.perf_counter()
     try:
         while sum(w.size for w in worklists) > 0:
             if rounds >= cap:
@@ -1093,40 +1569,99 @@ def partitioned_greedy_color(
             live = _live(worklists)
             wl_loc = {i: members[i].local(worklists[i]) for i in live}
 
-            # --------------------------------- speculation (reads ghost colors)
-            outs = session.run(
-                _color_resident_assign,
-                [
-                    (i, (wl_loc[i], tracker.take("colors", i, colors)))
-                    for i in live
-                ],
-            )
-            tracker.mark(
-                "colors",
-                [_scatter_changed(colors, worklists[i], out) for i, out in zip(live, outs)],
-            )
-            supersteps += 1
-            _exchange_traffic(traffic, layout, 8, live)
-
-            # --------------------------- conflicts (reads freshly ghosted colors)
-            outs = session.run(
-                _color_resident_conflict,
-                [
-                    (
-                        i,
-                        (
-                            None if changed_deltas else wl_loc[i],
-                            tracker.take("colors", i, colors),
-                        ),
+            if ov:
+                wb, wb_loc, wi, wi_loc = {}, {}, {}, {}
+                for i in live:
+                    wb[i], wb_loc[i], wi[i], wi_loc[i] = _split_interior(
+                        members[i], worklists[i], wl_loc[i]
                     )
-                    for i in live
-                ],
-            )
-            new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
-            loser_lists = list(outs)
-            for i, losers in zip(live, loser_lists):
-                colors[losers] = -1
-                new_worklists[i] = losers
+
+                # ----------------------------- speculation (reads ghost colors)
+                fb = session.run_async(
+                    _color_overlap_assign_boundary,
+                    [(i, (wb_loc[i], tracker.take("colors", i, colors))) for i in live],
+                    commit=False,
+                )
+                fi = session.run_async(
+                    _color_overlap_assign_interior,
+                    [(i, wi_loc[i]) for i in live],
+                )
+                tracker.mark(
+                    "colors",
+                    [_scatter_changed(colors, wb[i], out) for i, out in zip(live, fb.result())],
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, 8, live)
+
+                # ----------------- conflicts (reads freshly ghosted colors)
+                gb = session.run_async(
+                    _color_overlap_conflict_boundary,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else wb_loc[i],
+                                tracker.take("colors", i, colors),
+                            ),
+                        )
+                        for i in live
+                    ],
+                    commit=False,
+                )
+                gi = session.run_async(
+                    _color_overlap_conflict_interior,
+                    [(i, None if changed_deltas else wi_loc[i]) for i in live],
+                )
+                # Interior results are in no part's halo: scatter plainly and
+                # skip both the changed-comparison and the (no-op) mark.
+                for i, out in zip(live, fi.result()):
+                    colors[wi[i]] = out
+                new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
+                loser_lists = []
+                for i, lb, li in zip(live, gb.result(), gi.result()):
+                    # Boundary and interior losers are disjoint; sorting the
+                    # union reproduces the barrier schedule's worklist exactly.
+                    # Only the boundary losers feed the shared mark below —
+                    # interior vertices dirty no halo.
+                    losers = np.sort(np.concatenate((lb, li)))
+                    colors[losers] = -1
+                    new_worklists[i] = losers
+                    loser_lists.append(lb)
+            else:
+                # ----------------------------- speculation (reads ghost colors)
+                outs = session.run(
+                    _color_resident_assign,
+                    [
+                        (i, (wl_loc[i], tracker.take("colors", i, colors)))
+                        for i in live
+                    ],
+                )
+                tracker.mark(
+                    "colors",
+                    [_scatter_changed(colors, worklists[i], out) for i, out in zip(live, outs)],
+                )
+                supersteps += 1
+                _exchange_traffic(traffic, layout, 8, live)
+
+                # ----------------- conflicts (reads freshly ghosted colors)
+                outs = session.run(
+                    _color_resident_conflict,
+                    [
+                        (
+                            i,
+                            (
+                                None if changed_deltas else wl_loc[i],
+                                tracker.take("colors", i, colors),
+                            ),
+                        )
+                        for i in live
+                    ],
+                )
+                new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
+                loser_lists = list(outs)
+                for i, losers in zip(live, loser_lists):
+                    colors[losers] = -1
+                    new_worklists[i] = losers
             # A conflict loser had just been speculatively colored >= 0, so
             # every reset to -1 is a change.
             tracker.mark("colors", loser_lists)
@@ -1140,6 +1675,7 @@ def partitioned_greedy_color(
             rounds += 1
     finally:
         session.close()
+    elapsed = time.perf_counter() - t0
 
     used = np.unique(colors)
     remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
@@ -1152,5 +1688,5 @@ def partitioned_greedy_color(
         distance=1,
         backend=B.name,
         partitions=layout.num_parts,
-        partition_stats=layout.stats(supersteps, session=session),
+        partition_stats=layout.stats(supersteps, session=session, elapsed_seconds=elapsed),
     )

@@ -444,3 +444,83 @@ def test_every_registered_backend_is_an_execution_backend():
     for name in available_backends():
         assert isinstance(_REGISTRY[name], ExecutionBackend)
         assert _REGISTRY[name].name == name
+
+
+# ---------------------------------------------------------------- run_async
+
+
+def _echo_delta(payload, state, delta):
+    return delta
+
+
+def _stash_delta(payload, state, delta):
+    state["v"] = delta
+    return None
+
+
+def _read_stash(payload, state, delta):
+    return state["v"]
+
+
+class TestRunAsync:
+    """The overlap seam: PhaseFuture resolution and _StepGroup accounting."""
+
+    @staticmethod
+    def _session(resident=True):
+        payloads = [np.zeros(4, dtype=np.int64), np.zeros(2, dtype=np.int64)]
+        states = [{"v": None}, {"v": None}]
+        return backends._LocalResidentSession(
+            "tok", payloads, states, resident=resident
+        )
+
+    @pytest.mark.parametrize("resident", [True, False])
+    def test_split_phase_commits_one_superstep(self, resident):
+        a = np.arange(3, dtype=np.int64)
+        b = np.arange(5, dtype=np.int64)
+        c = np.arange(2, dtype=np.int64)
+        split = self._session(resident)
+        fb = split.run_async(_echo_delta, [(0, a), (1, b)], commit=False)
+        fi = split.run_async(_echo_delta, [(0, c)])
+        # Resolving the committing member first must NOT commit the group
+        # while the other member is pending — accounting is completion-order
+        # independent.
+        fi.result()
+        assert split.supersteps == 0 and split.superstep_bytes == 0
+        fb.result()
+        assert split.supersteps == 1
+        barrier = self._session(resident)
+        barrier.run(_echo_delta, [(0, a), (1, b), (0, c)])
+        assert split.supersteps == barrier.supersteps
+        assert split.superstep_bytes == barrier.superstep_bytes
+        assert split.max_superstep_bytes == barrier.max_superstep_bytes
+
+    def test_result_is_cached(self):
+        session = self._session()
+        future = session.run_async(_echo_delta, [(0, np.arange(3))])
+        assert not future.done
+        first = future.result()
+        assert future.done
+        assert future.result() is first
+        assert session.supersteps == 1  # no double commit
+
+    def test_run_matches_run_async_accounting(self):
+        delta = np.arange(6, dtype=np.int64)
+        via_run = self._session()
+        via_run.run(_echo_delta, [(0, delta)])
+        via_async = self._session()
+        via_async.run_async(_echo_delta, [(0, delta)]).result()
+        assert via_run.superstep_bytes == via_async.superstep_bytes
+        assert via_run.supersteps == via_async.supersteps
+
+    def test_same_part_tasks_run_fifo_across_phases(self):
+        # A boundary sub-phase's worker-side stash must be visible to the
+        # interior sub-phase of the same part when futures resolve in
+        # submission order — the chaining the overlapped drivers rely on.
+        session = self._session()
+        marker = np.arange(7, dtype=np.int64)
+        fb = session.run_async(_stash_delta, [(0, marker)], commit=False)
+        fi = session.run_async(_read_stash, [(0, None)])
+        fb.result()
+        (seen,) = fi.result()
+        assert np.array_equal(seen, marker)
+        assert session.supersteps == 1

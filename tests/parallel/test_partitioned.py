@@ -497,8 +497,9 @@ class TestChangedDeltaReconstruction:
         g = random_gnp(90, 0.07, seed=11)
         layout = build_partition_layout(g, 4)
         changed, full = _RecordingBackend(), _RecordingBackend()
-        a = partitioned_kk_mis2(g, layout, backend=changed, changed_deltas=True)
-        b = partitioned_kk_mis2(g, layout, backend=full, changed_deltas=False)
+        # overlap=False: the recorder hooks session.run, the barrier entry point.
+        a = partitioned_kk_mis2(g, layout, backend=changed, changed_deltas=True, overlap=False)
+        b = partitioned_kk_mis2(g, layout, backend=full, changed_deltas=False, overlap=False)
         assert np.array_equal(a.in_set, b.in_set)
         assert len(changed.phases) == len(full.phases)
 
@@ -542,8 +543,14 @@ class TestChangedDeltaReconstruction:
 
         g = grid2d(6, 8)
         for fn, run in (
-            (_kk_resident_decide, lambda b: partitioned_kk_mis2(g, 3, backend=b)),
-            (_color_resident_conflict, lambda b: partitioned_greedy_color(g, 3, backend=b)),
+            (
+                _kk_resident_decide,
+                lambda b: partitioned_kk_mis2(g, 3, backend=b, overlap=False),
+            ),
+            (
+                _color_resident_conflict,
+                lambda b: partitioned_greedy_color(g, 3, backend=b, overlap=False),
+            ),
         ):
             recorder = _RecordingBackend()
             run(recorder)
@@ -603,3 +610,79 @@ def _worker_partition_pools(_):
 
 def _double(x):
     return x * 2
+
+
+class TestOverlapEqualsBarrier:
+    """Tentpole gate: the overlapped schedule is bit-identical to the
+    barrier baseline — statuses AND every gated count (supersteps, all byte
+    fields) — on every session backend and both delta wire formats."""
+
+    @staticmethod
+    def _deterministic(stats):
+        return {k: v for k, v in stats.to_dict().items() if not k.endswith("_seconds")}
+
+    @pytest.mark.parametrize("backend", ["numpy", "threaded", "chunked"])
+    @pytest.mark.parametrize("changed_deltas", [True, False])
+    def test_bit_identical_statuses_and_counts(self, backend, changed_deltas):
+        g = grid2d(7, 9)
+        layout = build_partition_layout(g, 3)
+        for run, values in (
+            (
+                lambda ov: kk_mis2(
+                    g,
+                    seed=0,
+                    partitions=layout,
+                    backend=backend,
+                    changed_deltas=changed_deltas,
+                    overlap=ov,
+                ),
+                lambda r: r.in_set,
+            ),
+            (
+                lambda ov: luby_mis1(
+                    g,
+                    seed=0,
+                    partitions=layout,
+                    backend=backend,
+                    changed_deltas=changed_deltas,
+                    overlap=ov,
+                ),
+                lambda r: r.in_set,
+            ),
+            (
+                lambda ov: greedy_color(
+                    g,
+                    partitions=layout,
+                    backend=backend,
+                    changed_deltas=changed_deltas,
+                    overlap=ov,
+                ),
+                lambda r: r.colors,
+            ),
+        ):
+            overlapped = run(True)
+            barrier = run(False)
+            assert np.array_equal(values(overlapped), values(barrier))
+            assert self._deterministic(overlapped.partition_stats) == self._deterministic(
+                barrier.partition_stats
+            )
+
+    def test_overlap_ignored_on_non_resident_runs(self):
+        # Non-resident accounting re-ships payload+state per phase, so the
+        # split schedule would double-charge it; overlap=True must fall back
+        # to the barrier schedule there, bit-identically.
+        g = grid2d(6, 6)
+        layout = build_partition_layout(g, 3)
+        a = kk_mis2(g, partitions=layout, resident=False, overlap=True)
+        b = kk_mis2(g, partitions=layout, resident=False, overlap=False)
+        assert np.array_equal(a.in_set, b.in_set)
+        assert self._deterministic(a.partition_stats) == self._deterministic(
+            b.partition_stats
+        )
+
+    def test_stats_timing_triple_present_and_finite(self):
+        g = grid2d(6, 6)
+        stats = kk_mis2(g, partitions=build_partition_layout(g, 2)).partition_stats
+        for key in ("compute_seconds", "exchange_seconds", "idle_seconds"):
+            value = stats.to_dict()[key]
+            assert isinstance(value, float) and value >= 0.0
