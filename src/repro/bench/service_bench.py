@@ -1,0 +1,237 @@
+"""Service throughput experiment: the always-on GraphService under load.
+
+Two phases per scenario, split so the record stays CI-gateable:
+
+* a **scripted phase** (single client): initial MIS-2 / coloring /
+  aggregation queries, then a fixed edge-toggle mutation script with a
+  query after every mutation. Everything this phase produces — result
+  sizes, epochs, how many queries repaired vs. recomputed — is
+  deterministic across backends and runs, so it lands in
+  ``deterministic_fields`` and the CI compare gate.
+* a **throughput phase** (several client threads hammering ``submit``):
+  measures queries/second and per-query latency percentiles of the
+  dispatch + cache path. Wall-clock numbers are machine-varying by nature
+  and stay out of the deterministic record; CI gates them separately with
+  a generous not-worse ratio.
+
+Like every experiment, the scenario task runs against the ambient default
+backend that :class:`~repro.bench.experiment._TaskInvocation` installs, so
+``sweep service`` compares the service end-to-end across backends and
+asserts the deterministic counts never move.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..util.tables import Table
+from .config import BenchConfig
+from .experiment import Experiment, register_experiment
+
+__all__ = [
+    "ServiceRow",
+    "service_task",
+    "service_table",
+    "run_service",
+    "SERVICE_EXPERIMENT",
+]
+
+#: Scenario units: (label, grid side, mutation rounds, client threads,
+#: queries per client). Grid graphs keep the scripted phase's repair
+#: frontiers local, so the mutation script exercises the repair path rather
+#: than the crossover fallback.
+SERVICE_UNITS: Tuple[Tuple[str, int, int, int, int], ...] = (
+    ("grid12", 12, 6, 4, 25),
+    ("grid20", 20, 4, 4, 25),
+)
+
+
+@dataclass(frozen=True)
+class ServiceRow:
+    """One service scenario: scripted determinism record + throughput numbers."""
+
+    scenario: str
+    vertices: int
+    edges_final: int
+    backend: str
+    parts: int = 1
+    # ------------------------------------------------ deterministic (gated)
+    mis2_size_final: int = 0
+    num_colors_final: int = 0
+    num_aggregates: int = 0
+    mutations: int = 0
+    structural_mutations: int = 0
+    #: Scripted-phase queries answered by incremental repair.
+    repairs: int = 0
+    #: Scripted-phase repairs abandoned for full recompute.
+    repair_fallbacks: int = 0
+    #: Scripted-phase from-scratch kernel runs.
+    full_recomputes: int = 0
+    # ------------------------------------------- machine-varying (not gated)
+    #: Scripted-phase wall-clock spent in post-mutation queries (seconds).
+    repair_seconds: float = 0.0
+    #: Throughput-phase queries issued across all client threads.
+    throughput_queries: int = 0
+    #: Throughput-phase queries per second (dispatch + cache path).
+    qps: float = 0.0
+    #: Per-query latency percentiles over the throughput phase (microseconds).
+    latency_p50_us: float = 0.0
+    latency_p99_us: float = 0.0
+
+
+def _plan(config: BenchConfig) -> List[Tuple[str, int, int, int, int]]:
+    return list(SERVICE_UNITS)
+
+
+def _grid_edges(side: int) -> List[Tuple[int, int]]:
+    edges = []
+    for r in range(side):
+        for c in range(side):
+            v = side * r + c
+            if c < side - 1:
+                edges.append((v, v + 1))
+            if r < side - 1:
+                edges.append((v, v + side))
+    return edges
+
+
+def service_task(unit: Tuple[str, int, int, int, int], config: BenchConfig) -> ServiceRow:
+    """Run one scenario against a GraphService on the ambient backend."""
+    import threading
+
+    import numpy as np
+
+    from ..graph.build import from_edges
+    from ..service import GraphService
+
+    label, side, rounds, clients, per_client = unit
+    n = side * side
+    graph = from_edges(n, _grid_edges(side))
+
+    with GraphService(parts=config.parts, repair_crossover=0.5) as svc:
+        svc.add_graph(label, graph)
+
+        # ---------------------------------------------------- scripted phase
+        svc.mis2(label, seed=config.seed)
+        svc.color(label)
+        agg = svc.aggregate(label, seed=config.seed)
+        repair_start = time.perf_counter()
+        repair_elapsed = 0.0
+        for r in range(rounds):
+            # Toggle a diagonal chord per round: local frontier, repairable.
+            a = (7 * r) % (n - side - 1)
+            chord = (a, a + side + 1)
+            if svc.add_edges(label, [chord]) == 0:
+                svc.remove_edges(label, [chord])
+            t0 = time.perf_counter()
+            svc.mis2(label, seed=config.seed)
+            svc.color(label)
+            repair_elapsed += time.perf_counter() - t0
+        del repair_start
+        mask = svc.mis2(label, seed=config.seed)
+        colors = svc.color(label)
+        scripted = svc.stats.to_dict()
+
+        # -------------------------------------------------- throughput phase
+        latencies: List[List[float]] = [[] for _ in range(clients)]
+        barrier = threading.Barrier(clients + 1)
+
+        def client(idx: int) -> None:
+            barrier.wait()
+            for q in range(per_client):
+                t0 = time.perf_counter()
+                if q % 3 == 2:
+                    svc.submit(label, "color").result()
+                else:
+                    svc.submit(label, "mis2", seed=config.seed).result()
+                latencies[idx].append(time.perf_counter() - t0)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        flat = np.array([l for per in latencies for l in per], dtype=np.float64)
+        total = int(flat.size)
+
+        return ServiceRow(
+            scenario=label,
+            vertices=svc.graph(label).num_vertices,
+            edges_final=svc.graph(label).num_edges,
+            backend=svc._backend.name,
+            parts=config.parts if config.parts is not None else 1,
+            mis2_size_final=int(np.count_nonzero(mask)),
+            num_colors_final=int(colors.max()) + 1 if colors.size else 0,
+            num_aggregates=int(agg.num_aggregates),
+            mutations=scripted["mutations"],
+            structural_mutations=scripted["structural_mutations"],
+            repairs=scripted["repairs"],
+            repair_fallbacks=scripted["repair_fallbacks"],
+            full_recomputes=scripted["full_recomputes"],
+            repair_seconds=repair_elapsed,
+            throughput_queries=total,
+            qps=total / wall if wall > 0 else 0.0,
+            latency_p50_us=float(np.percentile(flat, 50)) * 1e6 if total else 0.0,
+            latency_p99_us=float(np.percentile(flat, 99)) * 1e6 if total else 0.0,
+        )
+
+
+def service_table(rows: List[ServiceRow]) -> Table:
+    """Format the service rows as the throughput + repair summary table."""
+    table = Table(
+        ["scenario", "|V|", "|E|", "parts", "|MIS-2|", "colors", "aggregates",
+         "mutations", "repairs", "fallbacks", "recomputes", "repair ms",
+         "queries", "qps", "p50 us", "p99 us", "backend"],
+        title="GraphService: scripted repair determinism + dispatch throughput",
+    )
+    for row in rows:
+        table.add_row([
+            row.scenario, row.vertices, row.edges_final, row.parts,
+            row.mis2_size_final, row.num_colors_final, row.num_aggregates,
+            row.mutations, row.repairs, row.repair_fallbacks,
+            row.full_recomputes, round(row.repair_seconds * 1e3, 2),
+            row.throughput_queries, round(row.qps, 1),
+            round(row.latency_p50_us, 1), round(row.latency_p99_us, 1),
+            row.backend,
+        ])
+    return table
+
+
+def _render(rows: List[ServiceRow]) -> str:
+    return service_table(rows).render()
+
+
+SERVICE_EXPERIMENT = register_experiment(
+    Experiment(
+        name="service",
+        title="GraphService: batched-query throughput and incremental-repair determinism",
+        plan=_plan,
+        task=service_task,
+        render=_render,
+        key_field="scenario",
+        deterministic_fields=(
+            "vertices", "edges_final", "parts", "mis2_size_final",
+            "num_colors_final", "num_aggregates", "mutations",
+            "structural_mutations", "repairs", "repair_fallbacks",
+            "full_recomputes",
+        ),
+        parts_aware=True,
+    )
+)
+
+
+def run_service(
+    config: BenchConfig = BenchConfig(),
+    backend=None,
+    jobs=None,
+) -> List[ServiceRow]:
+    """Run the service experiment and return one row per scenario."""
+    return SERVICE_EXPERIMENT.run(config, backend=backend, jobs=jobs).rows

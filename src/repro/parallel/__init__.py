@@ -52,6 +52,7 @@ from .backends import (
     ThreadedBackend,
     NumbaBackend,
     PhaseFuture,
+    StepGroupError,
     ResidentSession,
     register_backend,
     get_backend,
@@ -98,6 +99,7 @@ from .partitioned import (
     PartitionLayout,
     PartitionStats,
     build_partition_layout,
+    carry_partition_labels,
     partition_vertices,
     partitioned_greedy_color,
     partitioned_kk_mis2,
@@ -126,6 +128,7 @@ __all__ = [
     "ThreadedBackend",
     "NumbaBackend",
     "PhaseFuture",
+    "StepGroupError",
     "ResidentSession",
     "register_backend",
     "get_backend",
@@ -149,6 +152,7 @@ __all__ = [
     "PartitionLayout",
     "PartitionStats",
     "build_partition_layout",
+    "carry_partition_labels",
     "partition_vertices",
     "partitioned_greedy_color",
     "partitioned_kk_mis2",

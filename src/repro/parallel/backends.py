@@ -66,6 +66,7 @@ __all__ = [
     "ThreadedBackend",
     "NumbaBackend",
     "PhaseFuture",
+    "StepGroupError",
     "ResidentSession",
     "register_backend",
     "get_backend",
@@ -254,7 +255,7 @@ class _StepGroup:
     schedule would drift from the barrier baseline on every gated count.
     """
 
-    __slots__ = ("bytes", "pending", "closed")
+    __slots__ = ("bytes", "pending", "closed", "failed")
 
     def __init__(self) -> None:
         #: Bytes accumulated by the group's resolved sub-phases so far.
@@ -263,6 +264,21 @@ class _StepGroup:
         self.pending = 0
         #: True once the committing (final) sub-phase has been submitted.
         self.closed = False
+        #: The exception that poisoned the group, if any member's collect
+        #: raised. A failed group can never commit — its supersteps increment
+        #: and byte totals are dropped wholesale rather than half-counted.
+        self.failed: Optional[BaseException] = None
+
+
+class StepGroupError(RuntimeError):
+    """A sibling sub-phase of the same accounting superstep already failed.
+
+    Raised by :meth:`PhaseFuture.result` (and by :meth:`ResidentSession.run_async`
+    when asked to join a poisoned open group) so that a failure inside *one*
+    member of a ``commit=False`` step group is loud on every member: no caller
+    can quietly consume a sibling's results while the superstep's statistics
+    were silently thrown away.
+    """
 
 
 class PhaseFuture:
@@ -294,14 +310,27 @@ class PhaseFuture:
     def result(self) -> List:
         if self._done:
             return self._results
+        group = self._group
+        if group.failed is not None:
+            raise StepGroupError(
+                "a sibling sub-phase of this superstep group already failed; "
+                "the group's superstep/byte statistics were not committed"
+            ) from group.failed
         session = self._session
         start = time.perf_counter()
-        results = self._collect()
+        try:
+            results = self._collect()
+        except BaseException as exc:
+            # Poison the whole group: siblings raise StepGroupError instead of
+            # quietly resolving, and the group can never commit its partially
+            # accumulated superstep/byte statistics.
+            group.failed = exc
+            session.idle_seconds += time.perf_counter() - start
+            raise
         session.idle_seconds += time.perf_counter() - start
         step = self._outbound + sum(shipped_nbytes(r) for r in results)
         if not session.resident:
             step += sum(session._state_nbytes(i) for i, _ in self._tasks)
-        group = self._group
         group.bytes += step
         group.pending -= 1
         if group.closed and group.pending == 0:
@@ -425,6 +454,10 @@ class ResidentSession:
         tasks = list(tasks)
         start = time.perf_counter()
         outbound = self._account_out(tasks)
+        if self._group is not None and self._group.failed is not None:
+            raise StepGroupError(
+                "cannot join an open step group whose sibling sub-phase failed"
+            ) from self._group.failed
         group = self._group if self._group is not None else _StepGroup()
         group.pending += 1
         if commit:

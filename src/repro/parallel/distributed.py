@@ -82,6 +82,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -477,6 +478,49 @@ class RankCluster:
         """Send a batch to one rank and wait for one reply per message
         (:meth:`submit` + :meth:`collect`)."""
         return self.collect(rank, self.submit(rank, list(messages)))
+
+    def ping(self, timeout: float = 5.0) -> Dict[int, bool]:
+        """Health-check every rank; returns ``{rank: responsive}``.
+
+        Unlike the kernel paths this never respawns or retries: it answers
+        "is the rank serving *right now*?" within ``timeout`` seconds per
+        rank. A rank that is alive but wedged — process running, serve loop
+        stuck — trips the transport's per-receive deadline instead of
+        hanging the caller, which is exactly what the GraphService health
+        endpoint needs. Responses for other in-flight requests that arrive
+        while waiting are parked for their own collect, so a health probe is
+        safe to interleave with running sessions.
+        """
+        health: Dict[int, bool] = {}
+        for rank, handle in enumerate(self._handles):
+            with handle.lock:
+                if not self._alive(handle):
+                    health[rank] = False
+                    continue
+                try:
+                    conn = self._connection(handle)
+                    self._flush_locked(handle, conn)
+                    rid = next(handle.rids)
+                    conn.send(("req", rid, ("ping",)))
+                    deadline = time.monotonic() + timeout
+                    while True:
+                        frame = conn.recv(timeout=max(0.001, deadline - time.monotonic()))
+                        if frame[0] != "resp":
+                            raise TransportError(f"malformed rank frame {frame[:1]!r}")
+                        _, got, reply = frame
+                        if got == rid:
+                            health[rank] = reply[0] == "pong"
+                            break
+                        if handle.outstanding.pop(got, None) is not None:
+                            handle.inflight.discard(got)
+                            handle.arrived[got] = reply
+                except TransportError:
+                    # Deadline expiry desyncs the frame stream (a late pong
+                    # would be misattributed) — retire the connection so the
+                    # next session traffic starts from a clean handshake.
+                    handle.retire_connection()
+                    health[rank] = False
+        return health
 
     # ------------------------------------------------------------ cache mirror
     def known(self, rank: int, key: Tuple[str, int]) -> bool:

@@ -19,7 +19,11 @@ The shipped implementation is a framed pickle protocol over TCP:
   counts). These are the *measured* counterparts of the logical
   :func:`repro.parallel.backends.shipped_nbytes` meter — the distributed
   tests gate the two against each other, which is what makes the logical
-  accounting an honest model of real wire traffic;
+  accounting an honest model of real wire traffic. Partial transfers are
+  charged too: a ``send`` that dies mid-frame still counts the chunks that
+  hit the wire, and a receive that fails mid-frame still counts the bytes
+  already drained, so the measured meters cannot drift under the logical
+  ones across reconnects;
 * ``TCP_NODELAY`` is set on every connection: superstep phases are small
   latency-sensitive request/response rounds, exactly the workload Nagle's
   algorithm penalises.
@@ -57,6 +61,9 @@ _HEADER = struct.Struct(">Q")
 #: or hostile peer would otherwise turn a corrupt header into an OOM.
 _MAX_FRAME_BYTES = 1 << 40
 
+#: How often an interruptible backoff sleep re-polls ``abort()``.
+_ABORT_POLL_SECONDS = 0.02
+
 
 class TransportError(ConnectionError):
     """A message could not cross the transport (peer gone, socket failed).
@@ -87,34 +94,84 @@ class MessageConnection:
         self.closed = False
 
     def send(self, obj: Any) -> None:
-        """Pickle ``obj`` and ship it as one length-prefixed frame."""
+        """Pickle ``obj`` and ship it as one length-prefixed frame.
+
+        The frame is written chunk by chunk so that a connection that dies
+        mid-frame still charges the bytes that actually hit the wire: the
+        measured meter must stay an upper bound on delivered traffic even
+        across error paths, or the measured-vs-logical gate could drift on
+        reconnects.
+        """
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = memoryview(_HEADER.pack(len(data)) + data)
+        sent = 0
         try:
-            self._sock.sendall(_HEADER.pack(len(data)) + data)
-        except OSError as exc:
-            raise TransportError(f"send failed: {exc}") from exc
-        self.bytes_sent += _HEADER.size + len(data)
+            while sent < len(frame):
+                try:
+                    n = self._sock.send(frame[sent:])
+                except OSError as exc:
+                    raise TransportError(f"send failed: {exc}") from exc
+                if n == 0:  # pragma: no cover - blocking sockets raise instead
+                    raise TransportError("send made no progress (socket wedged)")
+                sent += n
+        finally:
+            # Charged even when an exception unwinds: partial traffic crossed
+            # the socket and the peer's receive meter will see those bytes.
+            self.bytes_sent += sent
         self.messages_sent += 1
 
-    def _recv_exact(self, nbytes: int) -> bytes:
+    def _deadline_remaining(self, deadline: Optional[float]) -> Optional[float]:
+        """Seconds left before ``deadline``; raises once it has passed."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TransportError("receive deadline expired (peer alive but silent?)")
+        return remaining
+
+    def _recv_exact(self, nbytes: int, deadline: Optional[float] = None) -> bytes:
         buf = bytearray()
-        while len(buf) < nbytes:
-            try:
-                chunk = self._sock.recv(nbytes - len(buf))
-            except OSError as exc:
-                raise TransportError(f"recv failed: {exc}") from exc
-            if not chunk:
-                raise TransportError("connection closed by peer")
-            buf.extend(chunk)
+        try:
+            while len(buf) < nbytes:
+                remaining = self._deadline_remaining(deadline)
+                try:
+                    self._sock.settimeout(remaining)
+                    chunk = self._sock.recv(nbytes - len(buf))
+                except socket.timeout as exc:
+                    raise TransportError(
+                        "receive deadline expired (peer alive but silent?)"
+                    ) from exc
+                except OSError as exc:
+                    raise TransportError(f"recv failed: {exc}") from exc
+                if not chunk:
+                    raise TransportError("connection closed by peer")
+                buf.extend(chunk)
+        finally:
+            # Mid-frame failures still drained these bytes off the wire — they
+            # mirror whatever fraction of the peer's send meter got through.
+            self.bytes_received += len(buf)
+            if not self.closed:
+                try:
+                    self._sock.settimeout(None)
+                except OSError:  # pragma: no cover - socket torn down under us
+                    pass
         return bytes(buf)
 
-    def recv(self) -> Any:
-        """Receive one frame and unpickle it; raises TransportError on EOF."""
-        (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size))
+    def recv(self, timeout: Optional[float] = None) -> Any:
+        """Receive one frame and unpickle it; raises TransportError on EOF.
+
+        ``timeout`` (seconds) is a per-receive deadline covering the whole
+        frame: when the peer is alive but wedged — connected, not sending —
+        the call raises :class:`TransportError` instead of hanging the
+        coordinator forever. ``None`` (default) blocks indefinitely, the
+        right mode for rank serve loops that legitimately idle between
+        requests. The service layer's health checks rely on the deadline.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        (length,) = _HEADER.unpack(self._recv_exact(_HEADER.size, deadline))
         if length > _MAX_FRAME_BYTES:
             raise TransportError(f"refusing {length}-byte frame (desynced peer?)")
-        body = self._recv_exact(int(length))
-        self.bytes_received += _HEADER.size + len(body)
+        body = self._recv_exact(int(length), deadline)
         self.messages_received += 1
         return pickle.loads(body)
 
@@ -173,6 +230,26 @@ class MessageListener:
             pass
 
 
+def _interruptible_sleep(seconds: float, abort: Optional[Callable[[], bool]]) -> bool:
+    """Sleep up to ``seconds``, re-polling ``abort()`` throughout.
+
+    Returns ``True`` the moment ``abort()`` does — a caller that learns
+    mid-backoff that the peer is gone for good (its process object died)
+    must not sleep through the rest of the schedule.
+    """
+    if abort is None:
+        time.sleep(seconds)
+        return False
+    end = time.monotonic() + seconds
+    while True:
+        if abort():
+            return True
+        left = end - time.monotonic()
+        if left <= 0:
+            return False
+        time.sleep(min(left, _ABORT_POLL_SECONDS))
+
+
 def connect_with_retry(
     address: Address,
     attempts: int = 5,
@@ -185,11 +262,12 @@ def connect_with_retry(
 
     Transient failures (the rank is mid-restart, the accept queue hiccuped)
     are retried up to ``attempts`` times, sleeping ``delay * backoff**i``
-    between tries. ``abort()`` is consulted before each retry so a caller
-    that *knows* the peer is gone for good (its process object is dead) can
-    stop early instead of sleeping through the whole schedule. The returned
-    connection is blocking (the connect ``timeout`` applies only to the
-    handshake).
+    between tries. ``abort()`` is consulted before each retry *and
+    repeatedly inside each backoff sleep* so a caller that learns the peer
+    is gone for good (its process object is dead) stops within
+    ``_ABORT_POLL_SECONDS`` instead of sleeping through the remaining
+    schedule. The returned connection is blocking (the connect ``timeout``
+    applies only to the handshake).
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
@@ -204,7 +282,8 @@ def connect_with_retry(
         except OSError as exc:
             last = exc
             if attempt + 1 < attempts:
-                time.sleep(delay * (backoff ** attempt))
+                if _interruptible_sleep(delay * (backoff ** attempt), abort):
+                    break
     raise TransportError(
         f"could not connect to rank at {address} after {attempts} attempt(s): {last}"
     ) from last

@@ -1,0 +1,32 @@
+"""Always-on graph service over the resident partitioned kernels.
+
+:class:`GraphService` (:mod:`repro.service.core`) holds partitioned graphs
+resident across any execution backend, batches concurrent MIS / coloring /
+aggregation queries onto shared kernel runs, and supports dynamic graphs:
+edge/vertex insert/delete with localized incremental repair
+(:mod:`repro.service.repair`) proven bit-identical to from-scratch
+recomputation. :class:`AsyncGraphService` (:mod:`repro.service.aio`) is the
+asyncio front over the same store.
+"""
+
+from .core import GraphService, ServiceClosed, ServiceStats
+from .aio import AsyncGraphService
+from .repair import (
+    mis_keys,
+    ordered_color,
+    repair_mis2,
+    repair_ordered_color,
+    serial_mis2_mask,
+)
+
+__all__ = [
+    "GraphService",
+    "AsyncGraphService",
+    "ServiceClosed",
+    "ServiceStats",
+    "mis_keys",
+    "serial_mis2_mask",
+    "repair_mis2",
+    "ordered_color",
+    "repair_ordered_color",
+]

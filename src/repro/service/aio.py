@@ -1,0 +1,104 @@
+"""Thin asyncio front over :class:`~repro.service.core.GraphService`.
+
+The service's dispatcher already hands every query back as a
+:class:`concurrent.futures.Future`; this wrapper awaits those futures
+(``asyncio.wrap_future``) so any number of coroutine clients can issue
+queries concurrently — concurrent identical queries coalesce onto one kernel
+run exactly as they do for threaded clients, because both fronts feed the
+same batching queue. Mutations and health checks run in the default executor
+(they take the per-graph lock and may rebuild a layout, which should not
+stall the event loop).
+
+Usage::
+
+    async with AsyncGraphService(backend="threaded", parts=4) as svc:
+        await svc.add_graph("g", graph)
+        masks = await asyncio.gather(*[svc.mis2("g") for _ in range(32)])
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .core import GraphService
+
+__all__ = ["AsyncGraphService"]
+
+
+class AsyncGraphService:
+    """Async facade: every method mirrors :class:`GraphService` 1:1.
+
+    Construct it with the same arguments as :class:`GraphService`, or wrap an
+    existing service instance via ``AsyncGraphService(service=svc)`` to share
+    one resident store between threaded and async clients.
+    """
+
+    def __init__(self, service: Optional[GraphService] = None, **kwargs) -> None:
+        if service is not None and kwargs:
+            raise ValueError("pass either an existing service or constructor kwargs")
+        self._service = service if service is not None else GraphService(**kwargs)
+        self._owns = service is None
+
+    @property
+    def service(self) -> GraphService:
+        """The wrapped synchronous service (shared resident store)."""
+        return self._service
+
+    # ---------------------------------------------------------------- queries
+    async def mis2(self, name: str, seed: int = 0) -> np.ndarray:
+        return await asyncio.wrap_future(
+            self._service.submit(name, "mis2", seed=seed)
+        )
+
+    async def color(self, name: str) -> np.ndarray:
+        return await asyncio.wrap_future(self._service.submit(name, "color"))
+
+    async def aggregate(self, name: str, seed: int = 0) -> Any:
+        return await asyncio.wrap_future(
+            self._service.submit(name, "aggregate", seed=seed)
+        )
+
+    # ------------------------------------------------------- store & mutation
+    async def add_graph(
+        self, name: str, graph: CSRGraph, parts: Optional[int] = None
+    ) -> None:
+        await asyncio.to_thread(self._service.add_graph, name, graph, parts)
+
+    async def remove_graph(self, name: str) -> None:
+        await asyncio.to_thread(self._service.remove_graph, name)
+
+    async def add_edges(self, name: str, edges: Iterable[Tuple[int, int]]) -> int:
+        return await asyncio.to_thread(self._service.add_edges, name, list(edges))
+
+    async def remove_edges(self, name: str, edges: Iterable[Tuple[int, int]]) -> int:
+        return await asyncio.to_thread(self._service.remove_edges, name, list(edges))
+
+    async def add_vertices(self, name: str, count: int) -> Tuple[int, int]:
+        return await asyncio.to_thread(self._service.add_vertices, name, count)
+
+    async def remove_vertices(self, name: str, vertices: Sequence[int]) -> int:
+        return await asyncio.to_thread(
+            self._service.remove_vertices, name, list(vertices)
+        )
+
+    # ------------------------------------------------------------------ admin
+    async def health(self, timeout: float = 5.0) -> Dict[str, Any]:
+        return await asyncio.to_thread(self._service.health, timeout)
+
+    def graphs(self) -> List[str]:
+        return self._service.graphs()
+
+    async def close(self) -> None:
+        if self._owns:
+            await asyncio.to_thread(self._service.close)
+
+    async def __aenter__(self) -> "AsyncGraphService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False

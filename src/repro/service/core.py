@@ -1,0 +1,698 @@
+"""The always-on :class:`GraphService`: resident graphs, batched queries,
+dynamic mutations with incremental repair.
+
+The resident layer (sessions pinned under a
+:class:`~repro.parallel.partitioned.PartitionLayout` token) already lets a
+partitioned kernel run without re-shipping its graph; this module turns that
+into a *service*:
+
+**Session lifetime beyond one kernel run.** Each graph the service holds
+keeps one layout per mutation epoch and passes it to every query, so the
+workers' payload caches (keyed ``(token, part)``) stay warm across queries —
+the second ``mis2`` on an unchanged graph re-ships nothing but deltas, on any
+backend including ``distributed``.
+
+**Mutation → token invalidation.** :class:`~repro.graph.csr.CSRGraph` is
+immutable (bit-identical determinism relies on it), so every mutation builds
+a new graph and mints a fresh layout via
+:func:`~repro.parallel.partitioned.carry_partition_labels` — same part
+assignment for surviving vertices, *new token*. A stale worker cache entry
+can therefore never serve a mutated graph: the token is the invalidation
+rule.
+
+**Batched queries.** Queries enter through :meth:`GraphService.submit` (any
+thread; the asyncio front in :mod:`repro.service.aio` awaits the same
+futures). A single dispatcher drains the queue in batches and coalesces
+identical ``(graph, kind, params, epoch)`` requests onto one kernel run — N
+concurrent clients asking for the same answer share one run's supersteps and
+one cache fill.
+
+**Incremental repair.** Edge mutations (and width-preserving vertex appends)
+carry a dirty-neighbourhood frontier; a later repairable query
+(fixed-scheme MIS-2, order-greedy coloring) seeds
+:mod:`repro.service.repair` from the accumulated frontier and repairs the
+cached answer instead of recomputing, falling back to full recompute past
+the crossover (``repair_crossover`` of the vertex count). Repair is
+bit-identical to from-scratch by construction — the Hypothesis suite pins
+it for every mutation sequence, backend and partition count.
+"""
+
+from __future__ import annotations
+
+import threading
+import queue as queue_mod
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph
+from ..graph.ops import induced_subgraph
+from ..hashing.packing import priority_bits
+from ..parallel.backends import ExecutionBackend, resolve_backend
+from ..parallel.partitioned import (
+    PartitionLayout,
+    build_partition_layout,
+    carry_partition_labels,
+)
+from . import repair as _repair
+
+__all__ = ["GraphService", "ServiceStats", "ServiceClosed"]
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed; no further queries or mutations are accepted."""
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters describing the service's work so far."""
+
+    #: Queries answered (including cache hits and coalesced duplicates).
+    queries: int = 0
+    #: Queries answered straight from an epoch-current cached result.
+    cache_hits: int = 0
+    #: Duplicate in-flight queries folded onto another request's computation.
+    coalesced: int = 0
+    #: From-scratch kernel runs.
+    full_recomputes: int = 0
+    #: Successful incremental repairs.
+    repairs: int = 0
+    #: Vertices evaluated across all repairs.
+    repair_touched: int = 0
+    #: Repairs abandoned for full recompute (crossover or budget).
+    repair_fallbacks: int = 0
+    #: Mutations applied (epoch bumps).
+    mutations: int = 0
+    #: Mutations that invalidated the key order (renumber / id-width change).
+    structural_mutations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {k: int(v) for k, v in self.__dict__.items()}
+
+
+@dataclass
+class _Mutation:
+    """One epoch's dirty-frontier record, in *post-mutation* vertex ids."""
+
+    epoch: int
+    #: True when the mutation invalidated the key order entirely.
+    structural: bool
+    #: Seed frontier for distance-2 (MIS) repair.
+    mis_dirty: np.ndarray
+    #: Seed frontier for distance-1 (coloring) repair.
+    color_dirty: np.ndarray
+    #: Vertex count after this mutation (repair re-indexes cached arrays).
+    num_vertices: int
+
+
+@dataclass
+class _Cached:
+    epoch: int
+    value: Any
+
+
+@dataclass
+class _Entry:
+    name: str
+    graph: CSRGraph
+    layout: Optional[PartitionLayout]
+    parts: Optional[int]
+    epoch: int = 0
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    mutations: List[_Mutation] = field(default_factory=list)
+    caches: Dict[Tuple, _Cached] = field(default_factory=dict)
+    #: Fixed-scheme key arrays for the current vertex count, per seed.
+    keys: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class _Request:
+    name: str
+    kind: str
+    params: Tuple
+    future: Future
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+def _closed_neighborhood(graph: CSRGraph, vertices: np.ndarray) -> np.ndarray:
+    """``vertices`` plus all their neighbours (the distance-1 closure)."""
+    if vertices.size == 0:
+        return vertices
+    rowmap, entries = graph.rowmap, graph.entries
+    hops = [vertices] + [
+        entries[rowmap[v]: rowmap[v + 1]] for v in vertices.tolist()
+    ]
+    return np.unique(np.concatenate(hops)).astype(np.int64)
+
+
+def _edge_pairs(graph: CSRGraph) -> np.ndarray:
+    """The graph's undirected edges as canonical ``u * n + v`` codes, u < v."""
+    n = graph.num_vertices
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.rowmap).astype(np.int64)
+    )
+    dst = graph.entries.astype(np.int64)
+    mask = src < dst
+    return src[mask] * n + dst[mask]
+
+
+def _canonical_edges(n: int, edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Validate and canonicalise an edge list to unique ``u*n+v`` codes, u<v.
+
+    Self-loops are dropped (the CSR form is self-loop free; the kernels treat
+    vertices as implicitly self-adjacent), duplicates collapse.
+    """
+    pairs = [(int(u), int(v)) for u, v in edges]
+    for u, v in pairs:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for {n} vertices")
+    codes = [
+        min(u, v) * n + max(u, v) for u, v in pairs if u != v
+    ]
+    return np.unique(np.asarray(codes, dtype=np.int64))
+
+
+class GraphService:
+    """Long-running, thread-safe front over the resident partitioned kernels.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend (name or instance) every query runs on; ``None``
+        uses the process default. All backends answer bit-identically.
+    parts:
+        Intra-graph partition count for graphs added without an explicit
+        ``parts=``; ``None`` runs unpartitioned.
+    repair_crossover:
+        Fraction of the vertex count the repair worklist may touch before a
+        query falls back to full recompute (the dirty seed is screened
+        against the same threshold up front).
+    word_bits:
+        Packed-tuple width of the MIS keys (matches ``kk_mis2``).
+
+    Queries (``mis2`` / ``color`` / ``aggregate``) can be called directly
+    (synchronous; internally routed through the batching dispatcher) or
+    submitted as futures via :meth:`submit`. Mutations (``add_edges`` /
+    ``remove_edges`` / ``add_vertices`` / ``remove_vertices``) apply
+    immediately under the graph's lock and bump its epoch.
+    """
+
+    _REPAIRABLE = frozenset({"mis2", "color"})
+
+    def __init__(
+        self,
+        backend: "Optional[str | ExecutionBackend]" = None,
+        parts: Optional[int] = None,
+        repair_crossover: float = 0.25,
+        word_bits: int = 64,
+    ) -> None:
+        if parts is not None and parts < 1:
+            raise ValueError("parts must be >= 1")
+        if not (0.0 <= repair_crossover <= 1.0):
+            raise ValueError("repair_crossover must be in [0, 1]")
+        self._backend = resolve_backend(backend)
+        self._parts = parts
+        self._crossover = float(repair_crossover)
+        self._word_bits = int(word_bits)
+        self._entries: Dict[str, _Entry] = {}
+        self._entries_lock = threading.RLock()
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._queue: "queue_mod.SimpleQueue[Optional[_Request]]" = queue_mod.SimpleQueue()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="graph-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------ graph store
+    def add_graph(
+        self, name: str, graph: CSRGraph, parts: Optional[int] = None
+    ) -> None:
+        """Register ``graph`` under ``name`` (replacing any previous holder)."""
+        self._check_open()
+        parts = parts if parts is not None else self._parts
+        layout = (
+            build_partition_layout(graph, parts)
+            if parts is not None and parts > 1
+            else None
+        )
+        with self._entries_lock:
+            self._entries[name] = _Entry(
+                name=name, graph=graph, layout=layout, parts=parts
+            )
+
+    def remove_graph(self, name: str) -> None:
+        with self._entries_lock:
+            self._entries.pop(name, None)
+
+    def graph(self, name: str) -> CSRGraph:
+        return self._entry(name).graph
+
+    def epoch(self, name: str) -> int:
+        return self._entry(name).epoch
+
+    def token(self, name: str) -> Optional[str]:
+        """The current layout token (the resident-cache invalidation key)."""
+        entry = self._entry(name)
+        return entry.layout.token if entry.layout is not None else None
+
+    def graphs(self) -> List[str]:
+        with self._entries_lock:
+            return sorted(self._entries)
+
+    def _entry(self, name: str) -> _Entry:
+        with self._entries_lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise KeyError(f"no graph named {name!r} in the service") from None
+
+    # -------------------------------------------------------------- mutations
+    def add_edges(self, name: str, edges: Iterable[Tuple[int, int]]) -> int:
+        """Insert undirected edges; returns how many were actually new.
+
+        The dirty MIS frontier of an inserted edge ``(a, b)`` is the closed
+        neighbourhood of both endpoints *in the new graph* — every vertex
+        whose distance-2 reach gained a path through the new edge. The
+        coloring frontier is just the endpoints (distance-1 rule).
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            n = entry.graph.num_vertices
+            codes = _canonical_edges(n, edges)
+            existing = _edge_pairs(entry.graph)
+            fresh = np.setdiff1d(codes, existing, assume_unique=True)
+            if fresh.size == 0:
+                return 0
+            merged = np.union1d(existing, fresh)
+            new_graph = self._graph_from_codes(n, merged)
+            endpoints = np.unique(
+                np.concatenate([fresh // n, fresh % n])
+            ).astype(np.int64)
+            self._apply_mutation(
+                entry,
+                new_graph,
+                mis_dirty=_closed_neighborhood(new_graph, endpoints),
+                color_dirty=endpoints,
+            )
+            return int(fresh.size)
+
+    def remove_edges(self, name: str, edges: Iterable[Tuple[int, int]]) -> int:
+        """Delete undirected edges; returns how many actually existed.
+
+        Symmetric to :meth:`add_edges`, except the dirty MIS frontier uses
+        the *old* graph's neighbourhoods — the paths the deletion severed.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            n = entry.graph.num_vertices
+            codes = _canonical_edges(n, edges)
+            existing = _edge_pairs(entry.graph)
+            gone = np.intersect1d(codes, existing, assume_unique=True)
+            if gone.size == 0:
+                return 0
+            remaining = np.setdiff1d(existing, gone, assume_unique=True)
+            endpoints = np.unique(np.concatenate([gone // n, gone % n])).astype(
+                np.int64
+            )
+            mis_dirty = _closed_neighborhood(entry.graph, endpoints)
+            new_graph = self._graph_from_codes(n, remaining)
+            self._apply_mutation(
+                entry, new_graph, mis_dirty=mis_dirty, color_dirty=endpoints
+            )
+            return int(gone.size)
+
+    def add_vertices(self, name: str, count: int) -> Tuple[int, int]:
+        """Append ``count`` isolated vertices; returns their id range.
+
+        Appending preserves every existing vertex's id — and, as long as the
+        packed-tuple id width ``b = ceil(log2(n + 2))`` doesn't grow, every
+        existing key — so the repair frontier is just the new vertices. When
+        the width does grow (vertex count crossing a power of two) the whole
+        key order shifts: the mutation is structural and cached results are
+        recomputed from scratch on next query.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        entry = self._entry(name)
+        with entry.lock:
+            n = entry.graph.num_vertices
+            if count == 0:
+                return (n, n)
+            new_n = n + count
+            structural = (
+                priority_bits(new_n, self._word_bits)[0]
+                != priority_bits(n, self._word_bits)[0]
+                if n > 0
+                else False
+            )
+            new_graph = CSRGraph(
+                np.concatenate(
+                    [entry.graph.rowmap, np.full(count, entry.graph.rowmap[-1])]
+                ).astype(np.int64),
+                entry.graph.entries.copy(),
+                validate=False,
+            )
+            fresh = np.arange(n, new_n, dtype=np.int64)
+            self._apply_mutation(
+                entry,
+                new_graph,
+                mis_dirty=fresh,
+                color_dirty=fresh,
+                structural=structural,
+                grew=count,
+            )
+            return (n, new_n)
+
+    def remove_vertices(self, name: str, vertices: Sequence[int]) -> int:
+        """Delete vertices (and their edges), renumbering the survivors.
+
+        Renumbering changes every surviving vertex's id and therefore its
+        packed key — the mutation is always structural and the next query of
+        each kind recomputes from scratch.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            n = entry.graph.num_vertices
+            drop = np.unique(np.asarray(list(vertices), dtype=np.int64))
+            if drop.size == 0:
+                return 0
+            if drop.size and (drop[0] < 0 or drop[-1] >= n):
+                raise ValueError(f"vertex ids out of range for {n} vertices")
+            keep = np.setdiff1d(np.arange(n, dtype=np.int64), drop, assume_unique=True)
+            new_graph, _ = induced_subgraph(entry.graph, keep)
+            empty = np.zeros(0, dtype=np.int64)
+            self._apply_mutation(
+                entry,
+                new_graph,
+                mis_dirty=empty,
+                color_dirty=empty,
+                structural=True,
+                keep=keep,
+            )
+            return int(drop.size)
+
+    def _graph_from_codes(self, n: int, codes: np.ndarray) -> CSRGraph:
+        return from_edges(n, [(int(c // n), int(c % n)) for c in codes])
+
+    def _apply_mutation(
+        self,
+        entry: _Entry,
+        new_graph: CSRGraph,
+        mis_dirty: np.ndarray,
+        color_dirty: np.ndarray,
+        structural: bool = False,
+        grew: int = 0,
+        keep: Optional[np.ndarray] = None,
+    ) -> None:
+        entry.graph = new_graph
+        entry.epoch += 1
+        entry.keys.clear()
+        if entry.layout is not None:
+            labels = carry_partition_labels(
+                entry.layout.labels,
+                entry.layout.num_parts,
+                keep=keep,
+                new_vertices=grew,
+            )
+            # Fresh layout object => fresh token: the old token's worker-side
+            # payload entries can never serve the mutated graph.
+            entry.layout = build_partition_layout(new_graph, labels)
+        entry.mutations.append(
+            _Mutation(
+                epoch=entry.epoch,
+                structural=bool(structural),
+                mis_dirty=np.asarray(mis_dirty, dtype=np.int64),
+                color_dirty=np.asarray(color_dirty, dtype=np.int64),
+                num_vertices=new_graph.num_vertices,
+            )
+        )
+        # Records older than every cached result can never be consulted again.
+        if entry.caches:
+            oldest = min(c.epoch for c in entry.caches.values())
+            entry.mutations = [m for m in entry.mutations if m.epoch > oldest]
+        else:
+            entry.mutations.clear()
+        with self._stats_lock:
+            self.stats.mutations += 1
+            if structural:
+                self.stats.structural_mutations += 1
+
+    # ---------------------------------------------------------------- queries
+    def submit(self, name: str, kind: str, **params) -> "Future[Any]":
+        """Enqueue one query; returns its future.
+
+        Concurrent submissions of the same ``(graph, kind, params)`` at the
+        same epoch are coalesced by the dispatcher onto a single computation.
+        """
+        self._check_open()
+        if kind not in ("mis2", "color", "aggregate"):
+            raise ValueError(f"unknown query kind {kind!r}")
+        future: "Future[Any]" = Future()
+        self._queue.put(
+            _Request(name, kind, tuple(sorted(params.items())), future)
+        )
+        return future
+
+    def mis2(self, name: str, seed: int = 0):
+        """Fixed-scheme MIS-2 of the named graph (repairable). Returns the
+        boolean in-mask (read-only)."""
+        return self.submit(name, "mis2", seed=seed).result()
+
+    def color(self, name: str):
+        """Order-greedy coloring of the named graph (repairable). Returns the
+        per-vertex color array (read-only)."""
+        return self.submit(name, "color").result()
+
+    def aggregate(self, name: str, seed: int = 0):
+        """MIS-2 aggregation (Algorithm 3) of the named graph. Cached per
+        epoch; mutations trigger full recompute (no localized repair)."""
+        return self.submit(name, "aggregate", seed=seed).result()
+
+    # ------------------------------------------------------------- dispatcher
+    def _dispatch_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:
+                return
+            batch = [request]
+            while True:
+                try:
+                    more = self._queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if more is None:
+                    self._drain(batch)
+                    return
+                batch.append(more)
+            self._drain(batch)
+
+    def _drain(self, batch: List[_Request]) -> None:
+        groups: Dict[Tuple, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(
+                (request.name, request.kind, request.params), []
+            ).append(request)
+        for (name, kind, params), members in groups.items():
+            try:
+                value = self._execute(name, kind, dict(params))
+            except BaseException as exc:  # noqa: BLE001 - delivered to callers
+                for member in members:
+                    member.future.set_exception(exc)
+                continue
+            with self._stats_lock:
+                self.stats.coalesced += len(members) - 1
+            for member in members:
+                member.future.set_result(value)
+
+    # -------------------------------------------------------------- execution
+    def _execute(self, name: str, kind: str, params: Dict[str, Any]) -> Any:
+        entry = self._entry(name)
+        with entry.lock:
+            with self._stats_lock:
+                self.stats.queries += 1
+            key = (kind,) + tuple(sorted(params.items()))
+            cached = entry.caches.get(key)
+            if cached is not None and cached.epoch == entry.epoch:
+                with self._stats_lock:
+                    self.stats.cache_hits += 1
+                return cached.value
+            if (
+                cached is not None
+                and kind in self._REPAIRABLE
+                and entry.graph.num_vertices > 0
+            ):
+                repaired = self._try_repair(entry, kind, params, cached)
+                if repaired is not None:
+                    entry.caches[key] = _Cached(entry.epoch, repaired)
+                    return repaired
+            value = self._full_compute(entry, kind, params)
+            entry.caches[key] = _Cached(entry.epoch, value)
+            with self._stats_lock:
+                self.stats.full_recomputes += 1
+            return value
+
+    def _keys(self, entry: _Entry, seed: int) -> np.ndarray:
+        keys = entry.keys.get(seed)
+        if keys is None:
+            keys = _repair.mis_keys(
+                entry.graph.num_vertices, seed=seed, word_bits=self._word_bits
+            )
+            entry.keys[seed] = keys
+        return keys
+
+    def _pending_frontier(
+        self, entry: _Entry, since_epoch: int, kind: str
+    ) -> Optional[np.ndarray]:
+        """Accumulated dirty frontier since ``since_epoch``, in current ids;
+        ``None`` when a structural mutation (or a pruned record) forces full
+        recompute. Non-structural histories are append-only, so ids recorded
+        at any epoch in the window remain valid in the latest numbering.
+        """
+        records = [m for m in entry.mutations if m.epoch > since_epoch]
+        if len(records) != entry.epoch - since_epoch:
+            return None  # history pruned past this cache entry
+        if any(m.structural for m in records):
+            return None
+        pieces = [
+            m.mis_dirty if kind == "mis2" else m.color_dirty for m in records
+        ]
+        return (
+            np.unique(np.concatenate(pieces))
+            if pieces
+            else np.zeros(0, dtype=np.int64)
+        )
+
+    def _try_repair(
+        self, entry: _Entry, kind: str, params: Dict[str, Any], cached: _Cached
+    ) -> Optional[Any]:
+        frontier = self._pending_frontier(entry, cached.epoch, kind)
+        if frontier is None:
+            return None
+        n = entry.graph.num_vertices
+        budget = max(32, int(self._crossover * n))
+        if frontier.size > budget:
+            with self._stats_lock:
+                self.stats.repair_fallbacks += 1
+            return None
+        seed = int(params.get("seed", 0))
+        keys = self._keys(entry, seed if kind == "mis2" else 0)
+        prev = np.asarray(cached.value)
+        if prev.size < n:
+            # Width-preserving appends: new vertices enter dirty, so their
+            # placeholder values are recomputed before anyone reads them.
+            filler = np.zeros(n - prev.size, dtype=prev.dtype)
+            prev = np.concatenate([prev, filler])
+        if kind == "mis2":
+            result = _repair.repair_mis2(
+                entry.graph, keys, prev, frontier, budget=budget
+            )
+        else:
+            result = _repair.repair_ordered_color(
+                entry.graph, keys, prev, frontier, budget=budget
+            )
+        if result is None:
+            with self._stats_lock:
+                self.stats.repair_fallbacks += 1
+            return None
+        value, touched = result
+        with self._stats_lock:
+            self.stats.repairs += 1
+            self.stats.repair_touched += touched
+        return _readonly(value)
+
+    def _full_compute(self, entry: _Entry, kind: str, params: Dict[str, Any]) -> Any:
+        partitions = entry.layout
+        if kind == "mis2":
+            from ..mis.kk import kk_mis2
+
+            result = kk_mis2(
+                entry.graph,
+                priority_scheme="fixed",
+                word_bits=self._word_bits,
+                seed=int(params.get("seed", 0)),
+                backend=self._backend,
+                partitions=partitions,
+            )
+            return _readonly(result.in_mask.copy())
+        if kind == "color":
+            keys = self._keys(entry, 0)
+            return _readonly(_repair.ordered_color(entry.graph, keys))
+        if kind == "aggregate":
+            from ..coarsen.mis2_agg import mis2_aggregation
+
+            aggregation = mis2_aggregation(
+                entry.graph,
+                seed=int(params.get("seed", 0)),
+                backend=self._backend,
+                partitions=partitions,
+            )
+            return aggregation
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    # ----------------------------------------------------------------- health
+    def health(self, timeout: float = 5.0) -> Dict[str, Any]:
+        """Liveness snapshot: the store, the backend, and — on the
+        distributed backend — a deadline-bounded ping of every rank.
+
+        The rank probe uses the transport's per-receive deadline, so a rank
+        that is alive but wedged reports unhealthy within ``timeout`` instead
+        of hanging the caller.
+        """
+        with self._entries_lock:
+            graphs = {
+                name: {
+                    "vertices": entry.graph.num_vertices,
+                    "edges": entry.graph.num_edges,
+                    "epoch": entry.epoch,
+                    "parts": entry.layout.num_parts if entry.layout else 1,
+                    "token": entry.layout.token if entry.layout else None,
+                }
+                for name, entry in self._entries.items()
+            }
+        report: Dict[str, Any] = {
+            "closed": self._closed,
+            "backend": self._backend.name,
+            "graphs": graphs,
+        }
+        cluster_of = getattr(self._backend, "cluster", None)
+        if cluster_of is not None:
+            ranks = cluster_of().ping(timeout=timeout)
+            report["ranks"] = ranks
+            report["healthy"] = not self._closed and all(ranks.values())
+        else:
+            report["healthy"] = not self._closed
+        return report
+
+    # -------------------------------------------------------------- lifecycle
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("GraphService is closed")
+
+    def close(self) -> None:
+        """Stop the dispatcher and reject further work (idempotent).
+
+        In-flight queries finish; the resident worker caches are left to
+        their LRU (tokens of dropped graphs simply age out).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._dispatcher.join(timeout=30.0)
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

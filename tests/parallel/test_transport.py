@@ -1,0 +1,193 @@
+"""Transport-layer contract tests: partial-byte metering on error paths,
+receive deadlines, and abort-aware retry backoff.
+
+The happy-path framing/meter tests live with the distributed backend suite
+(``test_distributed.py::TestTransport``); this file pins the *failure*
+contracts the measured-vs-logical CI gate depends on:
+
+* a ``send`` that dies mid-frame still charges every chunk that hit the wire;
+* a receive that fails mid-frame still charges the bytes already drained,
+  so both peers' meters stay symmetric across broken frames;
+* ``recv(timeout=...)`` raises ``TransportError`` on a wedged (alive but
+  silent) peer instead of hanging forever;
+* ``connect_with_retry`` notices ``abort()`` mid-backoff instead of sleeping
+  through the remaining schedule.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.parallel.transport import (
+    MessageConnection,
+    MessageListener,
+    TransportError,
+    connect_with_retry,
+)
+
+
+class _FlakySocket:
+    """Scripted socket stand-in: sends/receives in small chunks, then fails."""
+
+    def __init__(self, send_chunk=5, send_ok_calls=3, recv_script=()):
+        self.send_chunk = send_chunk
+        self.send_ok_calls = send_ok_calls
+        self.sent = bytearray()
+        self.recv_script = list(recv_script)
+        self.timeouts = []
+
+    def setsockopt(self, *args):
+        pass
+
+    def settimeout(self, value):
+        self.timeouts.append(value)
+
+    def send(self, data):
+        if self.send_ok_calls <= 0:
+            raise OSError("scripted send failure")
+        self.send_ok_calls -= 1
+        chunk = bytes(data[: self.send_chunk])
+        self.sent.extend(chunk)
+        return len(chunk)
+
+    def recv(self, nbytes):
+        if not self.recv_script:
+            raise OSError("scripted recv failure")
+        item = self.recv_script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item[:nbytes]
+
+    def close(self):
+        pass
+
+
+def _connected_pair():
+    listener = MessageListener()
+    client = connect_with_retry(listener.address)
+    server = listener.accept()
+    return listener, client, server
+
+
+class TestPartialByteMetering:
+    def test_send_charges_partial_frame_on_error(self):
+        sock = _FlakySocket(send_chunk=5, send_ok_calls=3)
+        conn = MessageConnection(sock)
+        with pytest.raises(TransportError, match="send failed"):
+            conn.send(b"x" * 1000)  # frame far larger than 3 chunks of 5
+        assert conn.bytes_sent == 15 == len(sock.sent)
+        assert conn.messages_sent == 0  # the message never completed
+
+    def test_recv_charges_partial_frame_on_error(self):
+        # 8-byte header promising a 100-byte body, then 7 body bytes, then death.
+        header = (100).to_bytes(8, "big")
+        sock = _FlakySocket(recv_script=[header, b"partial"])
+        conn = MessageConnection(sock)
+        with pytest.raises(TransportError, match="recv failed"):
+            conn.recv()
+        assert conn.bytes_received == len(header) + len(b"partial")
+        assert conn.messages_received == 0
+
+    def test_recv_charges_partial_frame_on_peer_close(self):
+        header = (100).to_bytes(8, "big")
+        sock = _FlakySocket(recv_script=[header, b"abc", b""])  # EOF mid-body
+        conn = MessageConnection(sock)
+        with pytest.raises(TransportError, match="closed by peer"):
+            conn.recv()
+        assert conn.bytes_received == len(header) + 3
+
+    def test_meters_stay_symmetric_across_a_broken_frame(self):
+        """Sender dies mid-frame over a real socket: the receiver's meter ends
+        up counting exactly the bytes the sender's meter charged."""
+        listener, client, server = _connected_pair()
+        try:
+            client.send({"warmup": 1})
+            assert isinstance(server.recv(), dict)
+            # Now break the client mid-"frame" by sending a raw header that
+            # promises more bytes than ever arrive, then closing.
+            client._sock.sendall((50).to_bytes(8, "big") + b"only-ten-b")
+            client.bytes_sent += 18  # what actually hit the wire
+            client.close()
+            with pytest.raises(TransportError):
+                server.recv()
+            assert server.bytes_received == client.bytes_sent
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+
+class TestReceiveDeadline:
+    def test_recv_deadline_raises_instead_of_hanging(self):
+        listener, client, server = _connected_pair()
+        try:
+            start = time.monotonic()
+            with pytest.raises(TransportError, match="deadline"):
+                server.recv(timeout=0.2)  # client is alive but silent
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0
+            # A clean expiry (no partial frame) leaves the stream usable.
+            client.send("late")
+            assert server.recv(timeout=5.0) == "late"
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_recv_without_deadline_still_blocks_until_data(self):
+        listener, client, server = _connected_pair()
+        try:
+            client.send([1, 2, 3])
+            assert server.recv() == [1, 2, 3]
+            # The deadline machinery must restore blocking mode afterwards.
+            assert server._sock.gettimeout() is None
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_deadline_spans_the_whole_frame(self):
+        """A peer that trickles a header but never the body still trips the
+        deadline — it covers the frame, not just the first byte."""
+        listener, client, server = _connected_pair()
+        try:
+            client._sock.sendall((1000).to_bytes(8, "big") + b"stall")
+            with pytest.raises(TransportError, match="deadline"):
+                server.recv(timeout=0.2)
+            assert server.bytes_received == 8 + 5  # header + partial body charged
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+
+class TestAbortAwareBackoff:
+    def test_abort_mid_backoff_stops_promptly(self):
+        listener = MessageListener()
+        address = listener.address
+        listener.close()
+        flipped_at = time.monotonic() + 0.1
+        calls = []
+
+        def abort():
+            calls.append(time.monotonic())
+            return time.monotonic() >= flipped_at
+
+        start = time.monotonic()
+        with pytest.raises(TransportError, match="could not connect"):
+            # One failed attempt then a 10s backoff: the abort flip 0.1s in
+            # must cut the sleep short instead of waiting out the schedule.
+            connect_with_retry(address, attempts=50, delay=10.0, abort=abort)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        assert len(calls) > 1  # polled repeatedly inside the sleep
+
+    def test_no_abort_callable_still_sleeps_schedule(self):
+        listener = MessageListener()
+        address = listener.address
+        listener.close()
+        start = time.monotonic()
+        with pytest.raises(TransportError):
+            connect_with_retry(address, attempts=2, delay=0.05, backoff=1.0)
+        assert time.monotonic() - start >= 0.05

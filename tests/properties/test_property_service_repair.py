@@ -1,0 +1,262 @@
+"""Property tests: GraphService repair is bit-identical to full recompute.
+
+The service's whole correctness story rests on one claim — after any
+sequence of mutations, answering a repairable query by patching the cached
+result yields *exactly* the array a from-scratch run would produce, on every
+backend and partition count. These tests pin that claim three ways:
+
+1. the repair engine alone (``repair_mis2`` / ``repair_ordered_color``)
+   against the serial references, for single random edge toggles;
+2. the serial references against the real parallel kernel
+   (``kk_mis2(priority_scheme="fixed")``), so "repairable semantics" and
+   "what the kernels compute" provably coincide;
+3. the full service — random mutation sequences, query-after-every-mutation,
+   compared bit-for-bit against fresh kernel runs — across a
+   backend x partition matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.mis.kk import kk_mis2
+from repro.service import (
+    GraphService,
+    mis_keys,
+    ordered_color,
+    repair_mis2,
+    repair_ordered_color,
+    serial_mis2_mask,
+)
+from tests.properties.strategies import graphs
+
+COMMON = dict(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+SERVICE_COMMON = dict(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# --------------------------------------------------------------------------
+# Layer 2: the serial references match the parallel kernel.
+# --------------------------------------------------------------------------
+
+
+@given(graph=graphs(), seed=st.integers(min_value=0, max_value=5))
+@settings(**COMMON)
+def test_serial_reference_matches_fixed_scheme_kernel(graph, seed):
+    keys = mis_keys(graph.num_vertices, seed=seed)
+    expected = kk_mis2(graph, priority_scheme="fixed", seed=seed).in_mask
+    np.testing.assert_array_equal(serial_mis2_mask(graph, keys), expected)
+
+
+@given(graph=graphs())
+@settings(**COMMON)
+def test_ordered_color_is_proper_and_greedy_minimal(graph):
+    keys = mis_keys(graph.num_vertices, seed=0)
+    colors = ordered_color(graph, keys)
+    rowmap, entries = graph.rowmap, graph.entries
+    for v in range(graph.num_vertices):
+        nbrs = entries[rowmap[v]: rowmap[v + 1]]
+        assert not np.any(colors[nbrs] == colors[v]), "improper coloring"
+        # Greedy minimality: every smaller color is taken by a smaller-key
+        # neighbour (otherwise the order-greedy rule would have used it).
+        smaller = nbrs[keys[nbrs] < keys[v]]
+        for c in range(int(colors[v])):
+            assert c in set(colors[smaller].tolist())
+
+
+# --------------------------------------------------------------------------
+# Layer 1: the repair engine alone, for a single random edge toggle.
+# --------------------------------------------------------------------------
+
+
+def _closed_neighborhood(graph, vertices):
+    rowmap, entries = graph.rowmap, graph.entries
+    hops = [np.asarray(vertices, dtype=np.int64)] + [
+        entries[rowmap[v]: rowmap[v + 1]] for v in vertices
+    ]
+    return np.unique(np.concatenate(hops)).astype(np.int64)
+
+
+def _edge_set(graph):
+    n = graph.num_vertices
+    out = set()
+    for v in range(n):
+        for u in graph.entries[graph.rowmap[v]: graph.rowmap[v + 1]]:
+            out.add((min(v, int(u)), max(v, int(u))))
+    return out
+
+
+@given(
+    graph=graphs(max_vertices=14, max_extra_edges=30),
+    u=st.integers(min_value=0, max_value=13),
+    v=st.integers(min_value=0, max_value=13),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(**COMMON)
+def test_repair_engine_single_edge_toggle(graph, u, v, seed):
+    n = graph.num_vertices
+    if n < 2:
+        return
+    u, v = u % n, v % n
+    if u == v:
+        return
+    edges = _edge_set(graph)
+    toggled = (min(u, v), max(u, v))
+    adding = toggled not in edges
+    new_edges = edges | {toggled} if adding else edges - {toggled}
+    new_graph = from_edges(n, sorted(new_edges))
+
+    keys = mis_keys(n, seed=seed)
+    prev_mask = serial_mis2_mask(graph, keys)
+    # MIS dirty frontier: closed neighbourhood of the endpoints in whichever
+    # graph still contains the toggled edge's paths.
+    frontier_graph = new_graph if adding else graph
+    dirty = _closed_neighborhood(frontier_graph, [u, v])
+    repaired = repair_mis2(new_graph, keys, prev_mask, dirty)
+    assert repaired is not None
+    mask, touched = repaired
+    np.testing.assert_array_equal(mask, serial_mis2_mask(new_graph, keys))
+    assert touched >= dirty.size  # every seed is evaluated at least once
+
+    ckeys = mis_keys(n, seed=0)
+    prev_colors = ordered_color(graph, ckeys)
+    re_colored = repair_ordered_color(
+        new_graph, ckeys, prev_colors, np.array([u, v], dtype=np.int64)
+    )
+    assert re_colored is not None
+    np.testing.assert_array_equal(re_colored[0], ordered_color(new_graph, ckeys))
+
+
+@given(graph=graphs(max_vertices=14, max_extra_edges=30))
+@settings(**COMMON)
+def test_repair_budget_zero_forces_fallback_or_exact(graph):
+    """A budget smaller than the frontier returns ``None``, never a wrong mask."""
+    n = graph.num_vertices
+    if n == 0:
+        return
+    keys = mis_keys(n, seed=0)
+    prev = np.zeros(n, dtype=bool)  # deliberately wrong cached mask
+    dirty = np.arange(n, dtype=np.int64)
+    result = repair_mis2(graph, keys, prev, dirty, budget=0)
+    assert result is None
+
+
+# --------------------------------------------------------------------------
+# Layer 3: the full service under random mutation sequences.
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def mutation_ops(draw, max_ops: int = 4):
+    """Abstract mutation scripts; vertex ids resolve modulo the live count."""
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    ops = []
+    for _ in range(count):
+        kind = draw(
+            st.sampled_from(
+                ["add_edges", "remove_edges", "add_vertices", "remove_vertices"]
+            )
+        )
+        if kind == "add_vertices":
+            ops.append((kind, draw(st.integers(min_value=1, max_value=3))))
+        elif kind == "remove_vertices":
+            ops.append(
+                (
+                    kind,
+                    draw(
+                        st.lists(
+                            st.integers(min_value=0, max_value=9999),
+                            min_size=1,
+                            max_size=2,
+                        )
+                    ),
+                )
+            )
+        else:
+            ops.append(
+                (
+                    kind,
+                    draw(
+                        st.lists(
+                            st.tuples(
+                                st.integers(min_value=0, max_value=9999),
+                                st.integers(min_value=0, max_value=9999),
+                            ),
+                            min_size=1,
+                            max_size=4,
+                        )
+                    ),
+                )
+            )
+    return ops
+
+
+def _apply(svc: GraphService, name: str, kind: str, payload) -> None:
+    n = svc.graph(name).num_vertices
+    if kind == "add_vertices":
+        svc.add_vertices(name, payload)
+    elif kind == "remove_vertices":
+        if n == 0:
+            return
+        svc.remove_vertices(name, sorted({v % n for v in payload}))
+    else:
+        if n < 2:
+            return
+        getattr(svc, kind)(name, [(a % n, b % n) for a, b in payload])
+
+
+def _check_against_scratch(svc: GraphService, name: str, seed: int) -> None:
+    graph = svc.graph(name)
+    mask = svc.mis2(name, seed=seed)
+    expected = kk_mis2(graph, priority_scheme="fixed", seed=seed).in_mask
+    np.testing.assert_array_equal(np.asarray(mask), expected)
+    colors = svc.color(name)
+    np.testing.assert_array_equal(
+        np.asarray(colors), ordered_color(graph, mis_keys(graph.num_vertices, 0))
+    )
+
+
+@pytest.mark.parametrize(
+    "backend,parts",
+    [("numpy", None), ("numpy", 3), ("chunked", None), ("threaded", 2)],
+)
+@given(
+    graph=graphs(max_vertices=16, max_extra_edges=30),
+    ops=mutation_ops(),
+    seed=st.integers(min_value=0, max_value=2),
+)
+@settings(**SERVICE_COMMON)
+def test_service_repair_bit_identical_across_mutations(backend, parts, graph, ops, seed):
+    with GraphService(backend=backend, parts=parts, repair_crossover=1.0) as svc:
+        svc.add_graph("g", graph)
+        _check_against_scratch(svc, "g", seed)  # seed the caches
+        for kind, payload in ops:
+            _apply(svc, "g", kind, payload)
+            _check_against_scratch(svc, "g", seed)
+        # Whatever mix of repair / fallback / structural recompute ran, the
+        # books must balance: every query was either a hit, a repair, or a
+        # full recompute.
+        stats = svc.stats
+        assert (
+            stats.cache_hits + stats.repairs + stats.full_recomputes
+            == stats.queries - stats.coalesced
+        )
+
+
+@given(graph=graphs(max_vertices=16, max_extra_edges=30), ops=mutation_ops())
+@settings(**SERVICE_COMMON)
+def test_service_crossover_zero_still_bit_identical(graph, ops):
+    """With the tightest crossover, repair mostly falls back — results hold."""
+    with GraphService(backend="numpy", repair_crossover=0.0) as svc:
+        svc.add_graph("g", graph)
+        _check_against_scratch(svc, "g", 0)
+        for kind, payload in ops:
+            _apply(svc, "g", kind, payload)
+            _check_against_scratch(svc, "g", 0)

@@ -1,0 +1,377 @@
+"""GraphService behaviour: store, caching, batching, mutation, health, asyncio.
+
+Bit-identity of repair vs. recompute lives in
+``tests/properties/test_property_service_repair.py``; this module pins the
+*service* semantics around it — epoch/token bookkeeping, cache hits,
+coalescing, read-only results, error delivery, lifecycle, the asyncio front,
+and the distributed-backend health probe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.coarsen.mis2_agg import mis2_aggregation
+from repro.graph import from_edges
+from repro.mis.kk import kk_mis2
+from repro.service import (
+    AsyncGraphService,
+    GraphService,
+    ServiceClosed,
+    mis_keys,
+    ordered_color,
+)
+from repro.service.core import _Request
+
+
+def _path_graph(n):
+    return from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def _grid_graph():
+    # 4x4 grid: 16 vertices, enough structure for partitioned runs.
+    edges = []
+    for r in range(4):
+        for c in range(4):
+            v = 4 * r + c
+            if c < 3:
+                edges.append((v, v + 1))
+            if r < 3:
+                edges.append((v, v + 4))
+    return from_edges(16, edges)
+
+
+class TestStore:
+    def test_add_query_remove(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(6))
+            assert svc.graphs() == ["g"]
+            assert svc.epoch("g") == 0
+            svc.remove_graph("g")
+            assert svc.graphs() == []
+            with pytest.raises(KeyError, match="no graph named"):
+                svc.graph("g")
+
+    def test_missing_graph_error_reaches_future(self):
+        with GraphService() as svc:
+            with pytest.raises(KeyError, match="missing"):
+                svc.mis2("missing")
+
+    def test_unknown_kind_rejected_at_submit(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(3))
+            with pytest.raises(ValueError, match="unknown query kind"):
+                svc.submit("g", "pagerank")
+
+    def test_token_none_unpartitioned_fresh_when_partitioned(self):
+        with GraphService() as svc:
+            svc.add_graph("flat", _grid_graph())
+            assert svc.token("flat") is None
+            svc.add_graph("split", _grid_graph(), parts=4)
+            before = svc.token("split")
+            assert before is not None
+            svc.add_edges("split", [(0, 15)])
+            after = svc.token("split")
+            assert after is not None and after != before
+
+    def test_mutation_bumps_epoch_noop_does_not(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(5))
+            assert svc.add_edges("g", [(0, 1)]) == 0  # already present
+            assert svc.epoch("g") == 0
+            assert svc.add_edges("g", [(0, 2)]) == 1
+            assert svc.epoch("g") == 1
+
+
+class TestQueries:
+    def test_mis2_matches_kernel_and_is_readonly(self):
+        with GraphService(parts=3) as svc:
+            svc.add_graph("g", _grid_graph())
+            mask = svc.mis2("g", seed=1)
+            expected = kk_mis2(
+                _grid_graph(), priority_scheme="fixed", seed=1
+            ).in_mask
+            np.testing.assert_array_equal(np.asarray(mask), expected)
+            with pytest.raises(ValueError):
+                mask[0] = False
+
+    def test_color_matches_order_greedy_and_is_readonly(self):
+        graph = _grid_graph()
+        with GraphService() as svc:
+            svc.add_graph("g", graph)
+            colors = svc.color("g")
+            np.testing.assert_array_equal(
+                np.asarray(colors), ordered_color(graph, mis_keys(16, 0))
+            )
+            with pytest.raises(ValueError):
+                colors[0] = 99
+
+    def test_aggregate_matches_direct_call(self):
+        graph = _grid_graph()
+        with GraphService(parts=2) as svc:
+            svc.add_graph("g", graph)
+            agg = svc.aggregate("g", seed=2)
+            direct = mis2_aggregation(graph, seed=2)
+            np.testing.assert_array_equal(agg.labels, direct.labels)
+            np.testing.assert_array_equal(agg.roots, direct.roots)
+
+    def test_second_query_is_a_cache_hit(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _grid_graph())
+            first = svc.mis2("g")
+            hits_before = svc.stats.cache_hits
+            second = svc.mis2("g")
+            assert svc.stats.cache_hits == hits_before + 1
+            assert second is first  # the cached object itself, no copy
+
+    def test_distinct_params_are_distinct_cache_slots(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _grid_graph())
+            svc.mis2("g", seed=0)
+            full_before = svc.stats.full_recomputes
+            svc.mis2("g", seed=1)
+            assert svc.stats.full_recomputes == full_before + 1
+
+
+class TestBatching:
+    def test_drain_coalesces_identical_requests(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _grid_graph())
+            requests = [
+                _Request("g", "mis2", (("seed", 0),), Future()) for _ in range(8)
+            ]
+            svc._drain(requests)
+            assert svc.stats.coalesced == 7
+            values = [r.future.result(timeout=5) for r in requests]
+            assert all(v is values[0] for v in values)
+
+    def test_drain_delivers_failure_to_every_member(self):
+        with GraphService() as svc:
+            requests = [
+                _Request("ghost", "mis2", (("seed", 0),), Future())
+                for _ in range(3)
+            ]
+            svc._drain(requests)
+            for request in requests:
+                with pytest.raises(KeyError):
+                    request.future.result(timeout=5)
+
+    def test_concurrent_submitters_agree(self):
+        with GraphService(backend="threaded", parts=2) as svc:
+            svc.add_graph("g", _grid_graph())
+            futures = [svc.submit("g", "mis2", seed=0) for _ in range(16)]
+            results = [f.result(timeout=30) for f in futures]
+            expected = kk_mis2(_grid_graph(), priority_scheme="fixed").in_mask
+            for result in results:
+                np.testing.assert_array_equal(np.asarray(result), expected)
+
+
+class TestMutations:
+    def test_add_edges_validates_and_canonicalises(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(5))
+            with pytest.raises(ValueError, match="out of range"):
+                svc.add_edges("g", [(0, 9)])
+            # Self-loops and duplicates collapse away.
+            assert svc.add_edges("g", [(2, 2), (0, 3), (3, 0)]) == 1
+            assert svc.graph("g").num_edges == _path_graph(5).num_edges + 1
+
+    def test_remove_edges_counts_only_existing(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(5))
+            assert svc.remove_edges("g", [(0, 1), (0, 4)]) == 1
+            assert svc.epoch("g") == 1
+
+    def test_add_vertices_appends_isolated_ids(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(4))
+            assert svc.add_vertices("g", 2) == (4, 6)
+            graph = svc.graph("g")
+            assert graph.num_vertices == 6
+            assert graph.rowmap[-1] == graph.rowmap[4]  # new vertices isolated
+
+    def test_append_across_id_width_boundary_is_structural(self):
+        # b = ceil(log2(n + 2)) grows from 3 to 4 between n=6 and n=7.
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(6))
+            svc.mis2("g")
+            svc.add_vertices("g", 1)
+            assert svc.stats.structural_mutations == 1
+            full_before = svc.stats.full_recomputes
+            mask = svc.mis2("g")
+            assert svc.stats.full_recomputes == full_before + 1
+            expected = kk_mis2(svc.graph("g"), priority_scheme="fixed").in_mask
+            np.testing.assert_array_equal(np.asarray(mask), expected)
+
+    def test_remove_vertices_renumbers_and_recomputes(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(6))
+            svc.mis2("g")
+            assert svc.remove_vertices("g", [0, 3]) == 2
+            assert svc.stats.structural_mutations == 1
+            assert svc.graph("g").num_vertices == 4
+            mask = svc.mis2("g")
+            expected = kk_mis2(svc.graph("g"), priority_scheme="fixed").in_mask
+            np.testing.assert_array_equal(np.asarray(mask), expected)
+
+    def test_mutation_invalidates_aggregate_cache(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _grid_graph())
+            svc.aggregate("g")
+            full_before = svc.stats.full_recomputes
+            svc.add_edges("g", [(0, 15)])
+            agg = svc.aggregate("g")
+            assert svc.stats.full_recomputes == full_before + 1
+            direct = mis2_aggregation(svc.graph("g"))
+            np.testing.assert_array_equal(agg.labels, direct.labels)
+
+
+class TestRepairPath:
+    def test_local_edge_insert_repairs_instead_of_recomputing(self):
+        with GraphService(repair_crossover=1.0) as svc:
+            svc.add_graph("g", _path_graph(12))
+            svc.mis2("g")
+            svc.color("g")
+            full_before = svc.stats.full_recomputes
+            svc.add_edges("g", [(0, 2)])
+            mask = svc.mis2("g")
+            colors = svc.color("g")
+            assert svc.stats.repairs == 2
+            assert svc.stats.repair_touched > 0
+            assert svc.stats.full_recomputes == full_before
+            graph = svc.graph("g")
+            np.testing.assert_array_equal(
+                np.asarray(mask),
+                kk_mis2(graph, priority_scheme="fixed").in_mask,
+            )
+            np.testing.assert_array_equal(
+                np.asarray(colors), ordered_color(graph, mis_keys(12, 0))
+            )
+
+    def test_wide_frontier_falls_back_past_crossover(self):
+        # Near-complete graph on 40 vertices: the dirty neighbourhood of any
+        # edge insert is all 40 vertices, past the budget of max(32, 0).
+        n = 40
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        missing = edges.pop(0)
+        with GraphService(repair_crossover=0.0) as svc:
+            svc.add_graph("g", from_edges(n, edges))
+            svc.mis2("g")
+            svc.add_edges("g", [missing])
+            mask = svc.mis2("g")
+            assert svc.stats.repair_fallbacks >= 1
+            assert svc.stats.repairs == 0
+            np.testing.assert_array_equal(
+                np.asarray(mask),
+                kk_mis2(svc.graph("g"), priority_scheme="fixed").in_mask,
+            )
+
+
+class TestLifecycleAndHealth:
+    def test_health_reports_store_and_backend(self):
+        with GraphService(parts=2) as svc:
+            svc.add_graph("g", _grid_graph())
+            svc.add_edges("g", [(0, 15)])
+            report = svc.health()
+            assert report["healthy"] is True
+            assert report["backend"] == svc._backend.name
+            info = report["graphs"]["g"]
+            assert info["vertices"] == 16
+            assert info["epoch"] == 1
+            assert info["parts"] == 2
+            assert info["token"] == svc.token("g")
+
+    def test_closed_service_rejects_work_and_reports_unhealthy(self):
+        svc = GraphService()
+        svc.add_graph("g", _path_graph(3))
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(ServiceClosed):
+            svc.submit("g", "mis2")
+        with pytest.raises(ServiceClosed):
+            svc.add_graph("h", _path_graph(2))
+        report = svc.health()
+        assert report["closed"] is True
+        assert report["healthy"] is False
+
+    def test_stats_to_dict_round_trips(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(4))
+            svc.mis2("g")
+            stats = svc.stats.to_dict()
+            assert stats["queries"] == 1
+            assert stats["full_recomputes"] == 1
+            assert set(stats) == set(svc.stats.__dict__)
+
+
+class TestAsyncFront:
+    def test_gathered_queries_and_mutations(self):
+        async def scenario():
+            async with AsyncGraphService(backend="threaded", parts=2) as svc:
+                await svc.add_graph("g", _grid_graph())
+                masks = await asyncio.gather(*[svc.mis2("g") for _ in range(8)])
+                await svc.add_edges("g", [(0, 15)])
+                repaired = await svc.mis2("g")
+                colors = await svc.color("g")
+                report = await svc.health()
+                return masks, repaired, colors, report, svc.service.graph("g")
+
+        masks, repaired, colors, report, graph = asyncio.run(scenario())
+        base = kk_mis2(_grid_graph(), priority_scheme="fixed").in_mask
+        for mask in masks:
+            np.testing.assert_array_equal(np.asarray(mask), base)
+        np.testing.assert_array_equal(
+            np.asarray(repaired), kk_mis2(graph, priority_scheme="fixed").in_mask
+        )
+        np.testing.assert_array_equal(
+            np.asarray(colors), ordered_color(graph, mis_keys(16, 0))
+        )
+        assert report["healthy"] is True
+
+    def test_wrapping_existing_service_shares_store_and_never_closes_it(self):
+        with GraphService() as svc:
+            svc.add_graph("g", _path_graph(5))
+
+            async def scenario():
+                front = AsyncGraphService(service=svc)
+                assert front.graphs() == ["g"]
+                mask = await front.mis2("g")
+                await front.close()  # must NOT close the wrapped service
+                return mask
+
+            mask = asyncio.run(scenario())
+            assert not svc._closed
+            np.testing.assert_array_equal(
+                np.asarray(mask),
+                kk_mis2(_path_graph(5), priority_scheme="fixed").in_mask,
+            )
+
+    def test_constructor_rejects_service_plus_kwargs(self):
+        with GraphService() as svc:
+            with pytest.raises(ValueError, match="either"):
+                AsyncGraphService(service=svc, parts=2)
+
+
+class TestDistributedService:
+    def test_resident_distributed_queries_mutations_and_rank_health(self):
+        with GraphService(backend="distributed", parts=2) as svc:
+            svc.add_graph("g", _grid_graph())
+            mask = svc.mis2("g")
+            np.testing.assert_array_equal(
+                np.asarray(mask),
+                kk_mis2(_grid_graph(), priority_scheme="fixed").in_mask,
+            )
+            svc.add_edges("g", [(0, 15)])
+            repaired = svc.mis2("g")
+            np.testing.assert_array_equal(
+                np.asarray(repaired),
+                kk_mis2(svc.graph("g"), priority_scheme="fixed").in_mask,
+            )
+            report = svc.health(timeout=10.0)
+            assert report["healthy"] is True
+            assert report["ranks"] and all(report["ranks"].values())
