@@ -1,0 +1,111 @@
+"""CLI for the contract checker: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when the tree is clean (after suppressions and the baseline),
+1 when unsuppressed findings remain, 2 on usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import all_rules, run_analysis
+from .findings import load_baseline, write_baseline
+
+
+def _default_paths() -> List[str]:
+    for candidate in ("src/repro", "repro"):
+        if os.path.isdir(candidate):
+            return [candidate]
+    return []
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based contract checker for the repro stack "
+        "(determinism, lock discipline, byte-meter coverage, picklability).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="committed baseline of accepted findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="write current unsuppressed findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule families and their finding ids",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {', '.join(rule.ids)}")
+        return 0
+
+    paths = list(args.paths) or _default_paths()
+    if not paths:
+        print("error: no paths given and no src/repro directory found", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = run_analysis(paths=paths, baseline=baseline)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.clean else 1
+
+    for finding in report.findings:
+        print(finding.format())
+        print(f"    suppress with: {finding.suppression_hint()}")
+    tail = (
+        f"{report.modules_checked} module(s) checked, "
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined"
+    )
+    if report.clean:
+        print(f"analysis clean: {tail}")
+        return 0
+    print(tail)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

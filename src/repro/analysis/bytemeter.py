@@ -1,0 +1,79 @@
+"""Byte-meter coverage: raw sockets and pickle stay inside the transport seam.
+
+``repro.parallel.transport`` is the single module allowed to touch
+``socket`` and ``pickle`` — it frames every message and charges
+``shipped_nbytes`` in both directions, and the measured-vs-logical CI gate
+audits it.  Any other ``repro.*`` module importing either library (or calling
+``pickle.dumps``/``loads`` through some other binding) would open an
+unmetered side channel, so it's flagged:
+
+* ``bytes-socket`` — ``import socket`` / ``from socket import ...`` or a
+  ``<x>.send*/recv*`` call on a name bound from the socket module;
+* ``bytes-pickle`` — ``import pickle``/``cPickle``/``_pickle`` or a
+  ``pickle.dumps/loads/dump/load/Pickler/Unpickler`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .engine import AnalysisContext, Rule
+from .findings import Finding
+from .modules import ModuleInfo
+
+#: The one module where raw sockets and pickle are the point.
+TRANSPORT_MODULES: Tuple[str, ...] = ("repro.parallel.transport",)
+
+_PICKLE_MODULES = {"pickle", "_pickle", "cPickle", "cloudpickle", "dill"}
+_PICKLE_CALLS = {"dumps", "loads", "dump", "load", "Pickler", "Unpickler"}
+
+
+class ByteMeterRule(Rule):
+    ids = ("bytes-socket", "bytes-pickle")
+    name = "byte-meter"
+
+    def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
+        if not info.module.startswith("repro."):
+            return
+        if info.module in TRANSPORT_MODULES:
+            return
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "socket":
+                        yield self._finding(info, node, "bytes-socket", "import socket")
+                    elif root in _PICKLE_MODULES:
+                        yield self._finding(
+                            info, node, "bytes-pickle", f"import {root}"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                root = node.module.split(".")[0]
+                if root == "socket":
+                    yield self._finding(info, node, "bytes-socket", "from socket import")
+                elif root in _PICKLE_MODULES:
+                    yield self._finding(info, node, "bytes-pickle", f"from {root} import")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id in _PICKLE_MODULES
+                    and func.attr in _PICKLE_CALLS
+                ):
+                    yield self._finding(
+                        info, node, "bytes-pickle",
+                        f"{func.value.id}.{func.attr}() call",
+                    )
+
+    def _finding(self, info: ModuleInfo, node: ast.AST, rule: str, what: str) -> Finding:
+        kind = "socket I/O" if rule == "bytes-socket" else "pickle serialisation"
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 0),
+            rule=rule,
+            message=(
+                f"{what}: raw {kind} outside repro.parallel.transport bypasses "
+                "the shipped_nbytes byte meter; route through the transport seam"
+            ),
+        )

@@ -1,0 +1,243 @@
+"""Determinism rules for modules reachable from deterministic-count producers.
+
+The stack's headline guarantee is bit-identical MIS/coloring/aggregation
+counts across every backend × parts × delta-format cell.  Any module a
+deterministic kernel imports (transitively, via *explicit* imports) must
+therefore be free of:
+
+* ``det-wallclock`` — wall-clock reads (``time.time``/``monotonic``/…).
+  ``perf_counter`` is the one legal timer: it only feeds elapsed-seconds stat
+  fields, never control flow, and the equivalence gates pin that.
+* ``det-random``   — the ``random`` module and unseeded numpy generators.
+  ``np.random.default_rng(seed)`` with an explicit seed is fine.
+* ``det-set-iter`` — iterating a bare ``set`` where order can leak into
+  results (for-loops, list/generator/dict comprehensions, ``list()``/
+  ``tuple()``).  Membership tests and order-insensitive folds stay legal.
+* ``det-id-order`` — ordering by ``id()`` (CPython address order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .engine import AnalysisContext, Rule
+from .findings import Finding
+from .modules import ModuleInfo
+
+#: Modules whose outputs must be bit-identical everywhere (plus their
+#: explicit-import closure within the analyzed corpus).
+DETERMINISM_SEEDS: Tuple[str, ...] = (
+    "repro.mis",
+    "repro.coloring",
+    "repro.coarsen",
+    "repro.parallel.partitioned",
+    "repro.service.repair",
+)
+
+_WALLCLOCK_ATTRS = {"time", "monotonic", "time_ns", "monotonic_ns", "clock"}
+_SEEDED_FACTORIES = {"default_rng", "RandomState", "Generator", "SeedSequence"}
+#: Order-insensitive consumers: iterating a set through these is legal.
+_ORDER_FREE_CALLS = {"sorted", "min", "max", "sum", "len", "any", "all", "frozenset", "set"}
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes in ``scope``'s own body, not descending into nested defs/classes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_set_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a set-valued expression (and never a non-set one)."""
+    set_names: Set[str] = set()
+    poisoned: Set[str] = set()
+    for node in _scope_nodes(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_set_expr(node.value, set_names):
+                    set_names.add(target.id)
+                else:
+                    poisoned.add(target.id)
+    return set_names - poisoned
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+class DeterminismRule(Rule):
+    ids = ("det-wallclock", "det-random", "det-set-iter", "det-id-order")
+    name = "determinism"
+
+    def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
+        scope = context.reachable_from(DETERMINISM_SEEDS)
+        if info.module not in scope:
+            return
+        yield from self._check_imports(info)
+        yield from self._check_calls(info)
+        yield from self._check_set_iteration(info)
+
+    # ---------------------------------------------------------------- imports
+    def _check_imports(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(
+                            info, node, "det-random",
+                            "the stdlib `random` module is process-seeded; "
+                            "use a seeded np.random.default_rng instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    yield self._finding(
+                        info, node, "det-random",
+                        "the stdlib `random` module is process-seeded; "
+                        "use a seeded np.random.default_rng instead",
+                    )
+                elif node.module == "time":
+                    bad = sorted(
+                        a.name for a in node.names if a.name in _WALLCLOCK_ATTRS
+                    )
+                    if bad:
+                        yield self._finding(
+                            info, node, "det-wallclock",
+                            f"wall-clock import ({', '.join(bad)}) in a "
+                            "deterministic module; only perf_counter timing is legal",
+                        )
+
+    # ------------------------------------------------------------------ calls
+    def _check_calls(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                # time.time(), time.monotonic(), ...
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "time"
+                    and func.attr in _WALLCLOCK_ATTRS
+                ):
+                    yield self._finding(
+                        info, node, "det-wallclock",
+                        f"time.{func.attr}() in a deterministic module; "
+                        "only perf_counter timing is legal",
+                    )
+                # datetime.now() / datetime.datetime.now()
+                elif func.attr in ("now", "utcnow") and "datetime" in ast.dump(base):
+                    yield self._finding(
+                        info, node, "det-wallclock",
+                        f"datetime {func.attr}() in a deterministic module",
+                    )
+                # random.shuffle(...), random.random(), ...
+                elif isinstance(base, ast.Name) and base.id == "random":
+                    yield self._finding(
+                        info, node, "det-random",
+                        f"random.{func.attr}() draws from process-global state",
+                    )
+                # np.random.<attr>(...)
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and base.attr == "random"
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in ("np", "numpy")
+                ):
+                    if func.attr in _SEEDED_FACTORIES:
+                        if not node.args and not node.keywords:
+                            yield self._finding(
+                                info, node, "det-random",
+                                f"np.random.{func.attr}() without a seed",
+                            )
+                    else:
+                        yield self._finding(
+                            info, node, "det-random",
+                            f"np.random.{func.attr}() uses the global numpy "
+                            "RNG; construct a seeded default_rng",
+                        )
+            elif isinstance(func, ast.Name):
+                if (
+                    func.id in _SEEDED_FACTORIES
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self._finding(
+                        info, node, "det-random", f"{func.id}() without a seed"
+                    )
+                elif func.id == "id" and len(node.args) == 1:
+                    yield self._finding(
+                        info, node, "det-id-order",
+                        "id() exposes CPython address order; key on vertex "
+                        "indices or stable tokens instead",
+                    )
+            # sorted(..., key=id) / min(..., key=id)
+            for kw in node.keywords:
+                if (
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id == "id"
+                ):
+                    yield self._finding(
+                        info, node, "det-id-order",
+                        "ordering by key=id exposes CPython address order",
+                    )
+
+    # -------------------------------------------------------------- set iter
+    def _check_set_iteration(self, info: ModuleInfo) -> Iterator[Finding]:
+        scopes: List[ast.AST] = [info.tree]
+        scopes.extend(
+            n for n in ast.walk(info.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            set_names = _local_set_names(scope)
+            for node in _scope_nodes(scope):
+                if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                    node.iter, set_names
+                ):
+                    yield self._set_iter_finding(info, node)
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, set_names):
+                            yield self._set_iter_finding(info, node)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple")
+                    and len(node.args) == 1
+                    and _is_set_expr(node.args[0], set_names)
+                ):
+                    yield self._set_iter_finding(info, node)
+
+    def _set_iter_finding(self, info: ModuleInfo, node: ast.AST) -> Finding:
+        return self._finding(
+            info, node, "det-set-iter",
+            "iterating a bare set leaks hash order into results; iterate a "
+            "sorted/np.unique sequence (membership tests are fine)",
+        )
+
+    def _finding(self, info: ModuleInfo, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 0),
+            rule=rule,
+            message=message,
+        )

@@ -1,0 +1,147 @@
+"""Findings, suppressions, and the committed baseline format.
+
+A :class:`Finding` identifies one contract violation.  For baseline matching
+the identity is ``(path, rule, message)`` — line numbers are deliberately
+excluded so unrelated edits above a baselined finding don't resurrect it.
+
+Suppressions are inline comments on the offending line::
+
+    self._cache.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded
+
+The justification after ``--`` is mandatory; a suppression without one is
+itself reported (rule ``bad-suppression``) so silent waivers can't accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+BaselineKey = Tuple[str, str, str]
+
+#: ``# analysis-ok: rule-a, rule-b -- why this is fine``
+SUPPRESSION_RE = re.compile(
+    r"#\s*analysis-ok:\s*(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s*--\s*(?P<why>.*))?\s*$"
+)
+
+BAD_SUPPRESSION_RULE = "bad-suppression"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation at ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    @property
+    def baseline_key(self) -> BaselineKey:
+        return (self.path, self.rule, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def suppression_hint(self) -> str:
+        return f"# analysis-ok: {self.rule} -- <justification>"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# analysis-ok`` comment on one physical line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than scanning raw lines) keeps annotation examples in
+    docstrings and string literals from registering as live annotations.
+    """
+    out: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except tokenize.TokenError:  # pragma: no cover - source already parsed
+        pass
+    return out
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every inline ``# analysis-ok`` suppression from ``source``."""
+    out: List[Suppression] = []
+    for lineno, text in comment_tokens(source):
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(","))
+        why = match.group("why") or ""
+        out.append(Suppression(line=lineno, rules=rules, justification=why.strip()))
+    return out
+
+
+def load_baseline(path: str) -> "Counter[BaselineKey]":
+    """Load a committed baseline file into a multiset of finding keys."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError(f"unsupported baseline format in {path!r} (want version 1)")
+    keys: "Counter[BaselineKey]" = Counter()
+    for entry in payload.get("findings", []):
+        keys[(str(entry["path"]), str(entry["rule"]), str(entry["message"]))] += 1
+    return keys
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    """Persist ``findings`` as a version-1 baseline file (sorted, stable)."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Optional["Counter[BaselineKey]"]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, baselined) against a key multiset."""
+    if not baseline:
+        return list(findings), []
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.baseline_key, 0) > 0:
+            remaining[finding.baseline_key] -= 1
+            matched.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, matched

@@ -1,0 +1,131 @@
+"""Parsed-module model shared by every rule.
+
+:class:`ModuleInfo` wraps one source file with everything a rule visitor
+needs: the AST, a child→parent map (stdlib ``ast`` has no parent links), the
+dotted module name derived from the ``src/`` layout, per-line suppressions,
+and the set of modules this one *explicitly* imports.
+
+Import edges follow explicit ``import``/``from ... import`` statements only —
+deliberately **not** the parent-package ``__init__`` chain.  Reachability is
+used to scope the determinism rules, and ``repro.parallel.partitioned`` must
+not inherit ``repro.parallel.transport``'s legitimate deadline timing just
+because both live under the same package ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .findings import Suppression, parse_suppressions
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive the dotted module name from a repo-relative or absolute path."""
+    parts = [p for p in path.replace("\\", "/").split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the derived metadata rules consume."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    is_package: bool
+    suppressions: List[Suppression] = field(default_factory=list)
+    _parents: Optional[Dict[int, ast.AST]] = None
+
+    @classmethod
+    def from_source(cls, source: str, path: str, module: Optional[str] = None) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            module=module if module is not None else module_name_for_path(path),
+            source=source,
+            tree=tree,
+            is_package=path.endswith("__init__.py"),
+            suppressions=parse_suppressions(source),
+        )
+
+    @classmethod
+    def from_path(cls, path: str, module: Optional[str] = None) -> "ModuleInfo":
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return cls.from_source(source, path=path, module=module)
+
+    # ------------------------------------------------------------- structure
+    def parent_map(self) -> Dict[int, ast.AST]:
+        """Map ``id(child)`` → parent node, built once per module."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        parents = self.parent_map()
+        current = parents.get(id(node))
+        while current is not None:
+            yield current
+            current = parents.get(id(current))
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    # --------------------------------------------------------------- imports
+    def import_edges(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Explicit import statements as ``(base, names)`` pairs.
+
+        ``import x.y`` yields ``("x.y", ())``; ``from .mod import a, b``
+        (relative level resolved) yields ``("pkg.mod", ("a", "b"))``.  The
+        engine resolves each pair against the analyzed corpus: ``base.name``
+        when that is a real module (``from . import primitives`` depends on
+        the submodule, not the package ``__init__``), else ``base``.
+        """
+        own_parts = self.module.split(".") if self.module else []
+        package = own_parts if self.is_package else own_parts[:-1]
+        edges: List[Tuple[str, Tuple[str, ...]]] = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    edges.append((alias.name, ()))
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module.split(".") if node.module else []
+                else:
+                    anchor = package[: len(package) - (node.level - 1)]
+                    base = anchor + (node.module.split(".") if node.module else [])
+                names = tuple(a.name for a in node.names if a.name != "*")
+                edges.append((".".join(base), names))
+        return edges
+
+    # ----------------------------------------------------------- suppression
+    def suppressed_rules_at(self, line: int) -> Tuple[str, ...]:
+        for sup in self.suppressions:
+            if sup.line == line and sup.justified:
+                return sup.rules
+        return ()

@@ -132,7 +132,7 @@ def service_task(unit: Tuple[str, int, int, int, int], config: BenchConfig) -> S
         del repair_start
         mask = svc.mis2(label, seed=config.seed)
         colors = svc.color(label)
-        scripted = svc.stats.to_dict()
+        scripted = svc.stats_snapshot()
 
         # -------------------------------------------------- throughput phase
         latencies: List[List[float]] = [[] for _ in range(clients)]

@@ -99,7 +99,7 @@ def _pool_map(executor_cls, width: Optional[int], fn: Callable, items: Sequence)
 # paying a fresh ProcessPoolExecutor spin-up on every phase would dominate the
 # wall clock. Pools are keyed by width, created lazily, shared by every
 # ChunkedBackend instance in the process and torn down at interpreter exit.
-_PARTITION_POOLS: "Dict[int, ProcessPoolExecutor]" = {}
+_PARTITION_POOLS: "Dict[int, ProcessPoolExecutor]" = {}  # guarded-by: _PARTITION_POOL_LOCK
 _PARTITION_POOL_LOCK = threading.Lock()
 
 
@@ -119,7 +119,7 @@ def _in_worker_process() -> bool:
 # The threaded backend gets the same persistence: supersteps are just as
 # frequent there, and while thread spin-up is far cheaper than a process pool,
 # paying it 3x per kernel iteration is still pointless.
-_PARTITION_THREAD_POOLS: "Dict[int, ThreadPoolExecutor]" = {}
+_PARTITION_THREAD_POOLS: "Dict[int, ThreadPoolExecutor]" = {}  # guarded-by: _PARTITION_POOL_LOCK
 
 
 def _partition_thread_pool(workers: int) -> ThreadPoolExecutor:
@@ -137,10 +137,10 @@ def _drop_inherited_partition_pools() -> None:
     # a fork at all); drop the references so a child that does reach the pool
     # path builds its own. Resident slot pools (and the coordinator's view of
     # what their workers hold) go the same way.
-    _PARTITION_POOLS.clear()
-    _PARTITION_THREAD_POOLS.clear()
-    _RESIDENT_SLOT_POOLS.clear()
-    _RESIDENT_SLOT_HAS.clear()
+    _PARTITION_POOLS.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded; the inherited lock may be held by a parent thread that did not survive the fork, so taking it here could deadlock
+    _PARTITION_THREAD_POOLS.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded; the inherited lock may be held by a parent thread that did not survive the fork, so taking it here could deadlock
+    _RESIDENT_SLOT_POOLS.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded; the inherited lock may be held by a parent thread that did not survive the fork, so taking it here could deadlock
+    _RESIDENT_SLOT_HAS.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded; the inherited lock may be held by a parent thread that did not survive the fork, so taking it here could deadlock
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
@@ -666,8 +666,8 @@ _RESIDENT_MISS_ATTEMPTS = 3
 # both directions: a stale "known" entry costs one payload=None round trip
 # that the worker acks False (the entry is dropped and the payload re-sent),
 # a dropped entry merely re-ships a payload the worker still had.
-_RESIDENT_SLOT_POOLS: "Dict[int, ProcessPoolExecutor]" = {}
-_RESIDENT_SLOT_HAS: "Dict[int, OrderedDict[Tuple[str, int], None]]" = {}
+_RESIDENT_SLOT_POOLS: "Dict[int, ProcessPoolExecutor]" = {}  # guarded-by: _PARTITION_POOL_LOCK
+_RESIDENT_SLOT_HAS: "Dict[int, OrderedDict[Tuple[str, int], None]]" = {}  # guarded-by: _PARTITION_POOL_LOCK
 _RESIDENT_SESSION_KEYS = itertools.count(1)
 
 

@@ -215,7 +215,7 @@ def _rank_main(ready) -> None:
     what makes the coordinator's reconnect path correct.
     """
     listener = MessageListener()
-    ready.send(listener.address)
+    ready.send(listener.address)  # analysis-ok: lock-guard -- listener is the transport MessageListener (same-named attribute); _RankHandle.address lives coordinator-side
     ready.close()
     try:
         while True:
@@ -244,37 +244,37 @@ class _RankHandle:
 
     def __init__(self, index: int) -> None:
         self.index = index
-        self.process: Optional[multiprocessing.Process] = None
-        self.address: Optional[Address] = None
-        self.conn: Optional[MessageConnection] = None
+        self.process: Optional[multiprocessing.Process] = None  # guarded-by: lock
+        self.address: Optional[Address] = None  # guarded-by: lock
+        self.conn: Optional[MessageConnection] = None  # guarded-by: lock
         self.lock = threading.Lock()
         #: Mirror of which ``(token, part)`` payloads the rank is believed to
         #: hold (LRU-bounded like the worker store; self-heals through the
         #: install ack in both directions — see the chunked slot mirror).
-        self.known: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self.known: "OrderedDict[Tuple[str, int], None]" = OrderedDict()  # guarded-by: lock
         #: Request-id source for the multiplexed request/response protocol.
-        self.rids = itertools.count(1)
+        self.rids = itertools.count(1)  # guarded-by: lock
         #: Unanswered requests, ``rid -> message`` in submission order — the
         #: resend set after a reconnect (every protocol message is idempotent:
         #: installs/restores/forgets by content, phases by ``seq`` dedup).
-        self.outstanding: "OrderedDict[int, tuple]" = OrderedDict()
+        self.outstanding: "OrderedDict[int, tuple]" = OrderedDict()  # guarded-by: lock
         #: Request ids actually written to the *current* connection (cleared
         #: on retire, which is what marks the rest of ``outstanding`` for
         #: resend over the replacement connection).
-        self.inflight: set = set()
+        self.inflight: set = set()  # guarded-by: lock
         #: Responses received but not yet collected, ``rid -> reply`` — a
         #: collect for a later submission drains earlier responses here so an
         #: out-of-submission-order collect never loses them.
-        self.arrived: Dict[int, tuple] = {}
+        self.arrived: Dict[int, tuple] = {}  # guarded-by: lock
         #: Bytes/messages accumulated by connections since closed or replaced.
-        self.retired = {
+        self.retired = {  # guarded-by: lock
             "bytes_sent": 0,
             "bytes_received": 0,
             "messages_sent": 0,
             "messages_received": 0,
         }
 
-    def retire_connection(self) -> None:
+    def retire_connection(self) -> None:  # holds: lock
         """Fold the live connection's meters into the totals and drop it."""
         self.inflight.clear()
         conn = self.conn
@@ -287,7 +287,7 @@ class _RankHandle:
         self.retired["messages_received"] += conn.messages_received
         conn.close()
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, int]:  # holds: lock
         out = dict(self.retired)
         if self.conn is not None:
             out["bytes_sent"] += self.conn.bytes_sent
@@ -318,7 +318,7 @@ class RankCluster:
             self._spawn(handle)
 
     # -------------------------------------------------------------- lifecycle
-    def _spawn(self, handle: _RankHandle) -> None:
+    def _spawn(self, handle: _RankHandle) -> None:  # holds: lock
         """Start (or replace) the rank process behind ``handle``.
 
         A replacement rank has empty stores, so the payload mirror is cleared
@@ -349,10 +349,10 @@ class RankCluster:
         handle.arrived.clear()
         handle.retire_connection()
 
-    def _alive(self, handle: _RankHandle) -> bool:
+    def _alive(self, handle: _RankHandle) -> bool:  # holds: lock
         return handle.process is not None and handle.process.is_alive()
 
-    def _connection(self, handle: _RankHandle) -> MessageConnection:
+    def _connection(self, handle: _RankHandle) -> MessageConnection:  # holds: lock
         if handle.conn is None:
             handle.conn = connect_with_retry(
                 handle.address,
@@ -362,7 +362,7 @@ class RankCluster:
             )
         return handle.conn
 
-    def _declare_dead(self, handle: _RankHandle, cause: Exception) -> "RankDeathError":
+    def _declare_dead(self, handle: _RankHandle, cause: Exception) -> "RankDeathError":  # holds: lock
         """Respawn a replacement for a dead rank and build the caller's error."""
         handle.retire_connection()
         if handle.process is not None:
@@ -378,7 +378,7 @@ class RankCluster:
         )
 
     # --------------------------------------------------------------- requests
-    def _flush_locked(self, handle: _RankHandle, conn: MessageConnection) -> None:
+    def _flush_locked(self, handle: _RankHandle, conn: MessageConnection) -> None:  # holds: lock
         """Write every outstanding request not yet on the current connection.
 
         After a reconnect ``inflight`` is empty, so this re-sends the whole
@@ -391,7 +391,7 @@ class RankCluster:
                 conn.send(("req", rid, msg))
                 handle.inflight.add(rid)
 
-    def _unreachable(self, handle: _RankHandle, last: Optional[Exception]) -> RankDeathError:
+    def _unreachable(self, handle: _RankHandle, last: Optional[Exception]) -> RankDeathError:  # holds: lock
         """Terminal error once the retry schedule is exhausted."""
         if not self._alive(handle):
             return self._declare_dead(
@@ -578,7 +578,7 @@ class RankCluster:
 
 #: Process-wide cluster registry, one per rank count — shared by every
 #: DistributedBackend instance so payload caches persist across sessions.
-_CLUSTERS: "Dict[int, RankCluster]" = {}
+_CLUSTERS: "Dict[int, RankCluster]" = {}  # guarded-by: _CLUSTER_LOCK
 _CLUSTER_LOCK = threading.Lock()
 
 
@@ -610,7 +610,7 @@ def _drop_inherited_clusters() -> None:
     # fds belong to the parent; drop the references so the child builds its
     # own cluster if it ever needs one (shutting them down here would kill
     # the parent's ranks).
-    _CLUSTERS.clear()
+    _CLUSTERS.clear()  # analysis-ok: lock-guard -- at-fork child is single-threaded; the inherited lock may be held by a parent thread that did not survive the fork, so taking it here could deadlock
 
 
 if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX

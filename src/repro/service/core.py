@@ -110,22 +110,24 @@ class _Mutation:
 
 @dataclass
 class _Cached:
-    epoch: int
+    """Immutable per-query snapshot: the value as of ``at_epoch``."""
+
+    at_epoch: int
     value: Any
 
 
 @dataclass
 class _Entry:
     name: str
-    graph: CSRGraph
-    layout: Optional[PartitionLayout]
+    graph: CSRGraph  # guarded-by: lock
+    layout: Optional[PartitionLayout]  # guarded-by: lock
     parts: Optional[int]
-    epoch: int = 0
+    epoch: int = 0  # guarded-by: lock
     lock: threading.RLock = field(default_factory=threading.RLock)
-    mutations: List[_Mutation] = field(default_factory=list)
-    caches: Dict[Tuple, _Cached] = field(default_factory=dict)
+    mutations: List[_Mutation] = field(default_factory=list)  # guarded-by: lock
+    caches: Dict[Tuple, _Cached] = field(default_factory=dict)  # guarded-by: lock
     #: Fixed-scheme key arrays for the current vertex count, per seed.
-    keys: Dict[int, np.ndarray] = field(default_factory=dict)
+    keys: Dict[int, np.ndarray] = field(default_factory=dict)  # guarded-by: lock
 
 
 @dataclass
@@ -224,10 +226,10 @@ class GraphService:
         self._word_bits = int(word_bits)
         self._entries: Dict[str, _Entry] = {}
         self._entries_lock = threading.RLock()
-        self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
+        self.stats = ServiceStats()  # guarded-by: _stats_lock
         self._queue: "queue_mod.SimpleQueue[Optional[_Request]]" = queue_mod.SimpleQueue()
-        self._closed = False
+        self._closed = False  # guarded-by: _entries_lock
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="graph-service-dispatch", daemon=True
         )
@@ -255,15 +257,20 @@ class GraphService:
             self._entries.pop(name, None)
 
     def graph(self, name: str) -> CSRGraph:
-        return self._entry(name).graph
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.graph
 
     def epoch(self, name: str) -> int:
-        return self._entry(name).epoch
+        entry = self._entry(name)
+        with entry.lock:
+            return entry.epoch
 
     def token(self, name: str) -> Optional[str]:
         """The current layout token (the resident-cache invalidation key)."""
         entry = self._entry(name)
-        return entry.layout.token if entry.layout is not None else None
+        with entry.lock:
+            return entry.layout.token if entry.layout is not None else None
 
     def graphs(self) -> List[str]:
         with self._entries_lock:
@@ -413,7 +420,7 @@ class GraphService:
         structural: bool = False,
         grew: int = 0,
         keep: Optional[np.ndarray] = None,
-    ) -> None:
+    ) -> None:  # holds: lock
         entry.graph = new_graph
         entry.epoch += 1
         entry.keys.clear()
@@ -438,7 +445,7 @@ class GraphService:
         )
         # Records older than every cached result can never be consulted again.
         if entry.caches:
-            oldest = min(c.epoch for c in entry.caches.values())
+            oldest = min(c.at_epoch for c in entry.caches.values())
             entry.mutations = [m for m in entry.mutations if m.epoch > oldest]
         else:
             entry.mutations.clear()
@@ -522,7 +529,7 @@ class GraphService:
                 self.stats.queries += 1
             key = (kind,) + tuple(sorted(params.items()))
             cached = entry.caches.get(key)
-            if cached is not None and cached.epoch == entry.epoch:
+            if cached is not None and cached.at_epoch == entry.epoch:
                 with self._stats_lock:
                     self.stats.cache_hits += 1
                 return cached.value
@@ -541,7 +548,7 @@ class GraphService:
                 self.stats.full_recomputes += 1
             return value
 
-    def _keys(self, entry: _Entry, seed: int) -> np.ndarray:
+    def _keys(self, entry: _Entry, seed: int) -> np.ndarray:  # holds: lock
         keys = entry.keys.get(seed)
         if keys is None:
             keys = _repair.mis_keys(
@@ -552,7 +559,7 @@ class GraphService:
 
     def _pending_frontier(
         self, entry: _Entry, since_epoch: int, kind: str
-    ) -> Optional[np.ndarray]:
+    ) -> Optional[np.ndarray]:  # holds: lock
         """Accumulated dirty frontier since ``since_epoch``, in current ids;
         ``None`` when a structural mutation (or a pruned record) forces full
         recompute. Non-structural histories are append-only, so ids recorded
@@ -574,8 +581,8 @@ class GraphService:
 
     def _try_repair(
         self, entry: _Entry, kind: str, params: Dict[str, Any], cached: _Cached
-    ) -> Optional[Any]:
-        frontier = self._pending_frontier(entry, cached.epoch, kind)
+    ) -> Optional[Any]:  # holds: lock
+        frontier = self._pending_frontier(entry, cached.at_epoch, kind)
         if frontier is None:
             return None
         n = entry.graph.num_vertices
@@ -610,7 +617,7 @@ class GraphService:
             self.stats.repair_touched += touched
         return _readonly(value)
 
-    def _full_compute(self, entry: _Entry, kind: str, params: Dict[str, Any]) -> Any:
+    def _full_compute(self, entry: _Entry, kind: str, params: Dict[str, Any]) -> Any:  # holds: lock
         partitions = entry.layout
         if kind == "mis2":
             from ..mis.kk import kk_mis2
@@ -639,6 +646,14 @@ class GraphService:
             return aggregation
         raise ValueError(f"unknown query kind {kind!r}")
 
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Consistent copy of the service counters, taken under the stats
+        lock — unlike reading ``service.stats`` fields directly, the returned
+        dict can never mix counts from two different moments."""
+        with self._stats_lock:
+            return self.stats.to_dict()
+
     # ----------------------------------------------------------------- health
     def health(self, timeout: float = 5.0) -> Dict[str, Any]:
         """Liveness snapshot: the store, the backend, and — on the
@@ -648,19 +663,24 @@ class GraphService:
         that is alive but wedged reports unhealthy within ``timeout`` instead
         of hanging the caller.
         """
+        graphs: Dict[str, Dict[str, Any]] = {}
         with self._entries_lock:
-            graphs = {
-                name: {
+            closed = self._closed
+            entries = list(self._entries.items())
+        for name, entry in entries:
+            # Per-entry lock: a concurrent _apply_mutation reassigns graph,
+            # epoch, and layout in sequence — reading them unlocked could mix
+            # the new graph with the old epoch/token (a torn snapshot).
+            with entry.lock:
+                graphs[name] = {
                     "vertices": entry.graph.num_vertices,
                     "edges": entry.graph.num_edges,
                     "epoch": entry.epoch,
                     "parts": entry.layout.num_parts if entry.layout else 1,
                     "token": entry.layout.token if entry.layout else None,
                 }
-                for name, entry in self._entries.items()
-            }
         report: Dict[str, Any] = {
-            "closed": self._closed,
+            "closed": closed,
             "backend": self._backend.name,
             "graphs": graphs,
         }
@@ -668,14 +688,16 @@ class GraphService:
         if cluster_of is not None:
             ranks = cluster_of().ping(timeout=timeout)
             report["ranks"] = ranks
-            report["healthy"] = not self._closed and all(ranks.values())
+            report["healthy"] = not closed and all(ranks.values())
         else:
-            report["healthy"] = not self._closed
+            report["healthy"] = not closed
         return report
 
     # -------------------------------------------------------------- lifecycle
     def _check_open(self) -> None:
-        if self._closed:
+        with self._entries_lock:
+            closed = self._closed
+        if closed:
             raise ServiceClosed("GraphService is closed")
 
     def close(self) -> None:
@@ -684,9 +706,10 @@ class GraphService:
         In-flight queries finish; the resident worker caches are left to
         their LRU (tokens of dropped graphs simply age out).
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._entries_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._queue.put(None)
         self._dispatcher.join(timeout=30.0)
 

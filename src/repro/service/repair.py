@@ -161,8 +161,9 @@ def repair_mis2(
     """
     in_mask = prev_mask.copy()
     rowmap, entries = graph.rowmap, graph.entries
-    pending = {int(v) for v in np.asarray(dirty, dtype=np.int64)}
-    heap = [(int(keys[v]), v) for v in pending]
+    seeds = np.unique(np.asarray(dirty, dtype=np.int64))
+    pending = {int(v) for v in seeds}
+    heap = [(int(keys[v]), int(v)) for v in seeds]
     heapq.heapify(heap)
     touched = 0
     while heap:
@@ -228,8 +229,9 @@ def repair_ordered_color(
     """
     colors = prev_colors.copy()
     rowmap, entries = graph.rowmap, graph.entries
-    pending = {int(v) for v in np.asarray(dirty, dtype=np.int64)}
-    heap = [(int(keys[v]), v) for v in pending]
+    seeds = np.unique(np.asarray(dirty, dtype=np.int64))
+    pending = {int(v) for v in seeds}
+    heap = [(int(keys[v]), int(v)) for v in seeds]
     heapq.heapify(heap)
     touched = 0
     while heap:

@@ -1,0 +1,8 @@
+"""Fixture: unmetered pickling (expect bytes-pickle x2: the import and the
+dumps call)."""
+
+import pickle
+
+
+def ship(value):
+    return pickle.dumps(value)

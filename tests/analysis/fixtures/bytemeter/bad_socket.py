@@ -1,0 +1,10 @@
+"""Fixture: raw socket use outside the transport seam (expect bytes-socket x1
+when loaded as a repro.* module other than repro.parallel.transport)."""
+
+import socket
+
+
+def probe(addr):
+    sock = socket.create_connection(addr)
+    sock.sendall(b"ping")
+    return sock.recv(4)

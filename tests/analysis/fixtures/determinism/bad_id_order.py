@@ -1,0 +1,9 @@
+"""Fixture: ordering by CPython addresses (expect det-id-order x2)."""
+
+
+def order_objects(objs):
+    return sorted(objs, key=id)
+
+
+def token(obj):
+    return id(obj)

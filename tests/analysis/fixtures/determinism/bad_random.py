@@ -1,0 +1,23 @@
+"""Fixture: nondeterministic randomness (expect det-random x5)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def shuffle(items):
+    random.shuffle(items)
+    return items
+
+
+def noise(n):
+    return np.random.rand(n)
+
+
+def unseeded():
+    return default_rng()
+
+
+def unseeded_np():
+    return np.random.default_rng()

@@ -1,0 +1,9 @@
+"""Fixture: iterating bare sets where order leaks (expect det-set-iter x3)."""
+
+
+def drain(dirty):
+    pending = {int(v) for v in dirty}
+    order = [v for v in pending]
+    for v in pending:
+        order.append(v)
+    return list(pending), order

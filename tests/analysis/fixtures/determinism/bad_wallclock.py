@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads in a deterministic module (expect det-wallclock x3)."""
+
+import time
+from time import monotonic  # noqa: F401
+
+
+def stamp():
+    return time.time()
+
+
+def deadline():
+    return time.monotonic() + 5.0

@@ -1,0 +1,25 @@
+"""Fixture: the deterministic idioms the rule must stay quiet on."""
+
+from time import perf_counter
+
+import numpy as np
+
+
+def timed(fn):
+    t0 = perf_counter()
+    out = fn()
+    return out, perf_counter() - t0
+
+
+def keys(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n)
+
+
+def drain(dirty):
+    pending = {int(v) for v in dirty}
+    order = []
+    for v in sorted(pending):
+        if v in pending:
+            order.append(v)
+    return order, sum(pending), len(pending)

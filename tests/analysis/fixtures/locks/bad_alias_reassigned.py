@@ -1,0 +1,16 @@
+"""Fixture: alias rebound to a different object is no longer a guard
+(expect lock-guard x1)."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self, other):
+        lk = self._lock
+        lk = other
+        with lk:
+            self.count += 1

@@ -1,0 +1,7 @@
+"""Fixture: annotation comments that attach to nothing (expect
+lock-annotation x2)."""
+
+# guarded-by: _lock
+
+VALUE = 1
+counter = 0  # holds: _lock

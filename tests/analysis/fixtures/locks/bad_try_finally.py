@@ -1,0 +1,17 @@
+"""Fixture: manual acquire/release is deliberately NOT recognised as holding
+the lock — the contract is the with statement (expect lock-guard x1)."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._lock.acquire()
+        try:
+            self.count += 1
+        finally:
+            self._lock.release()

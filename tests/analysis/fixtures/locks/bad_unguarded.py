@@ -1,0 +1,12 @@
+"""Fixture: guarded attribute touched without the lock (expect lock-guard x1)."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1

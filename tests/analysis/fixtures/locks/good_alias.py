@@ -1,0 +1,14 @@
+"""Fixture: lock held through a single-assignment alias (expect clean)."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        lk = self._lock
+        with lk:
+            self.count += 1

@@ -1,0 +1,24 @@
+"""Fixture: every legal guarded-access shape — with block, holds annotation,
+constructor exemption, early return inside the guarded block."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def bump_locked(self):  # holds: _lock
+        self.count += 1
+
+    def reset(self, limit):
+        with self._lock:
+            if self.count > limit:
+                self.count = 0
+                return self.count
+            return None

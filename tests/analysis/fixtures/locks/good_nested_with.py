@@ -1,0 +1,18 @@
+"""Fixture: guard nested under another with, and in a multi-item with
+(expect clean)."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._gate = threading.Lock()
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self, path):
+        with self._gate:
+            with self._lock:
+                self.count += 1
+            with open(path) as fh, self._lock:
+                fh.write(str(self.count))

@@ -1,0 +1,16 @@
+"""Fixture: guarded module global — one locked access, one not
+(expect lock-guard x1 in drop)."""
+
+import threading
+
+_LOCK = threading.Lock()
+_POOLS = {}  # guarded-by: _LOCK
+
+
+def get(key):
+    with _LOCK:
+        return _POOLS.get(key)
+
+
+def drop(key):
+    _POOLS.pop(key, None)

@@ -1,0 +1,13 @@
+"""Fixture: hard-wiring a concrete backend inside a kernel (expect
+backend-concrete x1 outside the registry modules, clean inside them)."""
+
+
+def _noop(graph):
+    return graph
+
+
+def kernel(graph):
+    from repro.parallel.backends import ChunkedBackend
+
+    backend = ChunkedBackend()
+    return backend.map_graphs(_noop, [graph])

@@ -1,0 +1,9 @@
+"""Fixture: lambdas crossing the seam (expect pickle-callable x2)."""
+
+
+def go(session, tasks):
+    return session.run_async(lambda part: part, tasks)
+
+
+def fan(backend, graphs):
+    return backend.map_graphs(lambda g: g, graphs)

@@ -1,0 +1,29 @@
+"""Shared loaders for the analyzer test-suite fixtures."""
+
+from pathlib import Path
+from typing import List
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.modules import ModuleInfo
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def load(relpath: str, module: str) -> ModuleInfo:
+    """Load a fixture file under the given (possibly fictional) module name."""
+    return ModuleInfo.from_path(str(FIXTURES / relpath), module=module)
+
+
+def check(rule: Rule, *infos: ModuleInfo) -> List[Finding]:
+    """Run one rule over a corpus of the given modules, sorted findings."""
+    context = AnalysisContext(list(infos))
+    out: List[Finding] = []
+    for info in context.modules:
+        out.extend(rule.check(info, context))
+    return sorted(out)
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [f.rule for f in findings]

@@ -1,0 +1,27 @@
+"""Byte-meter rule: sockets/pickle flagged everywhere except the transport."""
+
+from repro.analysis.bytemeter import ByteMeterRule
+
+from .helpers import check, load, rule_ids
+
+RULE = ByteMeterRule()
+
+
+def test_socket_outside_transport_fires():
+    findings = check(RULE, load("bytemeter/bad_socket.py", "repro.parallel.phases"))
+    assert rule_ids(findings) == ["bytes-socket"]
+    assert "shipped_nbytes" in findings[0].message
+
+
+def test_pickle_outside_transport_fires():
+    findings = check(RULE, load("bytemeter/bad_pickle.py", "repro.service.wire"))
+    assert rule_ids(findings) == ["bytes-pickle", "bytes-pickle"]
+
+
+def test_transport_module_is_exempt():
+    assert check(RULE, load("bytemeter/bad_socket.py", "repro.parallel.transport")) == []
+    assert check(RULE, load("bytemeter/bad_pickle.py", "repro.parallel.transport")) == []
+
+
+def test_non_repro_modules_are_out_of_scope():
+    assert check(RULE, load("bytemeter/bad_socket.py", "tools.script")) == []

@@ -1,0 +1,118 @@
+"""Tests for the `python -m repro.analysis` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+from .helpers import REPO_SRC
+
+BAD_SOURCE = """\
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1
+"""
+
+CLEAN_SOURCE = """\
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+"""
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "store.py"
+    path.write_text(BAD_SOURCE)
+    return path
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    path = tmp_path / "store.py"
+    path.write_text(CLEAN_SOURCE)
+    code = main([str(path)])
+    assert code == 0
+    assert "analysis clean" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_with_readable_report(bad_file, capsys):
+    code = main([str(bad_file)])
+    assert code == 1
+    out = capsys.readouterr().out
+    # file:line, rule id, message, suppression hint
+    assert f"{bad_file}:10: [lock-guard]" in out
+    assert "guarded by '_lock'" in out
+    assert "# analysis-ok: lock-guard" in out
+    assert "1 finding(s)" in out
+
+
+def test_cli_json_report(bad_file, capsys):
+    code = main(["--json", str(bad_file)])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["modules_checked"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "lock-guard" and finding["line"] == 10
+
+
+def test_cli_baseline_round_trip(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["--write-baseline", str(baseline), str(bad_file)]) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().out
+
+    code = main(["--baseline", str(baseline), str(bad_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "analysis clean" in out and "1 baselined" in out
+
+
+def test_cli_bad_baseline_exits_two(bad_file, tmp_path, capsys):
+    baseline = tmp_path / "broken.json"
+    baseline.write_text("{}")
+    assert main(["--baseline", str(baseline), str(bad_file)]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "det-wallclock", "det-set-iter", "lock-guard", "bytes-socket",
+        "bytes-pickle", "pickle-callable", "backend-concrete",
+    ):
+        assert rule_id in out
+
+
+def test_cli_rejects_unknown_flag():
+    with pytest.raises(SystemExit):
+        main(["--frobnicate"])
+
+
+def test_repro_tree_is_clean_for_the_cli(capsys):
+    """The committed tree must stay at zero unsuppressed findings — this is
+    the same invariant the lint-analysis CI job gates."""
+    code = main([str(REPO_SRC)])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "analysis clean" in out

@@ -1,0 +1,54 @@
+"""Determinism rule family: fixtures fire, legal idioms stay quiet."""
+
+from repro.analysis.determinism import DeterminismRule
+
+from .helpers import check, load, rule_ids
+
+RULE = DeterminismRule()
+
+
+def _run(name, module="repro.mis.fixture"):
+    return check(RULE, load(f"determinism/{name}", module))
+
+
+def test_wallclock_fires():
+    findings = _run("bad_wallclock.py")
+    assert rule_ids(findings) == ["det-wallclock"] * 3
+    assert len({f.line for f in findings}) == 3
+
+
+def test_random_fires():
+    assert rule_ids(_run("bad_random.py")) == ["det-random"] * 5
+
+
+def test_set_iteration_fires():
+    findings = _run("bad_set_iter.py")
+    assert rule_ids(findings) == ["det-set-iter"] * 3
+
+
+def test_id_order_fires():
+    assert rule_ids(_run("bad_id_order.py")) == ["det-id-order"] * 2
+
+
+def test_good_idioms_stay_quiet():
+    # perf_counter, seeded default_rng, membership tests, sorted()/sum()/len()
+    # folds over sets are all legal.
+    assert _run("good_clean.py") == []
+
+
+def test_all_seed_scopes_fire():
+    for module in (
+        "repro.mis.fixture",
+        "repro.coloring.fixture",
+        "repro.coarsen.fixture",
+        "repro.parallel.partitioned",
+        "repro.service.repair",
+    ):
+        assert rule_ids(_run("bad_id_order.py", module)) == ["det-id-order"] * 2
+
+
+def test_module_outside_scope_is_ignored():
+    # The same wall-clock reads are legal in a module no deterministic kernel
+    # imports (bench drivers, transport deadlines, ...).
+    assert _run("bad_wallclock.py", module="repro.bench.tool") == []
+    assert _run("bad_wallclock.py", module="tools.script") == []

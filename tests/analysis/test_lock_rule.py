@@ -1,0 +1,53 @@
+"""Lock-discipline rule: guarded attributes, holds annotations, aliasing
+edge cases (satellite: second-name lock, nested with, early return,
+try/finally manual acquire)."""
+
+from repro.analysis.locks import LockDisciplineRule
+
+from .helpers import check, load, rule_ids
+
+RULE = LockDisciplineRule()
+
+
+def _run(name):
+    return check(RULE, load(f"locks/{name}", f"fixtures.locks.{name[:-3]}"))
+
+
+def test_unguarded_access_fires():
+    findings = _run("bad_unguarded.py")
+    assert rule_ids(findings) == ["lock-guard"]
+    assert "guarded by '_lock'" in findings[0].message
+
+
+def test_with_holds_constructor_and_early_return_are_clean():
+    assert _run("good_guarded.py") == []
+
+
+def test_lock_alias_is_recognised():
+    assert _run("good_alias.py") == []
+
+
+def test_reassigned_alias_is_not_a_guard():
+    assert rule_ids(_run("bad_alias_reassigned.py")) == ["lock-guard"]
+
+
+def test_nested_and_multi_item_with_are_clean():
+    assert _run("good_nested_with.py") == []
+
+
+def test_manual_acquire_release_is_not_recognised():
+    # Deliberate: the contract is the with statement; try/finally acquire
+    # sites must carry an explicit justified suppression.
+    findings = _run("bad_try_finally.py")
+    assert rule_ids(findings) == ["lock-guard"]
+
+
+def test_guarded_module_global():
+    findings = _run("mixed_globals.py")
+    assert rule_ids(findings) == ["lock-guard"]
+    assert "module global '_POOLS'" in findings[0].message
+
+
+def test_dangling_annotations_are_reported():
+    findings = _run("bad_dangling.py")
+    assert rule_ids(findings) == ["lock-annotation"] * 2

@@ -1,0 +1,34 @@
+"""Purity rule: picklable seam callables, no hard-wired concrete backends."""
+
+from repro.analysis.purity import PurityRule
+
+from .helpers import check, load, rule_ids
+
+RULE = PurityRule()
+
+
+def test_lambdas_at_the_seam_fire():
+    findings = check(RULE, load("purity/bad_lambda.py", "repro.parallel.driver"))
+    assert rule_ids(findings) == ["pickle-callable"] * 2
+
+
+def test_nested_functions_fire_directly_and_through_partial():
+    findings = check(RULE, load("purity/bad_nested.py", "repro.parallel.driver"))
+    assert rule_ids(findings) == ["pickle-callable"] * 2
+
+
+def test_concrete_backend_outside_registry_fires():
+    findings = check(RULE, load("purity/bad_backend.py", "repro.mis.fixture"))
+    assert rule_ids(findings) == ["backend-concrete"]
+
+
+def test_registry_modules_may_instantiate_backends():
+    assert check(RULE, load("purity/bad_backend.py", "repro.parallel.backends")) == []
+
+
+def test_good_seam_idioms_stay_quiet():
+    assert check(RULE, load("purity/good_purity.py", "repro.coloring.driver")) == []
+
+
+def test_non_repro_modules_are_out_of_scope():
+    assert check(RULE, load("purity/bad_lambda.py", "tools.script")) == []

@@ -1,0 +1,22 @@
+"""mypy over the typed subset (transport, service, analysis).
+
+Runs only where mypy is installed (the lint-analysis CI job installs it; the
+base test environment may not have it), using the committed setup.cfg so the
+gate and the local run can never drift apart.
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_typed_subset_is_mypy_clean(monkeypatch):
+    monkeypatch.chdir(REPO)  # setup.cfg lists its files relative to the root
+    out, err, status = mypy_api.run(
+        ["--config-file", "setup.cfg", "--no-error-summary"]
+    )
+    assert status == 0, f"mypy errors:\n{out}\n{err}"
