@@ -1,10 +1,28 @@
-"""Setup shim for environments without PEP 517 wheel support.
+"""Setuptools entry point for the repro stack.
 
-All project metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` / ``python setup.py develop`` in offline
-environments where the ``wheel`` package is unavailable.
+Kept as a plain ``setup.py`` (no PEP 517 build isolation) so
+``pip install -e .`` and ``python setup.py develop`` work in the offline
+environments the distributed benchmarks run in, where the ``wheel`` package
+may be unavailable.  The ``repro-analysis`` console script exposes the
+static contract checker (``python -m repro.analysis``) to pre-commit hooks
+and ad-hoc use without PYTHONPATH gymnastics.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Deterministic distributed graph kernels (MIS-2, coloring, "
+        "aggregation) with a static contract checker"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-analysis = repro.analysis.__main__:main",
+        ],
+    },
+)

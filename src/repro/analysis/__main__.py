@@ -7,9 +7,11 @@ Exit status: 0 when the tree is clean (after suppressions and the baseline),
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import os
 import sys
+import textwrap
 from typing import List, Optional, Sequence
 
 from .engine import all_rules, run_analysis
@@ -49,10 +51,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list rule families and their finding ids",
     )
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print a rule family's documentation and an example, then exit "
+        "(accepts a family name like 'races' or a finding id like "
+        "'race-unguarded-write')",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="check modules with N worker processes (output is byte-identical "
+        "to serial; default 1)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write the report as a SARIF 2.1.0 log for code-scanning "
+        "upload",
+    )
     return parser
 
 
+def explain_rule(query: str) -> Optional[str]:
+    """Documentation text for a rule family (by name or finding id)."""
+    for rule in all_rules():
+        if query != rule.name and query not in rule.ids:
+            continue
+        module = importlib.import_module(type(rule).__module__)
+        parts = [
+            f"{rule.name}: {', '.join(rule.ids)}",
+            "",
+            (module.__doc__ or "(no documentation)").strip(),
+        ]
+        if rule.example:
+            parts += ["", "Example:", textwrap.indent(rule.example.strip("\n"), "    ")]
+        return "\n".join(parts)
+    return None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # stdout reader (e.g. ``| head``) went away; not our error.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -60,6 +106,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in all_rules():
             print(f"{rule.name}: {', '.join(rule.ids)}")
         return 0
+
+    if args.explain is not None:
+        text = explain_rule(args.explain)
+        if text is None:
+            known = ", ".join(sorted(r.name for r in all_rules()))
+            print(
+                f"error: unknown rule {args.explain!r} (families: {known}; "
+                "see --list-rules for finding ids)",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     paths = list(args.paths) or _default_paths()
     if not paths:
@@ -75,10 +138,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     try:
-        report = run_analysis(paths=paths, baseline=baseline)
+        report = run_analysis(paths=paths, baseline=baseline, jobs=args.jobs)
     except (OSError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.sarif is not None:
+        from .sarif import write_sarif
+
+        write_sarif(args.sarif, report)
 
     if args.write_baseline is not None:
         write_baseline(args.write_baseline, report.findings)

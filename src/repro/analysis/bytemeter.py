@@ -32,6 +32,13 @@ _PICKLE_CALLS = {"dumps", "loads", "dump", "load", "Pickler", "Unpickler"}
 class ByteMeterRule(Rule):
     ids = ("bytes-socket", "bytes-pickle")
     name = "byte-meter"
+    example = """
+# anywhere outside repro.parallel.transport:
+import pickle                       # bytes-pickle: unmetered side channel
+
+def ship(sock, payload):
+    sock.send(pickle.dumps(payload))  # bytes beyond shipped_nbytes accounting
+"""
 
     def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
         if not info.module.startswith("repro."):

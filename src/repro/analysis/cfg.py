@@ -1,0 +1,295 @@
+"""Intraprocedural control-flow graphs over stdlib ``ast``.
+
+The dataflow rules (lockset inference in :mod:`repro.analysis.races`, dtype
+propagation in :mod:`repro.analysis.dtypes`) need *where control can flow*,
+not just *what syntax exists*: a lock acquired in one branch of an ``if`` is
+not held after the join, a ``with`` releases at every exit of its body, a
+loop body can run zero or many times.  This module lowers one function body
+(or a module body) into basic blocks of :class:`Step` events connected by
+explicit successor edges, which :mod:`repro.analysis.dataflow` then iterates
+to a fixpoint.
+
+Design points:
+
+* **Steps, not statements.**  A block holds a list of tagged steps.  Simple
+  statements appear as ``("stmt", node)``.  Compound statements contribute
+  their *evaluated parts* as ``("expr", node)`` steps (an ``if`` test, a
+  ``for`` iterable, a ``return`` value) so accesses inside them are analyzed
+  at the right program point, while their bodies become separate blocks.
+  ``with`` statements additionally contribute ``("with_enter", node)`` /
+  ``("with_exit", node)`` steps, the hooks the lockset transfer function
+  keys on.
+* **Exceptional edges are coarse.**  Every ``try`` body gets an edge from
+  its entry to each handler (an exception may fire before any statement
+  completes) and from its end (an exception may fire in the last statement).
+  ``finally`` bodies are placed on the fall-through path; the early-exit
+  copies (``return``/``break`` inside ``try``) flow through a shared
+  ``finally`` block rather than a duplicated one.  This over-approximates
+  paths, which is the safe direction for a must-hold lockset analysis.
+* **No interprocedural edges.**  Calls are ordinary expression steps; the
+  race rule layers its own call-context inference on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: One atomic event inside a basic block: ``(kind, node)`` where ``kind`` is
+#: ``"stmt"`` (a simple statement), ``"expr"`` (an evaluated fragment of a
+#: compound statement), ``"with_enter"`` or ``"with_exit"`` (both carrying
+#: the ``ast.With``/``ast.AsyncWith`` node).
+Step = Tuple[str, ast.AST]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of steps with explicit successor edges."""
+
+    index: int
+    steps: List[Step] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, index: int) -> None:
+        if index not in self.succs:
+            self.succs.append(index)
+
+
+@dataclass
+class CFG:
+    """A control-flow graph for one function (or module) body.
+
+    ``entry`` is always block 0; ``exit_index`` is a distinguished empty
+    block every ``return`` / fall-off-the-end path reaches.
+    """
+
+    blocks: List[BasicBlock]
+    entry: int
+    exit_index: int
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def preds(self) -> Dict[int, List[int]]:
+        """Predecessor lists, derived from the successor edges."""
+        out: Dict[int, List[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                out[succ].append(block.index)
+        return out
+
+
+class _Builder:
+    """Single-use CFG builder; ``build_cfg`` is the public entry point."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.exit_index = -1
+        #: (break_target, continue_target) stack for enclosing loops.
+        self._loops: List[Tuple[int, int]] = []
+        #: Innermost-first stack of open ``with`` nodes; break/continue/return
+        #: inside a ``with`` body must release before leaving.
+        self._open_withs: List[ast.AST] = []
+        #: How many withs were open when each enclosing loop started.
+        self._loop_with_depths: List[int] = []
+
+    # ------------------------------------------------------------ primitives
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _exit_withs_into(self, block: BasicBlock, down_to: int) -> None:
+        """Emit with_exit steps for every open ``with`` deeper than ``down_to``."""
+        for node in reversed(self._open_withs[down_to:]):
+            block.steps.append(("with_exit", node))
+
+    # ------------------------------------------------------------- statements
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        entry = self.new_block()
+        exit_block = self.new_block()
+        self.exit_index = exit_block.index
+        last = self._run_body(body, entry)
+        if last is not None:
+            last.add_succ(self.exit_index)
+        return CFG(blocks=self.blocks, entry=entry.index, exit_index=self.exit_index)
+
+    def _run_body(
+        self, body: Sequence[ast.stmt], current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Thread ``body`` through ``current``; returns the fall-through block
+        (``None`` when every path left via return/break/continue/raise)."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a jump; keep analyzing it in a fresh
+                # disconnected block so its accesses still get *some* state.
+                current = self.new_block()
+            current = self._run_stmt(stmt, current)
+        return current
+
+    def _run_stmt(self, stmt: ast.stmt, current: BasicBlock) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.If):
+            return self._run_if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._run_while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._run_for(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._run_with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._run_try(stmt, current)
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                current.steps.append(("expr", stmt.value))
+            self._exit_withs_into(current, 0)
+            current.add_succ(self.exit_index)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.steps.append(("stmt", stmt))
+            current.add_succ(self.exit_index)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._exit_withs_into(current, self._loop_with_depth())
+                current.add_succ(self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._exit_withs_into(current, self._loop_with_depth())
+                current.add_succ(self._loops[-1][1])
+            return None
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # Nested definitions are separate CFGs; the def itself binds a name.
+            current.steps.append(("stmt", stmt))
+            return current
+        current.steps.append(("stmt", stmt))
+        return current
+
+    def _loop_with_depth(self) -> int:
+        """How many ``with`` levels were open when the innermost loop started."""
+        return self._loop_with_depths[-1] if self._loop_with_depths else 0
+
+    # --------------------------------------------------------------- compound
+    def _run_if(self, stmt: ast.If, current: BasicBlock) -> Optional[BasicBlock]:
+        current.steps.append(("expr", stmt.test))
+        then_block = self.new_block()
+        current.add_succ(then_block.index)
+        then_end = self._run_body(stmt.body, then_block)
+        if stmt.orelse:
+            else_block = self.new_block()
+            current.add_succ(else_block.index)
+            else_end = self._run_body(stmt.orelse, else_block)
+        else:
+            else_end = current  # falls through when the test is false
+        if then_end is None and else_end is None:
+            return None
+        join = self.new_block()
+        if then_end is not None:
+            then_end.add_succ(join.index)
+        if else_end is not None:
+            else_end.add_succ(join.index)
+        return join
+
+    def _run_while(self, stmt: ast.While, current: BasicBlock) -> Optional[BasicBlock]:
+        head = self.new_block()
+        current.add_succ(head.index)
+        head.steps.append(("expr", stmt.test))
+        after = self.new_block()
+        body_block = self.new_block()
+        head.add_succ(body_block.index)
+        head.add_succ(after.index)
+        self._loops.append((after.index, head.index))
+        self._loop_with_depths.append(len(self._open_withs))
+        body_end = self._run_body(stmt.body, body_block)
+        self._loops.pop()
+        self._loop_with_depths.pop()
+        if body_end is not None:
+            body_end.add_succ(head.index)
+        if stmt.orelse:
+            # ``else`` runs on normal loop exit; keep it on the after path.
+            else_end = self._run_body(stmt.orelse, after)
+            return else_end
+        return after
+
+    def _run_for(self, stmt: "ast.For | ast.AsyncFor", current: BasicBlock) -> Optional[BasicBlock]:
+        current.steps.append(("expr", stmt.iter))
+        head = self.new_block()
+        current.add_succ(head.index)
+        head.steps.append(("expr", stmt.target))
+        after = self.new_block()
+        body_block = self.new_block()
+        head.add_succ(body_block.index)
+        head.add_succ(after.index)
+        self._loops.append((after.index, head.index))
+        self._loop_with_depths.append(len(self._open_withs))
+        body_end = self._run_body(stmt.body, body_block)
+        self._loops.pop()
+        self._loop_with_depths.pop()
+        if body_end is not None:
+            body_end.add_succ(head.index)
+        if stmt.orelse:
+            else_end = self._run_body(stmt.orelse, after)
+            return else_end
+        return after
+
+    def _run_with(self, stmt: "ast.With | ast.AsyncWith", current: BasicBlock) -> Optional[BasicBlock]:
+        for item in stmt.items:
+            current.steps.append(("expr", item.context_expr))
+        current.steps.append(("with_enter", stmt))
+        self._open_withs.append(stmt)
+        body_end = self._run_body(stmt.body, current)
+        self._open_withs.pop()
+        if body_end is None:
+            return None
+        body_end.steps.append(("with_exit", stmt))
+        return body_end
+
+    def _run_try(self, stmt: ast.Try, current: BasicBlock) -> Optional[BasicBlock]:
+        body_block = self.new_block()
+        current.add_succ(body_block.index)
+        handler_blocks: List[BasicBlock] = []
+        for handler in stmt.handlers:
+            hb = self.new_block()
+            # An exception may fire before the first body statement completes.
+            current.add_succ(hb.index)
+            handler_blocks.append(hb)
+        body_end = self._run_body(stmt.body, body_block)
+        ends: List[Optional[BasicBlock]] = []
+        if body_end is not None:
+            # ...or after the last one.
+            for hb in handler_blocks:
+                body_end.add_succ(hb.index)
+            if stmt.orelse:
+                ends.append(self._run_body(stmt.orelse, body_end))
+            else:
+                ends.append(body_end)
+        for handler, hb in zip(stmt.handlers, handler_blocks):
+            ends.append(self._run_body(handler.body, hb))
+        live = [e for e in ends if e is not None]
+        if stmt.finalbody:
+            fin = self.new_block()
+            for end in live:
+                end.add_succ(fin.index)
+            if not live:
+                # every path raised/returned; finally still runs on the way out
+                current.add_succ(fin.index)
+            fin_end = self._run_body(stmt.finalbody, fin)
+            return fin_end
+        if not live:
+            return None
+        join = self.new_block()
+        for end in live:
+            end.add_succ(join.index)
+        return join
+
+
+def build_cfg(node: "ast.AST | Sequence[ast.stmt]") -> CFG:
+    """Build the CFG of a function/module node (or a raw statement list)."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+        body: Sequence[ast.stmt] = node.body
+    elif isinstance(node, ast.AST):
+        raise TypeError(f"cannot build a CFG for {type(node).__name__}")
+    else:
+        body = node
+    return _Builder().build(body)

@@ -1,0 +1,83 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A tiny, deterministic worklist engine.  An analysis supplies:
+
+* ``entry_state()`` — the state at the function entry;
+* ``unreachable()`` — the ⊤ state assumed for not-yet-visited blocks (for a
+  must-analysis this is "everything holds", so joins only ever *refine*);
+* ``join(a, b)`` — the confluence operator applied where edges meet;
+* ``transfer(state, step)`` — the effect of one :data:`~repro.analysis.cfg.Step`.
+
+States must be immutable values with ``==`` (frozensets, tuples, mapping
+proxies rendered as tuples…): the engine detects the fixpoint by equality.
+Iteration order is block-index order, so results are reproducible regardless
+of dict/set internals — the analyzer's own output feeds byte-identity gates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, TypeVar
+
+from .cfg import CFG, Step
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class for one forward dataflow problem."""
+
+    def entry_state(self) -> S:
+        raise NotImplementedError
+
+    def unreachable(self) -> S:
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, state: S, step: Step) -> S:
+        raise NotImplementedError
+
+
+def block_out(analysis: ForwardAnalysis[S], state: S, steps: List[Step]) -> S:
+    for step in steps:
+        state = analysis.transfer(state, step)
+    return state
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis[S], max_passes: int = 64) -> Dict[int, S]:
+    """Iterate ``analysis`` to a fixpoint; returns block-index → entry state.
+
+    ``max_passes`` bounds full sweeps over the graph as a defence against a
+    non-monotone transfer function; real analyses converge in a handful.
+    """
+    entry_in: Dict[int, S] = {}
+    entry_in[cfg.entry] = analysis.entry_state()
+    order = [block.index for block in cfg.blocks]
+    for _ in range(max_passes):
+        changed = False
+        for index in order:
+            block = cfg.block(index)
+            if index == cfg.entry:
+                state = entry_in[cfg.entry]
+            elif index in entry_in:
+                state = entry_in[index]
+            else:
+                continue  # not yet reached
+            out = block_out(analysis, state, block.steps)
+            for succ in block.succs:
+                if succ not in entry_in:
+                    entry_in[succ] = out
+                    changed = True
+                else:
+                    joined = analysis.join(entry_in[succ], out)
+                    if joined != entry_in[succ]:
+                        entry_in[succ] = joined
+                        changed = True
+        if not changed:
+            break
+    # Blocks never reached keep the analysis's unreachable state so their
+    # steps can still be replayed (e.g. dead code after a return).
+    for block in cfg.blocks:
+        entry_in.setdefault(block.index, analysis.unreachable())
+    return entry_in

@@ -85,6 +85,12 @@ def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
 class DeterminismRule(Rule):
     ids = ("det-wallclock", "det-random", "det-set-iter", "det-id-order")
     name = "determinism"
+    example = """
+def pick_roots(candidates):
+    chosen = {v for v in candidates if v % 2}
+    return [v for v in chosen]      # det-set-iter: hash order leaks into
+                                    # results; iterate sorted(chosen) instead
+"""
 
     def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
         scope = context.reachable_from(DETERMINISM_SEEDS)

@@ -21,10 +21,13 @@ class Rule:
 
     Subclasses set ``ids`` (every finding rule-id they may emit) and implement
     :meth:`check`, yielding :class:`Finding` objects for one module.
+    ``example`` is a short offending snippet shown by ``--explain`` (it
+    mirrors the committed fixtures under ``tests/analysis/fixtures/``).
     """
 
     ids: Tuple[str, ...] = ()
     name: str = "rule"
+    example: str = ""
 
     def check(self, info: ModuleInfo, context: "AnalysisContext") -> Iterator[Finding]:
         raise NotImplementedError
@@ -37,6 +40,7 @@ class AnalysisContext:
     def __init__(self, modules: Sequence[ModuleInfo]) -> None:
         self.modules: List[ModuleInfo] = list(modules)
         self.by_name: Dict[str, ModuleInfo] = {m.module: m for m in self.modules}
+        self.by_path: Dict[str, ModuleInfo] = {m.path: m for m in self.modules}
         self._reach_cache: Dict[Tuple[str, ...], Set[str]] = {}
 
     def reachable_from(self, seeds: Iterable[str]) -> Set[str]:
@@ -117,13 +121,22 @@ class AnalysisReport:
 
 
 def all_rules() -> List[Rule]:
-    """The four shipped rule families, in deterministic order."""
+    """The six shipped rule families, in deterministic order."""
     from .bytemeter import ByteMeterRule
     from .determinism import DeterminismRule
+    from .dtypes import DtypeRule
     from .locks import LockDisciplineRule
     from .purity import PurityRule
+    from .races import RaceRule
 
-    return [DeterminismRule(), LockDisciplineRule(), ByteMeterRule(), PurityRule()]
+    return [
+        DeterminismRule(),
+        LockDisciplineRule(),
+        ByteMeterRule(),
+        PurityRule(),
+        RaceRule(),
+        DtypeRule(),
+    ]
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
@@ -162,30 +175,72 @@ def _suppression_findings(info: ModuleInfo) -> Iterator[Finding]:
             )
 
 
+def _check_chunk(payload: Tuple[Sequence[str], Sequence[int]]) -> List[Finding]:
+    """Worker body for ``jobs > 1``: check one chunk of module indices.
+
+    Workers reparse the corpus from the full path list rather than receiving
+    pickled :class:`ModuleInfo` objects — the parent-map caches are keyed by
+    node ``id()`` and would go silently stale across a pickle round-trip.
+    Each worker sees the *whole* corpus (reachability and cross-module rules
+    need it) but only checks its own chunk, so the union over workers is
+    exactly the serial finding multiset.
+    """
+    paths, indices = payload
+    context = load_corpus(paths)
+    active = all_rules()
+    raw: List[Finding] = []
+    for index in indices:
+        info = context.modules[index]
+        raw.extend(_suppression_findings(info))
+        for rule in active:
+            raw.extend(rule.check(info, context))
+    return raw
+
+
 def run_analysis(
     paths: Optional[Sequence[str]] = None,
     context: Optional[AnalysisContext] = None,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional["Counter[BaselineKey]"] = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
-    """Run ``rules`` over the corpus and split findings by suppression/baseline."""
+    """Run ``rules`` over the corpus and split findings by suppression/baseline.
+
+    ``jobs > 1`` fans the per-module rule pass out over a process pool in
+    chunks.  Findings are sorted before suppression/baseline matching either
+    way, so parallel output is byte-identical to serial.  Custom ``rules``
+    always run serially (worker processes rebuild the default rule set; they
+    cannot receive arbitrary rule instances).
+    """
     if context is None:
         if paths is None:
             raise ValueError("run_analysis needs paths or a prebuilt context")
         context = load_corpus(paths)
-    active: Sequence[Rule] = all_rules() if rules is None else rules
 
     raw: List[Finding] = []
-    for info in context.modules:
-        raw.extend(_suppression_findings(info))
-        for rule in active:
-            raw.extend(rule.check(info, context))
+    if jobs > 1 and rules is None and len(context.modules) > 1:
+        import multiprocessing
+
+        all_paths = [m.path for m in context.modules]
+        chunks = [
+            list(range(start, len(all_paths), jobs)) for start in range(jobs)
+        ]
+        chunks = [c for c in chunks if c]
+        with multiprocessing.Pool(processes=len(chunks)) as pool:
+            for part in pool.map(_check_chunk, [(all_paths, c) for c in chunks]):
+                raw.extend(part)
+    else:
+        active: Sequence[Rule] = all_rules() if rules is None else rules
+        for info in context.modules:
+            raw.extend(_suppression_findings(info))
+            for rule in active:
+                raw.extend(rule.check(info, context))
     raw.sort()
 
     kept: List[Finding] = []
     suppressed: List[Finding] = []
     for finding in raw:
-        info = next((m for m in context.modules if m.path == finding.path), None)
+        info = context.by_path.get(finding.path)
         rules_here = info.suppressed_rules_at(finding.line) if info else ()
         if finding.rule != BAD_SUPPRESSION_RULE and finding.rule in rules_here:
             suppressed.append(finding)

@@ -21,6 +21,12 @@ as findings and need an explicit justified suppression.
 
 Findings: ``lock-guard`` (unguarded access), ``lock-annotation`` (an
 annotation comment that attaches to no statement — usually a typo).
+
+The parsed :class:`Annotations` are also consumed by the lockset-inference
+race rule (:mod:`repro.analysis.races`), which cross-checks what the code
+*actually* holds against what these comments *claim* — a contradicted or
+missing annotation surfaces there as ``race-annotation-mismatch`` /
+``race-missing-annotation``.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ HOLDS_RE = re.compile(
 
 
 @dataclass
-class _Annotations:
+class Annotations:
     """Parsed lock annotations for one module."""
 
     #: attribute name -> lock names that may guard it
@@ -82,8 +88,8 @@ def _function_at(info: ModuleInfo, line: int) -> Optional[ast.AST]:
     return None
 
 
-def parse_annotations(info: ModuleInfo) -> _Annotations:
-    ann = _Annotations()
+def parse_annotations(info: ModuleInfo) -> Annotations:
+    ann = Annotations()
     for lineno, text in comment_tokens(info.source):
         guarded = GUARDED_RE.search(text)
         if guarded is not None:
@@ -99,7 +105,7 @@ def parse_annotations(info: ModuleInfo) -> _Annotations:
     return ann
 
 
-def _attach_guarded(info: ModuleInfo, ann: _Annotations, line: int, lock: str) -> None:
+def _attach_guarded(info: ModuleInfo, ann: Annotations, line: int, lock: str) -> None:
     stmt = _statement_at(info, line)
     if stmt is None:
         ann.dangling.append((line, "guarded-by"))
@@ -153,6 +159,15 @@ def _alias_map(info: ModuleInfo, func: Optional[ast.AST]) -> Dict[str, str]:
 class LockDisciplineRule(Rule):
     ids = ("lock-guard", "lock-annotation")
     name = "lock-discipline"
+    example = """
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self.count += 1             # lock-guard: not inside `with self._lock:`
+"""
 
     def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
         ann = parse_annotations(info)
@@ -176,7 +191,7 @@ class LockDisciplineRule(Rule):
 
     # --------------------------------------------------------------- helpers
     def _held_guards(
-        self, info: ModuleInfo, ann: _Annotations, node: ast.AST
+        self, info: ModuleInfo, ann: Annotations, node: ast.AST
     ) -> Tuple[Set[str], Set[str]]:
         """(with-item expression dumps in scope, holds-locks of enclosing defs)."""
         func = info.enclosing_function(node)
@@ -196,7 +211,7 @@ class LockDisciplineRule(Rule):
         return with_exprs, holds
 
     def _check_attr_access(
-        self, info: ModuleInfo, ann: _Annotations, node: ast.Attribute
+        self, info: ModuleInfo, ann: Annotations, node: ast.Attribute
     ) -> Optional[Finding]:
         attr = node.attr
         # `obj.name(...)` invokes a method that happens to share the guarded
@@ -236,7 +251,7 @@ class LockDisciplineRule(Rule):
         )
 
     def _check_global_access(
-        self, info: ModuleInfo, ann: _Annotations, node: ast.Name
+        self, info: ModuleInfo, ann: Annotations, node: ast.Name
     ) -> Optional[Finding]:
         func = info.enclosing_function(node)
         if func is None:

@@ -58,6 +58,12 @@ def _nested_function_names(tree: ast.Module) -> Set[str]:
 class PurityRule(Rule):
     ids = ("pickle-callable", "backend-concrete")
     name = "purity"
+    example = """
+def run(backend, graphs):
+    def kernel(g):                  # nested: closes over this frame
+        return g.num_vertices
+    return backend.map_graphs(kernel, graphs)   # pickle-callable
+"""
 
     def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
         if not info.module.startswith("repro."):

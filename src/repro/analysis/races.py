@@ -1,0 +1,840 @@
+"""Lockset-inference race detection.
+
+Where :mod:`repro.analysis.locks` *verifies* hand-written ``# guarded-by:``
+annotations, this rule *infers* lock discipline from the code itself, so a
+shared attribute nobody remembered to annotate still gets checked:
+
+1. **Thread-entry discovery** — callables handed to ``threading.Thread(
+   target=…)``, ``asyncio.to_thread(…)``, or ``submit(…)`` on an executor
+   the module provably builds as a ``ThreadPoolExecutor``, anywhere in the
+   module.  (Process-pool submissions run in another address space and are
+   deliberately not treated as thread entries.)
+2. **Context propagation** — each method/function gets the set of thread
+   contexts it can run on: entry points carry their thread's context, every
+   externally callable method carries ``main``, and contexts flow through
+   intra-class ``self.x()`` / intra-module calls to a fixpoint.
+3. **Lockset dataflow** — per function, a must-hold forward analysis over
+   the :mod:`~repro.analysis.cfg` CFG tracks which locks are held at every
+   program point (``with`` blocks, ``.acquire()``/``.release()`` pairs,
+   single-assignment aliases).  Entry locksets come from ``# holds:``
+   annotations plus call-site inference for private (``_``-prefixed)
+   helpers: the intersection of the locksets observed at their intra-class
+   call sites.
+4. **Reporting** — for every ``self.<attr>`` (and written module global)
+   that is reachable from ≥ 2 thread contexts and written outside
+   ``__init__``:
+
+   * ``race-unguarded-write``      — written from ≥ 2 contexts with no
+     common lock across the writes;
+   * ``race-inconsistent-lockset`` — the locksets observed across all
+     accesses have empty intersection (some path forgot the lock);
+   * ``race-annotation-mismatch``  — the code consistently holds one lock
+     but the ``# guarded-by:`` annotation names another;
+   * ``race-missing-annotation``   — the code consistently holds a lock but
+     the attribute carries no annotation (suggests one, so the lock-guard
+     rule can enforce it from then on).
+
+Known limitations (see README): attributes reached through aliases of
+``self`` are not tracked; closure variables shared with a nested thread
+target are not modelled (module globals and ``self`` attributes are);
+condition-variable wait/notify protocols appear as their underlying lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cfg import CFG, Step, build_cfg
+from .dataflow import ForwardAnalysis, run_forward
+from .engine import AnalysisContext, Rule
+from .findings import Finding
+from .locks import Annotations, parse_annotations
+from .modules import ModuleInfo
+
+#: threading factory callables whose product is a lock-like guard object.
+LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Method calls on a container attribute that mutate it in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popleft", "clear",
+        "add", "discard", "update", "setdefault", "popitem", "sort",
+        "appendleft", "put", "put_nowait",
+    }
+)
+
+#: ``heapq.<fn>(attr, …)`` mutates its first argument.
+HEAP_MUTATORS = frozenset({"heappush", "heappop", "heapify", "heappushpop", "heapreplace"})
+
+#: Constructors whose product synchronizes internally — accessing one without
+#: an external lock is the whole point (queue.Queue and friends, Event,
+#: Barrier, threading.local).
+THREADSAFE_FACTORIES = frozenset(
+    {"Queue", "SimpleQueue", "LifoQueue", "PriorityQueue", "JoinableQueue",
+     "Event", "Barrier", "local"}
+)
+
+_INIT_METHODS = ("__init__", "__post_init__")
+
+
+# --------------------------------------------------------------------- helpers
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested defs/classes/lambdas.
+
+    Comprehensions execute inline and *are* descended into; a nested
+    ``def`` body runs at some later call, under whatever locks that call
+    holds, so attributing the enclosing lockset to it would be wrong.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _dump(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+def _alias_map(func: ast.AST) -> Dict[str, str]:
+    """Single-assignment ``name = <expr>`` aliases within ``func``."""
+    values: Dict[str, Optional[str]] = {}
+    for node in walk_scope(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                dump = _dump(node.value)
+                if target.id in values and values[target.id] != dump:
+                    values[target.id] = None  # reassigned: not a stable alias
+                else:
+                    values[target.id] = dump
+    return {name: dump for name, dump in values.items() if dump is not None}
+
+
+def _lock_tokens(expr: ast.expr, aliases: Dict[str, str]) -> Set[str]:
+    """The token(s) a with/acquire expression pins: its dump, alias-resolved."""
+    dump = _dump(expr)
+    tokens = {dump}
+    resolved = aliases.get(dump)
+    if resolved is not None:
+        tokens.add(resolved)
+    return tokens
+
+
+# ----------------------------------------------------------- lockset analysis
+_TOP = frozenset({"\x00TOP\x00"})  # sentinel: unreachable / all locks held
+
+
+class _LocksetAnalysis(ForwardAnalysis[FrozenSet[str]]):
+    """Must-hold lockset: state is the set of lock tokens held on every path."""
+
+    def __init__(self, entry: FrozenSet[str], aliases: Dict[str, str]) -> None:
+        self._entry = entry
+        self._aliases = aliases
+
+    def entry_state(self) -> FrozenSet[str]:
+        return self._entry
+
+    def unreachable(self) -> FrozenSet[str]:
+        return _TOP
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        if a == _TOP:
+            return b
+        if b == _TOP:
+            return a
+        return a & b
+
+    def transfer(self, state: FrozenSet[str], step: Step) -> FrozenSet[str]:
+        kind, node = step
+        if kind == "with_enter":
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            acquired: Set[str] = set()
+            for item in node.items:
+                acquired |= _lock_tokens(item.context_expr, self._aliases)
+            return state | acquired
+        if kind == "with_exit":
+            assert isinstance(node, (ast.With, ast.AsyncWith))
+            released: Set[str] = set()
+            for item in node.items:
+                released |= _lock_tokens(item.context_expr, self._aliases)
+            return state - released
+        # Manual acquire()/release() calls anywhere in the step.
+        for call in self._calls_in(node):
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+                tokens = _lock_tokens(func.value, self._aliases)
+                state = state | tokens if func.attr == "acquire" else state - tokens
+        return state
+
+    @staticmethod
+    def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+        if isinstance(node, ast.Call):
+            yield node
+        for child in walk_scope(node):
+            if isinstance(child, ast.Call):
+                yield child
+
+
+# ------------------------------------------------------------------ accesses
+@dataclass
+class Access:
+    """One observed read/write of a shared location with its held lockset."""
+
+    attr: str
+    line: int
+    is_write: bool
+    lockset: FrozenSet[str]
+    method: str
+    in_init: bool = False
+
+
+@dataclass
+class _FunctionFacts:
+    """Everything the aggregation step needs about one analyzed function."""
+
+    name: str
+    node: ast.AST
+    self_accesses: List[Access] = field(default_factory=list)
+    global_accesses: List[Access] = field(default_factory=list)
+    #: (callee, lockset-at-call) for intra-class self.x() / intra-module f().
+    calls: List[Tuple[str, FrozenSet[str]]] = field(default_factory=list)
+
+
+def _classify_access(info: ModuleInfo, node: ast.AST) -> Optional[bool]:
+    """Whether ``node`` (the access expression) is a write; ``None`` = skip.
+
+    ``node`` is the ``self.attr`` Attribute (or global Name).  Method *calls*
+    on the attribute count as writes only for known mutating methods — a
+    read-only method call is a read of the reference.
+    """
+    parents = info.parent_map()
+    parent = parents.get(id(node))
+    # self.m(...) — calling a method that shares the attribute's name: skip
+    # (matches the lock rule; the body is checked at its definition).
+    if isinstance(parent, ast.Call) and parent.func is node:
+        return None
+    if isinstance(node, (ast.Attribute, ast.Name)) and isinstance(node.ctx, (ast.Store, ast.Del)):
+        return True
+    if isinstance(parent, ast.Attribute):
+        grand = parents.get(id(parent))
+        # self.attr.field = …  /  self.attr.field += …
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return True
+        if isinstance(grand, (ast.Assign, ast.AugAssign)) and isinstance(
+            parent.ctx, ast.Store
+        ):
+            return True
+        # self.attr.append(...) and friends
+        if (
+            isinstance(grand, ast.Call)
+            and grand.func is parent
+            and parent.attr in MUTATING_METHODS
+        ):
+            return True
+    if isinstance(parent, ast.Subscript) and parent.value is node:
+        # self.attr[k] = … / del self.attr[k]
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return True
+    if isinstance(parent, ast.Call):
+        func = parent.func
+        fname = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if fname in HEAP_MUTATORS and parent.args and parent.args[0] is node:
+            return True
+    # AugAssign on the attribute itself: self.attr += 1 has Store ctx already.
+    return False
+
+
+def _analyze_function(
+    info: ModuleInfo,
+    func: ast.AST,
+    entry_lockset: FrozenSet[str],
+    cfg: CFG,
+    lock_attrs: Set[str],
+    global_names: Set[str],
+    callee_names: Set[str],
+    method_name: str,
+) -> _FunctionFacts:
+    """Run the lockset dataflow over ``func`` and collect accesses/calls."""
+    aliases = _alias_map(func)
+    analysis = _LocksetAnalysis(entry_lockset, aliases)
+    entry_states = run_forward(cfg, analysis)
+    facts = _FunctionFacts(name=method_name, node=func)
+    in_init = method_name in _INIT_METHODS
+    for block in cfg.blocks:
+        state = entry_states[block.index]
+        for step in block.steps:
+            kind, node = step
+            if kind in ("stmt", "expr") and state != _TOP:
+                _collect_step(
+                    info, node, state, facts, lock_attrs, global_names,
+                    callee_names, in_init,
+                )
+            state = analysis.transfer(state, step)
+    return facts
+
+
+def _collect_step(
+    info: ModuleInfo,
+    node: ast.AST,
+    lockset: FrozenSet[str],
+    facts: _FunctionFacts,
+    lock_attrs: Set[str],
+    global_names: Set[str],
+    callee_names: Set[str],
+    in_init: bool,
+) -> None:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+        return  # nested definition bodies run later, under their caller's locks
+    nodes = [node]
+    nodes.extend(walk_scope(node))
+    for sub in nodes:
+        if isinstance(sub, ast.Attribute) and isinstance(sub.value, ast.Name) and sub.value.id == "self":
+            if sub.attr in lock_attrs:
+                continue
+            write = _classify_access(info, sub)
+            if write is None:
+                # still record intra-class calls below
+                parent = info.parent_map().get(id(sub))
+                if isinstance(parent, ast.Call) and parent.func is sub and sub.attr in callee_names:
+                    facts.calls.append((sub.attr, lockset))
+                continue
+            facts.self_accesses.append(
+                Access(sub.attr, sub.lineno, write, lockset, facts.name, in_init)
+            )
+        elif isinstance(sub, ast.Name) and sub.id in global_names:
+            write = _classify_access(info, sub)
+            if write is None:
+                if sub.id in callee_names:
+                    parent = info.parent_map().get(id(sub))
+                    if isinstance(parent, ast.Call) and parent.func is sub:
+                        facts.calls.append((sub.id, lockset))
+                continue
+            facts.global_accesses.append(
+                Access(sub.id, sub.lineno, write, lockset, facts.name, in_init)
+            )
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name) and func.id in callee_names:
+                facts.calls.append((func.id, lockset))
+
+
+# ------------------------------------------------------ thread-entry discovery
+def _thread_pool_names(func: ast.AST) -> Set[str]:
+    """Names bound to a ThreadPoolExecutor within ``func`` (assign or with-as)."""
+    names: Set[str] = set()
+    for node in walk_scope(func):
+        value: Optional[ast.expr] = None
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            value, target = node.value, node.targets[0]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None and _is_threadpool_call(item.context_expr):
+                    if isinstance(item.optional_vars, ast.Name):
+                        names.add(item.optional_vars.id)
+            continue
+        if value is not None and target is not None and isinstance(target, ast.Name):
+            if _is_threadpool_call(value):
+                names.add(target.id)
+    return names
+
+
+def _is_threadpool_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    return name == "ThreadPoolExecutor"
+
+
+def thread_entry_targets(info: ModuleInfo) -> Set[Tuple[Optional[str], str]]:
+    """``(class_name | None, callable_name)`` pairs spawned on other threads."""
+    entries: Set[Tuple[Optional[str], str]] = set()
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        fname = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        target: Optional[ast.expr] = None
+        if fname == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    target = kw.value
+        elif fname == "to_thread" and node.args:
+            target = node.args[0]
+        elif fname == "submit" and node.args and isinstance(func, ast.Attribute):
+            base = func.value
+            enclosing = info.enclosing_function(node)
+            pools = _thread_pool_names(enclosing) if enclosing is not None else set()
+            if isinstance(base, ast.Name) and base.id in pools:
+                target = node.args[0]
+        if target is None:
+            continue
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            klass = info.enclosing_class(node)
+            if klass is not None:
+                entries.add((klass.name, target.attr))
+        elif isinstance(target, ast.Name):
+            entries.add((None, target.id))
+    return entries
+
+
+# ----------------------------------------------------------------- aggregation
+def _intersect(locksets: Sequence[FrozenSet[str]]) -> FrozenSet[str]:
+    common: Optional[FrozenSet[str]] = None
+    for ls in locksets:
+        common = ls if common is None else common & ls
+    return common if common is not None else frozenset()
+
+
+def _describe_locksets(accesses: Sequence[Access]) -> str:
+    seen = sorted({", ".join(sorted(a.lockset)) or "<none>" for a in accesses})
+    return "; ".join("{" + s + "}" for s in seen)
+
+
+class RaceRule(Rule):
+    ids = (
+        "race-unguarded-write",
+        "race-inconsistent-lockset",
+        "race-annotation-mismatch",
+        "race-missing-annotation",
+    )
+    name = "races"
+    example = """
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.pending = []
+        threading.Thread(target=self._run).start()
+
+    def _run(self):
+        while True:
+            with self._lock:
+                item = self.pending.pop()        # guarded here...
+
+    def submit(self, item):
+        self.pending.append(item)               # ...but not here -> race
+"""
+
+    def check(self, info: ModuleInfo, context: AnalysisContext) -> Iterator[Finding]:
+        if not info.module.startswith("repro"):
+            return
+        entries = thread_entry_targets(info)
+        if not entries:
+            return
+        ann = parse_annotations(info)
+        yield from self._check_classes(info, entries, ann)
+        yield from self._check_globals(info, entries, ann)
+
+    # ------------------------------------------------------------ class attrs
+    def _check_classes(
+        self,
+        info: ModuleInfo,
+        entries: Set[Tuple[Optional[str], str]],
+        ann: Annotations,
+    ) -> Iterator[Finding]:
+        for klass in [n for n in ast.walk(info.tree) if isinstance(n, ast.ClassDef)]:
+            entry_methods = {name for cls, name in entries if cls == klass.name}
+            if not entry_methods:
+                continue
+            yield from self._check_one_class(info, klass, entry_methods, ann)
+
+    def _check_one_class(
+        self,
+        info: ModuleInfo,
+        klass: ast.ClassDef,
+        entry_methods: Set[str],
+        ann: Annotations,
+    ) -> Iterator[Finding]:
+        methods: Dict[str, ast.AST] = {}
+        for stmt in klass.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = stmt
+        if not methods:
+            return
+        lock_attrs = self._lock_attrs(klass)
+        safe_attrs = self._threadsafe_attrs(klass)
+        cfgs: Dict[str, CFG] = {name: build_cfg(fn) for name, fn in methods.items()}
+        holds = {
+            name: frozenset(
+                {f"self.{lock}" for lock in ann.holds.get(id(fn), set())}
+                | ann.holds.get(id(fn), set())
+            )
+            for name, fn in methods.items()
+        }
+
+        # Iterate entry-lockset inference for private helpers to a fixpoint.
+        entry_ls: Dict[str, FrozenSet[str]] = dict(holds)
+        facts: Dict[str, _FunctionFacts] = {}
+        for _ in range(8):
+            facts = {
+                name: _analyze_function(
+                    info, fn, entry_ls[name], cfgs[name], lock_attrs,
+                    set(), set(methods), name,
+                )
+                for name, fn in methods.items()
+            }
+            call_sites: Dict[str, List[FrozenSet[str]]] = {}
+            for f in facts.values():
+                for callee, lockset in f.calls:
+                    call_sites.setdefault(callee, []).append(lockset)
+            new_entry: Dict[str, FrozenSet[str]] = {}
+            for name in methods:
+                inferred: FrozenSet[str] = frozenset()
+                if (
+                    name.startswith("_")
+                    and name not in _INIT_METHODS
+                    and name not in entry_methods
+                    and call_sites.get(name)
+                ):
+                    inferred = _intersect(call_sites[name])
+                new_entry[name] = holds[name] | inferred
+            if new_entry == entry_ls:
+                break
+            entry_ls = new_entry
+
+        contexts = self._method_contexts(info, klass, methods, facts, entry_methods)
+
+        # Group accesses by attribute.
+        by_attr: Dict[str, List[Access]] = {}
+        for name, f in facts.items():
+            for access in f.self_accesses:
+                by_attr.setdefault(access.attr, []).append(access)
+        declared_line = self._declaring_lines(klass)
+        for attr in sorted(by_attr):
+            if attr in safe_attrs:
+                continue  # internally synchronized object (queue.Queue, Event…)
+            finding = self._judge_attr(
+                info, klass, attr, by_attr[attr], contexts, ann, declared_line
+            )
+            if finding is not None:
+                yield finding
+
+    def _lock_attrs(self, klass: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(klass):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and isinstance(node.value, ast.Call)
+                    ):
+                        func = node.value.func
+                        name = func.id if isinstance(func, ast.Name) else (
+                            func.attr if isinstance(func, ast.Attribute) else None
+                        )
+                        if name in LOCK_FACTORIES:
+                            locks.add(target.attr)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                    ):
+                        locks.add(expr.attr)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("acquire", "release"):
+                    expr = node.func.value
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                    ):
+                        locks.add(expr.attr)
+        return locks
+
+    def _threadsafe_attrs(self, klass: ast.ClassDef) -> Set[str]:
+        """Attrs bound to internally synchronized objects in ``__init__``."""
+        safe: Set[str] = set()
+        for node in ast.walk(klass):
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name not in THREADSAFE_FACTORIES:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    safe.add(target.attr)
+        return safe
+
+    def _declaring_lines(self, klass: ast.ClassDef) -> Dict[str, int]:
+        """attr → line of its first ``self.attr = …`` in an init method."""
+        out: Dict[str, int] = {}
+        for stmt in klass.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name not in _INIT_METHODS:
+                continue
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            out.setdefault(target.attr, node.lineno)
+        return out
+
+    def _method_contexts(
+        self,
+        info: ModuleInfo,
+        klass: ast.ClassDef,
+        methods: Dict[str, ast.AST],
+        facts: Dict[str, _FunctionFacts],
+        entry_methods: Set[str],
+    ) -> Dict[str, FrozenSet[str]]:
+        """Thread contexts each method can run on, propagated via self-calls."""
+        # A method referenced *only* as a thread target never runs on main.
+        called_names: Set[str] = set()
+        for f in facts.values():
+            for callee, _ in f.calls:
+                called_names.add(callee)
+        ctx: Dict[str, Set[str]] = {}
+        for name in methods:
+            ctx[name] = set()
+            if name in entry_methods:
+                ctx[name].add(f"thread:{name}")
+            if name not in entry_methods or name in called_names or not name.startswith("_"):
+                ctx[name].add("main")
+        # propagate caller contexts to callees
+        for _ in range(len(methods) + 1):
+            changed = False
+            for name, f in facts.items():
+                for callee, _ in f.calls:
+                    if callee in ctx and not ctx[name] <= ctx[callee]:
+                        ctx[callee] |= ctx[name]
+                        changed = True
+            if not changed:
+                break
+        return {name: frozenset(c) for name, c in ctx.items()}
+
+    def _judge_attr(
+        self,
+        info: ModuleInfo,
+        klass: ast.ClassDef,
+        attr: str,
+        accesses: List[Access],
+        contexts: Dict[str, FrozenSet[str]],
+        ann: Annotations,
+        declared_line: Dict[str, int],
+    ) -> Optional[Finding]:
+        live = [a for a in accesses if not a.in_init]
+        writes = [a for a in live if a.is_write]
+        if not writes:
+            return None  # published in __init__, read-only afterwards: safe
+        observed_ctx: Set[str] = set()
+        for a in live:
+            observed_ctx |= contexts.get(a.method, frozenset())
+        if len(observed_ctx) < 2:
+            return None  # single-threaded attribute
+        line = declared_line.get(attr, min(a.line for a in accesses))
+        annotated = self._annotated_locks(ann, klass, attr)
+        common_all = _intersect([a.lockset for a in live])
+        if not common_all:
+            write_ctx: Set[str] = set()
+            for a in writes:
+                write_ctx |= contexts.get(a.method, frozenset())
+            common_writes = _intersect([a.lockset for a in writes])
+            if len(write_ctx) >= 2 and not common_writes:
+                return Finding(
+                    path=info.path, line=line, rule="race-unguarded-write",
+                    message=(
+                        f"'{klass.name}.{attr}' is written from multiple thread "
+                        f"contexts ({', '.join(sorted(write_ctx))}) with no common "
+                        f"lock; observed locksets: {_describe_locksets(writes)}"
+                    ),
+                )
+            return Finding(
+                path=info.path, line=line, rule="race-inconsistent-lockset",
+                message=(
+                    f"'{klass.name}.{attr}' is shared across thread contexts "
+                    f"({', '.join(sorted(observed_ctx))}) but its accesses hold "
+                    f"no common lock; observed locksets: {_describe_locksets(live)}"
+                ),
+            )
+        # Consistently guarded: cross-check the annotation.
+        common_names = {tok[len("self."):] for tok in common_all if tok.startswith("self.")}
+        common_names |= {tok for tok in common_all if "." not in tok}
+        if annotated:
+            if not (annotated & common_names):
+                held = sorted(common_names or common_all)[0]
+                return Finding(
+                    path=info.path, line=line, rule="race-annotation-mismatch",
+                    message=(
+                        f"'{klass.name}.{attr}' is annotated `# guarded-by: "
+                        f"{sorted(annotated)[0]}` but every access holds "
+                        f"'{held}' instead; fix the annotation or the locking"
+                    ),
+                )
+            return None
+        suggestion = sorted(common_names or common_all)[0]
+        return Finding(
+            path=info.path, line=line, rule="race-missing-annotation",
+            message=(
+                f"'{klass.name}.{attr}' is shared across thread contexts and "
+                f"consistently guarded by '{suggestion}' but carries no "
+                f"annotation; declare `# guarded-by: {suggestion}` on its "
+                "assignment so the lock-guard rule enforces it"
+            ),
+        )
+
+    def _annotated_locks(
+        self, ann: Annotations, klass: ast.ClassDef, attr: str
+    ) -> Set[str]:
+        owners = ann.attr_classes.get(attr, set())
+        if owners and klass.name not in owners:
+            return set()
+        return set(ann.attr_locks.get(attr, set()))
+
+    # --------------------------------------------------------- module globals
+    def _check_globals(
+        self,
+        info: ModuleInfo,
+        entries: Set[Tuple[Optional[str], str]],
+        ann: Annotations,
+    ) -> Iterator[Finding]:
+        entry_funcs = {name for cls, name in entries if cls is None}
+        module_globals = self._module_globals(info)
+        if not module_globals:
+            return
+        functions: Dict[str, ast.AST] = {}
+        for stmt in info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[stmt.name] = stmt
+        if not functions:
+            return
+        relevant_entries = entry_funcs & set(functions)
+        if not relevant_entries:
+            return
+        lock_globals = {
+            name for name in module_globals
+            if self._is_lock_global(info, name)
+        }
+        targets = module_globals - lock_globals
+        facts: Dict[str, _FunctionFacts] = {}
+        holds = {
+            name: frozenset(ann.holds.get(id(fn), set()))
+            for name, fn in functions.items()
+        }
+        for name, fn in functions.items():
+            facts[name] = _analyze_function(
+                info, fn, holds[name], build_cfg(fn), set(), targets,
+                set(functions), name,
+            )
+        ctx: Dict[str, Set[str]] = {}
+        for name in functions:
+            ctx[name] = {"main"} if name not in relevant_entries else {"main", f"thread:{name}"}
+            if name in relevant_entries and name.startswith("_"):
+                ctx[name] = {f"thread:{name}"}
+        for _ in range(len(functions) + 1):
+            changed = False
+            for name, f in facts.items():
+                for callee, _ in f.calls:
+                    if callee in ctx and not ctx[name] <= ctx[callee]:
+                        ctx[callee] |= ctx[name]
+                        changed = True
+            if not changed:
+                break
+        by_name: Dict[str, List[Access]] = {}
+        for f in facts.values():
+            for access in f.global_accesses:
+                by_name.setdefault(access.attr, []).append(access)
+        for gname in sorted(by_name):
+            accesses = by_name[gname]
+            writes = [a for a in accesses if a.is_write]
+            if not writes:
+                continue
+            observed_ctx: Set[str] = set()
+            for a in accesses:
+                observed_ctx |= ctx.get(a.method, set())
+            if len(observed_ctx) < 2:
+                continue
+            common = _intersect([a.lockset for a in accesses])
+            if common:
+                continue
+            write_ctx: Set[str] = set()
+            for a in writes:
+                write_ctx |= ctx.get(a.method, set())
+            common_writes = _intersect([a.lockset for a in writes])
+            line = min(a.line for a in accesses)
+            if len(write_ctx) >= 2 and not common_writes:
+                yield Finding(
+                    path=info.path, line=line, rule="race-unguarded-write",
+                    message=(
+                        f"module global '{gname}' is written from multiple "
+                        f"thread contexts ({', '.join(sorted(write_ctx))}) with "
+                        f"no common lock; observed locksets: {_describe_locksets(writes)}"
+                    ),
+                )
+            else:
+                yield Finding(
+                    path=info.path, line=line, rule="race-inconsistent-lockset",
+                    message=(
+                        f"module global '{gname}' is shared across thread "
+                        f"contexts but its accesses hold no common lock; "
+                        f"observed locksets: {_describe_locksets(accesses)}"
+                    ),
+                )
+
+    def _module_globals(self, info: ModuleInfo) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+        return names
+
+    def _is_lock_global(self, info: ModuleInfo, name: str) -> bool:
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        func = stmt.value.func
+                        fname = func.id if isinstance(func, ast.Name) else (
+                            func.attr if isinstance(func, ast.Attribute) else None
+                        )
+                        if fname in LOCK_FACTORIES:
+                            return True
+        return False

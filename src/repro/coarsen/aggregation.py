@@ -85,7 +85,7 @@ class Aggregation:
         valid = sorted_labels >= 0
         order = order[valid]
         sorted_labels = sorted_labels[valid]
-        boundaries = np.searchsorted(sorted_labels, np.arange(self.num_aggregates + 1))
+        boundaries = np.searchsorted(sorted_labels, np.arange(self.num_aggregates + 1, dtype=np.int64))
         return [order[boundaries[a]: boundaries[a + 1]] for a in range(self.num_aggregates)]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -122,16 +122,16 @@ def join_by_max_coupling(
     rowmap, entries = graph.rowmap, graph.entries
     # Gather the tentative labels of all neighbours of all unaggregated vertices.
     lens = rowmap[unagg + 1] - rowmap[unagg]
-    owner = np.repeat(np.arange(unagg.size), lens)
+    owner = np.repeat(np.arange(unagg.size, dtype=np.int64), lens)
     starts = rowmap[unagg]
-    within = np.arange(int(lens.sum())) - np.repeat(np.cumsum(lens) - lens, lens)
+    within = np.arange(int(lens.sum()), dtype=np.int64) - np.repeat(np.cumsum(lens) - lens, lens)
     slots = starts[owner] + within
     nbr_labels = labels[entries[slots].astype(np.int64)]
     keep = nbr_labels >= 0
     owner = owner[keep]
     nbr_labels = nbr_labels[keep]
     if np.unique(owner).size != unagg.size:
-        missing = np.setdiff1d(np.arange(unagg.size), np.unique(owner))
+        missing = np.setdiff1d(np.arange(unagg.size, dtype=np.int64), np.unique(owner))
         raise ValueError(
             f"{missing.size} unaggregated vertices have no aggregated neighbour; "
             "phase-1 aggregation did not cover the graph"

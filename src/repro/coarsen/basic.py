@@ -55,10 +55,10 @@ def mis2_basic_aggregation(
     # Roots and their direct neighbours form the initial aggregates. Because roots are
     # pairwise at distance > 2, a vertex can neighbour at most one root, so the
     # parallel scatter below is conflict-free (and order-independent).
-    labels[roots] = np.arange(roots.size)
+    labels[roots] = np.arange(roots.size, dtype=np.int64)
     slots, seg = expand_rows(graph.rowmap, roots)
     labels[graph.entries[slots].astype(np.int64)] = np.repeat(
-        np.arange(roots.size), np.diff(seg)
+        np.arange(roots.size, dtype=np.int64), np.diff(seg)
     )
     phase1 = int(np.count_nonzero(labels >= 0))
 

@@ -74,7 +74,7 @@ def d2c_aggregation(
             continue
         # Same-color vertices are pairwise at distance > 2, so no two roots of this
         # color share an unaggregated neighbour: the scatter is conflict-free.
-        new_ids = next_aggregate + np.arange(roots.size)
+        new_ids = next_aggregate + np.arange(roots.size, dtype=np.int64)
         labels[roots] = new_ids
         unagg_mask[roots] = False
         rslots, rseg = B.expand_rows(graph.rowmap, roots)

@@ -104,10 +104,10 @@ def mis2_aggregation(
         return Aggregation(labels, 0, roots, algorithm="mis2_agg", backend=B.name)
 
     # ------------------------------------------------------------------ phase 1
-    labels[roots] = np.arange(roots.size)
+    labels[roots] = np.arange(roots.size, dtype=np.int64)
     slots1, seg1 = B.expand_rows(graph.rowmap, roots)
     labels[graph.entries[slots1].astype(np.int64)] = np.repeat(
-        np.arange(roots.size), np.diff(seg1)
+        np.arange(roots.size, dtype=np.int64), np.diff(seg1)
     )
     next_aggregate = int(roots.size)
     phase1 = int(np.count_nonzero(labels >= 0))
@@ -139,7 +139,7 @@ def mis2_aggregation(
         qualifies = free_counts >= min_secondary_neighbors
         secondary_roots = B.stream_compact(candidates, qualifies)
         if secondary_roots.size:
-            new_ids = next_aggregate + np.arange(secondary_roots.size)
+            new_ids = next_aggregate + np.arange(secondary_roots.size, dtype=np.int64)
             labels[secondary_roots] = new_ids
             qslots, qseg = B.expand_rows(graph.rowmap, secondary_roots)
             qnbrs = graph.entries[qslots].astype(np.int64)

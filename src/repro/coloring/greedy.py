@@ -68,7 +68,7 @@ def _speculative_assign(
     slots, seg = B.expand_rows(graph.rowmap, worklist)
     nbr_colors = colors[graph.entries[slots].astype(np.int64)]
     lens = np.diff(seg)
-    owner = np.repeat(np.arange(worklist.size), lens)
+    owner = np.repeat(np.arange(worklist.size, dtype=np.int64), lens)
     forbidden = np.zeros((worklist.size, max_colors + 1), dtype=bool)
     valid = nbr_colors >= 0
     clipped = np.minimum(nbr_colors[valid], max_colors)
@@ -176,6 +176,6 @@ def greedy_color(
     # Compact color ids to a dense range (greedy first-fit already yields dense ids,
     # but renumber defensively so downstream color-class loops are simple).
     remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
-    remap[used] = np.arange(used.size)
+    remap[used] = np.arange(used.size, dtype=np.int64)
     colors = remap[colors]
     return ColoringResult(colors, int(used.size), rounds, traffic, distance=1, backend=B.name)

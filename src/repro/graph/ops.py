@@ -72,7 +72,7 @@ def induced_subgraph(
     keep = np.zeros(graph.num_vertices, dtype=bool)
     keep[verts] = True
     new_id = -np.ones(graph.num_vertices, dtype=np.int64)
-    new_id[verts] = np.arange(verts.size)
+    new_id[verts] = np.arange(verts.size, dtype=np.int64)
     A = to_scipy(graph, dtype=np.int8)
     sub = A[verts][:, verts]
     return from_scipy(sub), verts

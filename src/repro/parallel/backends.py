@@ -556,7 +556,7 @@ class _UnpinnedResidentSession(ResidentSession):
         def collect() -> List:
             items = [(self._payloads[i], self._states[i], fn, delta) for i, delta in tasks]
             outs = self._backend.map_partitions(_unpinned_phase, items)
-            results = []
+            results: List = []
             for (i, _), (result, state) in zip(tasks, outs):
                 self._states[i] = state
                 results.append(result)
@@ -730,7 +730,7 @@ class _PinnedResidentSession(ResidentSession):
         self._key = next(_RESIDENT_SESSION_KEYS)
         self._nslots = max(1, min(int(width), len(payloads)))
         self._closed = False
-        pending = []
+        pending: List = []
         for part, (payload, state) in enumerate(zip(payloads, states)):
             slot = part % self._nslots
             pool = _resident_slot(slot)
@@ -784,7 +784,7 @@ class _PinnedResidentSession(ResidentSession):
 
     def _collect(self, fn: Callable, tasks: Sequence[Tuple[int, Any]], futures) -> List:
         try:
-            results = []
+            results: List = []
             for (i, delta), fut in zip(tasks, futures):
                 try:
                     results.append(fut.result())

@@ -380,7 +380,7 @@ def _build_part(graph: CSRGraph, labels: np.ndarray, part_id: int) -> GraphPart:
     owned_local = np.searchsorted(ids, owned)
     lens = np.diff(seg)
     has_foreign = np.zeros(owned.size, dtype=bool)
-    has_foreign[np.repeat(np.arange(owned.size), lens)[foreign]] = True
+    has_foreign[np.repeat(np.arange(owned.size, dtype=np.int64), lens)[foreign]] = True
     # Owned rows keep their adjacency (remapped into the local space); halo
     # rows stay empty — ghosts are only ever read.
     rowmap = np.zeros(ids.size + 1, dtype=np.int64)
@@ -778,7 +778,7 @@ def _color_assign_compute(payload, state, wl_local):
     colors = state["colors"]
     slots, seg = _ref.expand_rows(payload["rowmap"], wl_local)
     nbr_colors = colors[payload["entries"][slots]]
-    owner = np.repeat(np.arange(wl_local.size), np.diff(seg))
+    owner = np.repeat(np.arange(wl_local.size, dtype=np.int64), np.diff(seg))
     max_colors = payload["max_colors"]
     forbidden = np.zeros((wl_local.size, max_colors + 1), dtype=bool)
     valid = nbr_colors >= 0
@@ -1650,7 +1650,7 @@ def partitioned_greedy_color(
                 for i, out in zip(live, fi.result()):
                     colors[wi[i]] = out
                 new_worklists = [np.zeros(0, dtype=np.int64)] * len(members)
-                loser_lists = []
+                loser_lists: List[np.ndarray] = []
                 for i, lb, li in zip(live, gb.result(), gi.result()):
                     # Boundary and interior losers are disjoint; sorting the
                     # union reproduces the barrier schedule's worklist exactly.
@@ -1712,7 +1712,7 @@ def partitioned_greedy_color(
 
     used = np.unique(colors)
     remap = -np.ones(int(used.max()) + 1, dtype=np.int64)
-    remap[used] = np.arange(used.size)
+    remap[used] = np.arange(used.size, dtype=np.int64)
     return ColoringResult(
         remap[colors],
         int(used.size),

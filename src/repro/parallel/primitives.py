@@ -96,8 +96,8 @@ def expand_rows(rowmap: np.ndarray, rows: np.ndarray) -> Tuple[np.ndarray, np.nd
     if total == 0:
         return np.zeros(0, dtype=np.int64), seg_offsets
     # slots[k] = rowmap[rows[j]] + (k - seg_offsets[j]) for the j owning slot k.
-    owner = np.repeat(np.arange(rows.size), lens)
-    within = np.arange(total) - np.repeat(seg_offsets[:-1], lens)
+    owner = np.repeat(np.arange(rows.size, dtype=np.int64), lens)
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_offsets[:-1], lens)
     slots = rowmap[rows[owner]] + within
     return slots, seg_offsets
 

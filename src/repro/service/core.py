@@ -224,7 +224,7 @@ class GraphService:
         self._parts = parts
         self._crossover = float(repair_crossover)
         self._word_bits = int(word_bits)
-        self._entries: Dict[str, _Entry] = {}
+        self._entries: Dict[str, _Entry] = {}  # guarded-by: _entries_lock
         self._entries_lock = threading.RLock()
         self._stats_lock = threading.Lock()
         self.stats = ServiceStats()  # guarded-by: _stats_lock

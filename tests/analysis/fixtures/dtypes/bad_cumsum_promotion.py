@@ -1,0 +1,13 @@
+"""PR 4 bug class: unqualified cumsum promotes sub-64-bit ints platform-wide."""
+
+import numpy as np
+
+
+def row_offsets(counts):
+    lens = np.asarray(counts, dtype=np.uint32)
+    return np.cumsum(lens)
+
+
+def running_total(flags):
+    mask = np.asarray(flags, dtype=np.bool_)
+    return mask.cumsum()

@@ -1,0 +1,15 @@
+"""Platform-default-int hazards: bare arange and dtype=int."""
+
+import numpy as np
+
+
+def vertex_ids(n):
+    return np.arange(n)
+
+
+def zero_labels(n):
+    return np.zeros(n, dtype=int)
+
+
+def relabel(labels):
+    return labels.astype(int)

@@ -1,0 +1,19 @@
+"""Backend overrides whose returned dtype diverges from the numpy reference."""
+
+import numpy as np
+
+from repro.parallel.backends import ExecutionBackend
+
+
+class PinnedBackend(ExecutionBackend):
+    def inclusive_scan(self, arr):
+        out = np.zeros(arr.size, dtype=np.int64)
+        np.cumsum(arr, dtype=np.int64, out=out)
+        return out
+
+    def stream_compact(self, values, mask):
+        kept = values[mask]
+        return kept.astype(np.float64)
+
+    def row_lengths(self, indptr):
+        return np.diff(indptr).astype(np.int32)

@@ -1,0 +1,13 @@
+"""Clean twin of the PR 4 bug: the empty-slice probe pins the promoted dtype."""
+
+import numpy as np
+
+
+def row_offsets(counts):
+    lens = np.asarray(counts, dtype=np.uint32)
+    return np.cumsum(lens, dtype=np.cumsum(lens[:0]).dtype)
+
+
+def running_total(flags):
+    mask = np.asarray(flags, dtype=np.bool_)
+    return mask.cumsum(dtype=np.int64)

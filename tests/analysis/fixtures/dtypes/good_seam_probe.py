@@ -1,0 +1,19 @@
+"""Clean twin: overrides derive output dtypes from their inputs."""
+
+import numpy as np
+
+from repro.parallel.backends import ExecutionBackend
+
+
+class ProbedBackend(ExecutionBackend):
+    def inclusive_scan(self, arr):
+        out = np.empty(arr.size, dtype=np.cumsum(arr[:0]).dtype)
+        np.cumsum(arr, out=out)
+        return out
+
+    def stream_compact(self, values, mask):
+        kept = values[mask]
+        return kept
+
+    def row_lengths(self, indptr):
+        return np.diff(indptr).astype(np.int64)

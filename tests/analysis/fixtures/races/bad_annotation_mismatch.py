@@ -1,0 +1,20 @@
+"""The annotation names one lock; every access holds a different one."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+        self.total = 0  # guarded-by: _a_lock
+        self._thread = threading.Thread(target=self._accumulate, daemon=True)
+        self._thread.start()
+
+    def _accumulate(self):
+        with self._b_lock:
+            self.total += 1
+
+    def add(self, amount):
+        with self._b_lock:
+            self.total += amount

@@ -1,0 +1,18 @@
+"""One path takes the lock, another forgets it: empty lockset intersection."""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._thread = threading.Thread(target=self._refresh, daemon=True)
+        self._thread.start()
+
+    def _refresh(self):
+        with self._lock:
+            self._entries["fresh"] = True
+
+    def lookup(self, key):
+        return self._entries.get(key)

@@ -1,0 +1,23 @@
+"""Consistently guarded but never annotated: suggest the guarded-by comment."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+        self._thread = threading.Thread(target=self._tick, daemon=True)
+        self._thread.start()
+
+    def _tick(self):
+        with self._lock:
+            self.value += 1
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def read(self):
+        with self._lock:
+            return self.value

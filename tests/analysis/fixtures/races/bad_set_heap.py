@@ -1,0 +1,20 @@
+"""PR 9 bug class: a work heap seeded from a set and mutated by two threads."""
+
+import heapq
+import threading
+
+
+class RepairQueue:
+    def __init__(self, dirty):
+        seeds = {v for v in dirty}
+        self._heap = [v for v in seeds]
+        heapq.heapify(self._heap)
+        self._worker = threading.Thread(target=self._drain, daemon=True)
+        self._worker.start()
+
+    def _drain(self):
+        while self._heap:
+            heapq.heappop(self._heap)
+
+    def enqueue(self, vertex):
+        heapq.heappush(self._heap, vertex)

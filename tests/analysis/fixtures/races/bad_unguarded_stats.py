@@ -1,0 +1,24 @@
+"""PR 9 bug class: a stats object bumped from two threads with no lock."""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.batches = 0
+        self.queries = 0
+
+
+class Service:
+    def __init__(self):
+        self.stats = Stats()
+        self._thread = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._thread.start()
+
+    def _dispatch_loop(self):
+        while True:
+            self.stats.batches += 1
+
+    def query(self):
+        self.stats.queries += 1
+        return self.stats.queries

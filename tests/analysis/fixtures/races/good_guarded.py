@@ -1,0 +1,19 @@
+"""Clean twin: every cross-thread access holds the annotated lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: _lock
+        self._thread = threading.Thread(target=self._tick, daemon=True)
+        self._thread.start()
+
+    def _tick(self):
+        with self._lock:
+            self.value += 1
+
+    def bump(self):
+        with self._lock:
+            self.value += 1

@@ -1,0 +1,17 @@
+"""Clean twin: written only in __init__, read-only afterwards (safe publish)."""
+
+import threading
+
+
+class Config:
+    def __init__(self, options):
+        self.options = dict(options)
+        self._thread = threading.Thread(target=self._watch, daemon=True)
+        self._thread.start()
+
+    def _watch(self):
+        while self.options.get("active"):
+            pass
+
+    def describe(self):
+        return sorted(self.options)

@@ -1,0 +1,18 @@
+"""Clean twin: queue.SimpleQueue synchronizes internally; no lock needed."""
+
+import queue
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._queue = queue.SimpleQueue()
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self):
+        while True:
+            self._queue.get()
+
+    def submit(self, item):
+        self._queue.put(item)

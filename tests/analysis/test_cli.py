@@ -100,8 +100,67 @@ def test_cli_list_rules(capsys):
     for rule_id in (
         "det-wallclock", "det-set-iter", "lock-guard", "bytes-socket",
         "bytes-pickle", "pickle-callable", "backend-concrete",
+        "race-unguarded-write", "race-inconsistent-lockset",
+        "race-annotation-mismatch", "race-missing-annotation",
+        "dtype-size-dependent", "dtype-seam-divergence",
     ):
         assert rule_id in out
+
+
+def test_cli_explain_by_family_name(capsys):
+    assert main(["--explain", "races"]) == 0
+    out = capsys.readouterr().out
+    assert "race-unguarded-write" in out
+    assert "Lockset-inference race detection" in out
+    assert "Example:" in out
+
+
+def test_cli_explain_by_finding_id(capsys):
+    assert main(["--explain", "dtype-size-dependent"]) == 0
+    out = capsys.readouterr().out
+    assert "dtype-flow" in out
+    assert "platform" in out
+    assert "Example:" in out
+
+
+def test_cli_explain_every_shipped_family(capsys):
+    from repro.analysis.engine import all_rules
+
+    for rule in all_rules():
+        assert main(["--explain", rule.name]) == 0
+        out = capsys.readouterr().out
+        assert rule.name in out and "Example:" in out
+
+
+def test_cli_explain_unknown_rule_exits_two(capsys):
+    assert main(["--explain", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "races" in err
+
+
+def test_cli_jobs_output_matches_serial(capsys):
+    code = main(["--json", str(REPO_SRC)])
+    serial = capsys.readouterr().out
+    assert code == 0
+    code = main(["--json", "--jobs", "4", str(REPO_SRC)])
+    parallel = capsys.readouterr().out
+    assert code == 0
+    assert parallel == serial
+
+
+def test_cli_jobs_must_be_positive(bad_file, capsys):
+    assert main(["--jobs", "0", str(bad_file)]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_sarif_writes_valid_log(bad_file, tmp_path, capsys):
+    out_file = tmp_path / "report.sarif"
+    code = main(["--sarif", str(out_file), str(bad_file)])
+    assert code == 1  # findings still gate the exit status
+    payload = json.loads(out_file.read_text())
+    assert payload["version"] == "2.1.0"
+    results = payload["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["lock-guard"]
 
 
 def test_cli_rejects_unknown_flag():

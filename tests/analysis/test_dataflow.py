@@ -1,0 +1,102 @@
+"""Dataflow engine: fixpoint behaviour on small lock-style analyses."""
+
+import ast
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import ForwardAnalysis, block_out, run_forward
+
+TOP = frozenset({"<top>"})
+
+
+class MustDefined(ForwardAnalysis):
+    """Names assigned on *every* path (join = intersection)."""
+
+    def entry_state(self):
+        return frozenset()
+
+    def unreachable(self):
+        return TOP
+
+    def join(self, a, b):
+        if a == TOP:
+            return b
+        if b == TOP:
+            return a
+        return a & b
+
+    def transfer(self, state, step):
+        kind, node = step
+        if kind == "stmt" and isinstance(node, ast.Assign):
+            names = {
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            }
+            return state | frozenset(names)
+        return state
+
+
+def _exit_state(source: str):
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    analysis = MustDefined()
+    states = run_forward(cfg, analysis)
+    return states[cfg.exit_index]
+
+
+def test_straight_line_accumulates():
+    state = _exit_state("def f():\n    a = 1\n    b = 2\n")
+    assert state == frozenset({"a", "b"})
+
+
+def test_branch_join_is_intersection():
+    state = _exit_state(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "        b = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    c = 3\n"
+    )
+    assert "a" in state and "c" in state
+    assert "b" not in state  # only assigned on one path
+
+
+def test_loop_body_not_guaranteed():
+    state = _exit_state(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        inside = 1\n"
+        "    after = 2\n"
+    )
+    assert "after" in state
+    assert "inside" not in state  # zero-iteration path skips the body
+
+
+def test_loop_reaches_fixpoint():
+    # The back edge must not oscillate: the analysis terminates and the
+    # pre-loop assignment survives every iteration count.
+    state = _exit_state(
+        "def f(xs):\n"
+        "    acc = 0\n"
+        "    for x in xs:\n"
+        "        acc = 1\n"
+        "    return acc\n"
+    )
+    assert "acc" in state
+
+
+def test_block_out_replays_steps():
+    func = ast.parse("def f():\n    a = 1\n").body[0]
+    cfg = build_cfg(func)
+    analysis = MustDefined()
+    out = block_out(analysis, frozenset(), cfg.block(cfg.entry).steps)
+    assert out == frozenset({"a"})
+
+
+def test_unreached_blocks_get_unreachable_state():
+    func = ast.parse(
+        "def f():\n    return 1\n    dead = 2\n"
+    ).body[0]
+    cfg = build_cfg(func)
+    states = run_forward(cfg, MustDefined())
+    assert all(index in states for index in range(len(cfg.blocks)))

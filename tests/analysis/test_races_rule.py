@@ -1,0 +1,104 @@
+"""Lockset-inference race rule: fixtures, real-tree spot checks, filters."""
+
+from repro.analysis.races import RaceRule, thread_entry_targets
+
+from .helpers import REPO_SRC, check, load, rule_ids
+
+from repro.analysis.modules import ModuleInfo
+
+
+def _check(relpath: str, module: str = "repro.service.fixture"):
+    return check(RaceRule(), load(f"races/{relpath}", module))
+
+
+# ------------------------------------------------------------------- bad twins
+def test_unguarded_stats_fires():
+    findings = _check("bad_unguarded_stats.py")
+    assert "race-unguarded-write" in rule_ids(findings)
+    assert any("Service.stats" in f.message for f in findings)
+
+
+def test_set_seeded_heap_fires():
+    findings = _check("bad_set_heap.py")
+    assert "race-unguarded-write" in rule_ids(findings)
+    assert any("_heap" in f.message for f in findings)
+
+
+def test_inconsistent_lockset_fires():
+    findings = _check("bad_inconsistent.py")
+    assert rule_ids(findings) == ["race-inconsistent-lockset"]
+    assert "_entries" in findings[0].message
+
+
+def test_annotation_mismatch_fires():
+    findings = _check("bad_annotation_mismatch.py")
+    assert rule_ids(findings) == ["race-annotation-mismatch"]
+    assert "_a_lock" in findings[0].message
+    assert "_b_lock" in findings[0].message
+
+
+def test_missing_annotation_suggests_lock():
+    findings = _check("bad_missing_annotation.py")
+    assert rule_ids(findings) == ["race-missing-annotation"]
+    assert "# guarded-by: _lock" in findings[0].message
+
+
+def test_finding_anchors_on_declaring_init_line():
+    findings = _check("bad_unguarded_stats.py")
+    source = (load("races/bad_unguarded_stats.py", "x").source).splitlines()
+    flagged = source[findings[0].line - 1]
+    assert "self.stats" in flagged
+
+
+# ------------------------------------------------------------------ good twins
+def test_consistently_guarded_is_quiet():
+    assert _check("good_guarded.py") == []
+
+
+def test_init_only_publish_is_quiet():
+    assert _check("good_init_publish.py") == []
+
+
+def test_threadsafe_queue_is_quiet():
+    assert _check("good_queue.py") == []
+
+
+def test_module_without_thread_entries_is_quiet():
+    # The same racy code is fine when nothing ever runs it on another thread.
+    source_info = load("races/bad_unguarded_stats.py", "repro.service.fixture")
+    info = ModuleInfo.from_source(
+        source_info.source.replace("threading.Thread", "RecordedPlan"),
+        path=source_info.path,
+        module=source_info.module,
+    )
+    assert check(RaceRule(), info) == []
+
+
+def test_non_repro_module_is_skipped():
+    assert _check("bad_unguarded_stats.py", module="other.pkg") == []
+
+
+# ------------------------------------------------------------- entry discovery
+def test_thread_entry_discovery_sees_thread_target():
+    info = load("races/bad_unguarded_stats.py", "repro.service.fixture")
+    assert ("Service", "_dispatch_loop") in thread_entry_targets(info)
+
+
+def test_real_service_core_has_dispatcher_entry():
+    info = ModuleInfo.from_path(
+        str(REPO_SRC / "service" / "core.py"), module="repro.service.core"
+    )
+    assert ("GraphService", "_dispatch_loop") in thread_entry_targets(info)
+
+
+def test_real_tree_is_clean():
+    # The analyzer gates the repo on itself; the shipped sources must pass
+    # the race rule without suppressions (core.py carries the annotations).
+    from repro.analysis.engine import load_corpus
+
+    context = load_corpus([str(REPO_SRC)])
+    rule = RaceRule()
+    findings = []
+    for info in context.modules:
+        findings.extend(rule.check(info, context))
+    assert findings == []

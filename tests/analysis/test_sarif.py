@@ -1,0 +1,91 @@
+"""SARIF emitter: schema validity, determinism, and result mapping."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import report_to_sarif, write_sarif
+
+SCHEMA_PATH = Path(__file__).parent / "sarif-schema-2.1.0.json"
+
+
+def _report():
+    return AnalysisReport(
+        findings=[
+            Finding("src/repro/a.py", 10, "race-unguarded-write", "attr raced"),
+            Finding("src/repro/b.py", 3, "dtype-size-dependent", "bare arange"),
+        ],
+        suppressed=[
+            Finding("src/repro/c.py", 7, "lock-guard", "justified at-fork clear"),
+        ],
+        baselined=[
+            Finding("src/repro/d.py", 1, "det-set-iter", "grandfathered"),
+        ],
+        modules_checked=4,
+    )
+
+
+def test_sarif_validates_against_2_1_0_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA_PATH.read_text())
+    payload = report_to_sarif(_report())
+    jsonschema.validate(payload, schema)
+
+
+def test_sarif_top_level_shape():
+    payload = report_to_sarif(_report())
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+
+
+def test_every_shipped_rule_id_is_in_the_catalogue():
+    from repro.analysis.engine import all_rules
+
+    payload = report_to_sarif(AnalysisReport())
+    catalogue = {r["id"] for r in payload["runs"][0]["tool"]["driver"]["rules"]}
+    for rule in all_rules():
+        for rule_id in rule.ids:
+            assert rule_id in catalogue
+    assert "bad-suppression" in catalogue
+
+
+def test_results_map_findings_with_location_and_level():
+    payload = report_to_sarif(_report())
+    results = payload["runs"][0]["results"]
+    assert len(results) == 4
+    first = results[0]
+    assert first["ruleId"] == "race-unguarded-write"
+    assert first["level"] == "error"
+    assert first["message"]["text"] == "attr raced"
+    loc = first["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/a.py"
+    assert loc["region"]["startLine"] == 10
+
+
+def test_suppressed_and_baselined_carry_suppressions():
+    payload = report_to_sarif(_report())
+    results = payload["runs"][0]["results"]
+    kinds = [
+        r.get("suppressions", [{}])[0].get("kind") for r in results
+    ]
+    assert kinds == [None, None, "inSource", "external"]
+
+
+def test_write_sarif_is_deterministic(tmp_path):
+    a, b = tmp_path / "a.sarif", tmp_path / "b.sarif"
+    write_sarif(str(a), _report())
+    write_sarif(str(b), _report())
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_zero_findings_is_still_a_valid_log():
+    jsonschema = pytest.importorskip("jsonschema")
+    schema = json.loads(SCHEMA_PATH.read_text())
+    payload = report_to_sarif(AnalysisReport())
+    jsonschema.validate(payload, schema)
+    assert payload["runs"][0]["results"] == []

@@ -1,0 +1,50 @@
+"""Regression: index arrays must be int64 everywhere, never the platform int.
+
+``np.arange`` (and ``dtype=int``) resolve to the *platform default* integer —
+int64 on Linux, int32 on Windows — so any index array built without an
+explicit width would make results platform-dependent, breaking the
+bit-identity contract.  The dtype-flow analyzer (``dtype-size-dependent``)
+now flags such sites statically; these tests pin the runtime behaviour of
+the paths that were fixed when the rule landed.
+"""
+
+import numpy as np
+
+from repro.coarsen.basic import mis2_basic_aggregation
+from repro.coloring.greedy import greedy_color
+from repro.graph.generators import grid2d
+from repro.graph.ops import induced_subgraph
+from repro.parallel.primitives import expand_rows
+
+
+def test_expand_rows_outputs_are_int64():
+    rowmap = np.array([0, 2, 2, 5], dtype=np.int64)
+    rows = np.array([0, 2], dtype=np.int64)
+    slots, seg = expand_rows(rowmap, rows)
+    assert slots.dtype == np.int64
+    assert seg.dtype == np.int64
+
+
+def test_expand_rows_empty_selection_is_int64():
+    rowmap = np.array([0, 2, 2, 5], dtype=np.int64)
+    slots, seg = expand_rows(rowmap, np.zeros(0, dtype=np.int64))
+    assert slots.dtype == np.int64
+    assert seg.dtype == np.int64
+
+
+def test_induced_subgraph_mapping_is_int64():
+    graph = grid2d(4, 4)
+    sub, mapping = induced_subgraph(graph, np.array([0, 1, 5, 6]))
+    assert mapping.dtype == np.int64
+
+
+def test_aggregation_labels_are_int64():
+    graph = grid2d(5, 5)
+    result = mis2_basic_aggregation(graph)
+    assert result.labels.dtype == np.int64
+
+
+def test_coloring_output_is_int64():
+    graph = grid2d(5, 5)
+    coloring = greedy_color(graph)
+    assert coloring.colors.dtype == np.int64
